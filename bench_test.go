@@ -1,0 +1,279 @@
+// Package abg's top-level benchmark harness: one benchmark per figure of
+// the paper's evaluation (§7) plus the ablation benches DESIGN.md calls out.
+// Each benchmark runs the corresponding experiment at a reduced but
+// shape-preserving scale and reports the figure's headline quantities as
+// custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. Use cmd/abgexp -scale full for the
+// paper's exact scale (P=128, L=1000, 50 jobs per C_L in 2..100, 5000 job
+// sets).
+package abg
+
+import (
+	"testing"
+
+	"abg/internal/experiments"
+)
+
+// benchConfig is the reduced machine used by the benchmarks: same structure
+// as the paper's setup, smaller quanta so each iteration is fast.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 2008, P: 128, L: 250, R: 0.2, Rho: 2, Delta: 0.8}
+}
+
+// BenchmarkFig1RequestInstability regenerates Figure 1: A-Greedy's request
+// trace on a constant-parallelism job. Reported metrics: target crossings
+// and total request movement of both schedulers.
+func BenchmarkFig1RequestInstability(b *testing.B) {
+	var res experiments.TransientResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.AGreedyOscillations), "agreedy-crossings")
+	b.ReportMetric(float64(res.ABGOscillations), "abg-crossings")
+	b.ReportMetric(res.AGreedyTotalVariation, "agreedy-variation")
+	b.ReportMetric(res.ABGTotalVariation, "abg-variation")
+}
+
+// BenchmarkFig4Transient regenerates Figure 4: transient and steady-state
+// behaviour over the 8-quantum window. Reported metrics: overshoot and
+// steady-state error of both schedulers (paper/Theorem 1: ABG has zero of
+// both).
+func BenchmarkFig4Transient(b *testing.B) {
+	var res experiments.TransientResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ABG.MaxOvershoot, "abg-overshoot")
+	b.ReportMetric(res.AGreedy.MaxOvershoot, "agreedy-overshoot")
+	b.ReportMetric(res.ABG.SteadyStateError, "abg-sse")
+	b.ReportMetric(res.AGreedy.SteadyStateError, "agreedy-sse")
+}
+
+// fig5Bench runs the Figure 5 sweep at reduced scale.
+func fig5Bench(b *testing.B) experiments.Fig5Result {
+	b.Helper()
+	cfg := experiments.Fig5Config{
+		Config:    benchConfig(),
+		CLValues:  []int{2, 5, 10, 20, 35, 50, 75, 100},
+		JobsPerCL: 8,
+		Shrink:    1,
+	}
+	if testing.Short() {
+		cfg.CLValues = []int{2, 10, 50}
+		cfg.JobsPerCL = 3
+		cfg.Shrink = 2
+	}
+	var res experiments.Fig5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkFig5RunningTime regenerates Figures 5(a)/5(b): running time
+// versus transition factor. Reported metric: ABG's average running-time
+// improvement over A-Greedy (paper: ~20%).
+func BenchmarkFig5RunningTime(b *testing.B) {
+	res := fig5Bench(b)
+	b.ReportMetric(100*res.RuntimeImprovement, "%runtime-improvement")
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(last.RuntimeRatio, "ratio@maxCL")
+}
+
+// BenchmarkFig5Waste regenerates Figures 5(c)/5(d): processor waste versus
+// transition factor. Reported metric: ABG's average waste reduction over
+// A-Greedy (paper: ~50%).
+func BenchmarkFig5Waste(b *testing.B) {
+	res := fig5Bench(b)
+	b.ReportMetric(100*res.WasteReduction, "%waste-reduction")
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(last.WasteRatio, "ratio@maxCL")
+}
+
+// fig6Bench runs the Figure 6 sweep at reduced scale.
+func fig6Bench(b *testing.B) experiments.Fig6Result {
+	b.Helper()
+	// Shrink stays 1: jobs must keep the paper-relative phase scale or
+	// A-Greedy's warm-up dominates and inflates ABG's light-load advantage.
+	cfg := experiments.Fig6Config{
+		Config:  benchConfig(),
+		NumSets: 40,
+		LoadMin: 0.2, LoadMax: 6,
+		Shrink: 1,
+		Bins:   8,
+	}
+	if testing.Short() {
+		cfg.NumSets = 8
+	}
+	var res experiments.Fig6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkFig6Makespan regenerates Figures 6(a)/6(b): makespan versus
+// system load under dynamic equi-partitioning. Reported metrics: ABG's
+// average makespan advantage at light load (paper: 10–15%) and at heavy
+// load (paper: comparable).
+func BenchmarkFig6Makespan(b *testing.B) {
+	res := fig6Bench(b)
+	b.ReportMetric(100*res.LightLoadMakespanGain, "%light-load-gain")
+	b.ReportMetric(100*res.HeavyLoadMakespanGain, "%heavy-load-gain")
+}
+
+// BenchmarkFig6ResponseTime regenerates Figures 6(c)/6(d): mean response
+// time versus system load for batched job sets.
+func BenchmarkFig6ResponseTime(b *testing.B) {
+	res := fig6Bench(b)
+	b.ReportMetric(100*res.LightLoadResponseGain, "%light-load-gain")
+	b.ReportMetric(100*res.HeavyLoadResponseGain, "%heavy-load-gain")
+}
+
+// BenchmarkRSweep regenerates footnote 3: ABG's sensitivity to the
+// convergence rate r. Reported metric: the normalized-runtime spread across
+// r ∈ [0, 0.6] (paper: results "do not deviate too much").
+func BenchmarkRSweep(b *testing.B) {
+	cfg := experiments.RSweepConfig{
+		Config:       benchConfig(),
+		Rs:           []float64{0, 0.2, 0.4, 0.6, 0.8},
+		CLValues:     []int{5, 20, 50},
+		JobsPerPoint: 5,
+		Shrink:       2,
+	}
+	var res experiments.RSweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lo, hi := res.Points[0].Runtime, res.Points[0].Runtime
+	for _, p := range res.Points {
+		if p.R > 0.6 {
+			continue
+		}
+		if p.Runtime < lo {
+			lo = p.Runtime
+		}
+		if p.Runtime > hi {
+			hi = p.Runtime
+		}
+	}
+	b.ReportMetric(100*(hi-lo)/lo, "%spread-r<=0.6")
+	b.ReportMetric(res.Points[len(res.Points)-1].Runtime, "runtime@r=0.8")
+}
+
+// BenchmarkAblationFixedGain contrasts the adaptive controller with
+// fixed-gain integral controllers on a step-parallelism job (why must
+// K(q) = (1−r)·A(q−1)?). Reported metrics: waste of the adaptive controller
+// vs the best and worst fixed gains.
+func BenchmarkAblationFixedGain(b *testing.B) {
+	var res experiments.GainAblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.GainAblation(benchConfig(), 2, 64, benchConfig().L*2, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Waste[0], "adaptive-waste")
+	worst := res.Waste[1]
+	for _, w := range res.Waste[1:] {
+		if w > worst {
+			worst = w
+		}
+	}
+	b.ReportMetric(worst, "worst-fixed-waste")
+	b.ReportMetric(res.Overshoot[len(res.Overshoot)-1], "aggressive-fixed-overshoot")
+}
+
+// BenchmarkAblationExecutionOrder contrasts B-Greedy's breadth-first order
+// with depth-first and FIFO under identical feedback. Reported metrics:
+// normalized runtime per order.
+func BenchmarkAblationExecutionOrder(b *testing.B) {
+	var res experiments.OrderAblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.OrderAblation(benchConfig(), []int{5, 20, 50}, 5, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Runtime[0], "breadth-first-T/T∞")
+	b.ReportMetric(res.Runtime[1], "depth-first-T/T∞")
+	b.ReportMetric(res.Runtime[2], "fifo-T/T∞")
+}
+
+// BenchmarkAblationQuantumLength sweeps the quantum length L (§9's
+// future-work axis, explored statically). Reported metrics: waste at the
+// shortest and longest L.
+func BenchmarkAblationQuantumLength(b *testing.B) {
+	var res experiments.QuantumLengthResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.QuantumLengthAblation(benchConfig(),
+			[]int{64, 125, 250, 500, 1000}, []int{10, 40}, 4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Waste[0], "waste@L=64")
+	b.ReportMetric(res.Waste[len(res.Waste)-1], "waste@L=1000")
+}
+
+// BenchmarkAblationAdaptiveQuantum exercises the dynamic quantum-length
+// engine (§9 future work) against fixed-L baselines. Reported metrics: the
+// adaptive engine's feedback-action count between the two fixed extremes.
+func BenchmarkAblationAdaptiveQuantum(b *testing.B) {
+	var res experiments.AdaptiveLResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AdaptiveQuantum(benchConfig(), []int{5, 20, 50}, 4, 2, 32, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Quanta[0], "actions-fixed-short")
+	b.ReportMetric(res.Quanta[2], "actions-adaptive")
+	b.ReportMetric(res.Quanta[1], "actions-fixed-long")
+	b.ReportMetric(res.Waste[2], "waste-adaptive")
+}
+
+// BenchmarkAblationWorkStealing contrasts the centralized schedulers with
+// the decentralized work-stealing executor (A-Steal family, §8) under the
+// same feedback policies. Reported metrics: normalized runtimes and the
+// steal overhead per allotted cycle.
+func BenchmarkAblationWorkStealing(b *testing.B) {
+	var res experiments.StealResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Steal(benchConfig(), []int{4, 16, 64}, 3, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Runtime[0], "abg-T/T∞")
+	b.ReportMetric(res.Runtime[2], "asteal-T/T∞")
+	b.ReportMetric(res.StealFrac[2], "asteal-steal/cycle")
+}

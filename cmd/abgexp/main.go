@@ -1,0 +1,275 @@
+// Command abgexp regenerates the paper's evaluation figures as text tables
+// (and optionally CSV series). One experiment per figure:
+//
+//	abgexp -exp fig1              # A-Greedy request instability
+//	abgexp -exp fig4              # ABG vs A-Greedy transient behaviour
+//	abgexp -exp fig5              # runtime & waste vs transition factor
+//	abgexp -exp fig6              # makespan & response time vs load
+//	abgexp -exp rsweep            # convergence-rate sensitivity (footnote 3)
+//	abgexp -exp gain              # ablation: adaptive vs fixed-gain control
+//	abgexp -exp order             # ablation: breadth-first vs other orders
+//	abgexp -exp quantum           # ablation: quantum length sweep
+//
+// -scale small|medium|full trades fidelity for time (full is the paper's
+// exact setup: P=128, L=1000, 50 jobs per C_L in 2..100, 5000 job sets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"abg/internal/chart"
+	"abg/internal/experiments"
+	"abg/internal/stats"
+	"abg/internal/trace"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "fig5", "experiment: fig1|fig4|fig5|fig6|rsweep|gain|order|quantum|adaptivel|steal|mixed")
+		scale     = flag.String("scale", "medium", "scale: small|medium|full")
+		seed      = flag.Uint64("seed", 2008, "experiment seed")
+		csvPath   = flag.String("csv", "", "optional path to write the main series as CSV")
+		showChart = flag.Bool("chart", false, "render the main series as an ASCII chart")
+	)
+	flag.Parse()
+
+	cfg := experiments.Defaults()
+	cfg.Seed = *seed
+	start := time.Now()
+	var (
+		series []trace.Series
+		err    error
+	)
+	switch *exp {
+	case "fig1":
+		var res experiments.TransientResult
+		res, err = experiments.Fig1(cfg)
+		if err == nil {
+			err = res.Render(os.Stdout)
+			series = transientSeries(res)
+		}
+	case "fig4":
+		var res experiments.TransientResult
+		res, err = experiments.Fig4(cfg)
+		if err == nil {
+			err = res.Render(os.Stdout)
+			series = transientSeries(res)
+		}
+	case "fig5":
+		f5 := experiments.DefaultFig5Config()
+		f5.Config = cfg
+		switch *scale {
+		case "small":
+			f5.CLValues = []int{2, 5, 10, 20, 50, 100}
+			f5.JobsPerCL = 5
+			f5.Shrink = 4
+		case "medium":
+			f5.CLValues = f5.CLValues[:0]
+			for cl := 2; cl <= 100; cl += 7 {
+				f5.CLValues = append(f5.CLValues, cl)
+			}
+			f5.JobsPerCL = 15
+			f5.Shrink = 2
+		case "full":
+			// paper scale, set by DefaultFig5Config
+		default:
+			fatalf("unknown scale %q", *scale)
+		}
+		var res experiments.Fig5Result
+		res, err = experiments.Fig5(f5)
+		if err == nil {
+			err = res.Render(os.Stdout)
+			series = fig5Series(res)
+		}
+	case "fig6":
+		f6 := experiments.DefaultFig6Config()
+		f6.Config = cfg
+		switch *scale {
+		case "small":
+			f6.NumSets, f6.Shrink, f6.Bins = 40, 4, 8
+		case "medium":
+			f6.NumSets, f6.Shrink, f6.Bins = 400, 1, 12
+		case "full":
+			// paper scale
+		default:
+			fatalf("unknown scale %q", *scale)
+		}
+		var res experiments.Fig6Result
+		res, err = experiments.Fig6(f6)
+		if err == nil {
+			err = res.Render(os.Stdout)
+			series = fig6Series(res)
+		}
+	case "rsweep":
+		rs := experiments.DefaultRSweepConfig()
+		rs.Config = cfg
+		if *scale == "small" {
+			rs.JobsPerPoint, rs.Shrink = 3, 4
+		}
+		var res experiments.RSweepResult
+		res, err = experiments.RSweep(rs)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "gain":
+		var res experiments.GainAblationResult
+		res, err = experiments.GainAblation(cfg, 2, 64, cfg.L*2, 4)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "order":
+		var res experiments.OrderAblationResult
+		res, err = experiments.OrderAblation(cfg, []int{5, 20, 50}, 8, 2)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "quantum":
+		var res experiments.QuantumLengthResult
+		res, err = experiments.QuantumLengthAblation(cfg,
+			[]int{125, 250, 500, 1000, 2000, 4000}, []int{10, 40}, 6, 2)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "adaptivel":
+		var res experiments.AdaptiveLResult
+		res, err = experiments.AdaptiveQuantum(cfg, []int{5, 20, 50}, 6, 2, cfg.L/8, cfg.L*2)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "steal":
+		var res experiments.StealResult
+		shrink := 4
+		if *scale == "full" {
+			shrink = 2
+		}
+		res, err = experiments.Steal(cfg, []int{4, 16, 64}, 5, shrink)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "mixed":
+		var res experiments.MixedResult
+		sets := 30
+		if *scale == "full" {
+			sets = 200
+		}
+		res, err = experiments.Mixed(cfg, sets, 1.0, 2)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "ratestudy":
+		var res experiments.RateStudyResult
+		res, err = experiments.RateStudy(cfg, []int{10, 30, 60, 100}, 8, 2)
+		if err == nil {
+			err = res.Render(os.Stdout)
+		}
+	case "opensystem":
+		var res experiments.OpenSystemResult
+		jobs := 150
+		if *scale == "full" {
+			jobs = 600
+		}
+		loads := []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95}
+		res, err = experiments.OpenSystem(cfg, loads, jobs, 4)
+		if err == nil {
+			err = res.Render(os.Stdout)
+			series = []trace.Series{
+				{Name: "abg-response", X: loads, Y: res.ABGResponse},
+				{Name: "agreedy-response", X: loads, Y: res.AGResponse},
+			}
+		}
+	default:
+		fatalf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s %s in %v]\n", *exp, *scale, time.Since(start).Round(time.Millisecond))
+
+	if *showChart && len(series) > 0 {
+		fmt.Println()
+		if err := chart.Render(os.Stdout, series, chart.Options{
+			Title: *exp, Width: 72, Height: 18,
+		}); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *csvPath != "" && len(series) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := trace.WriteSeriesCSV(f, series); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[series written to %s]\n", *csvPath)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "abgexp: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func transientSeries(r experiments.TransientResult) []trace.Series {
+	xs := make([]float64, len(r.ABGRequests))
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	xg := make([]float64, len(r.AGreedyRequests))
+	for i := range xg {
+		xg[i] = float64(i + 1)
+	}
+	return []trace.Series{
+		{Name: "abg-request", X: xs, Y: r.ABGRequests},
+		{Name: "agreedy-request", X: xg, Y: r.AGreedyRequests},
+	}
+}
+
+func fig5Series(r experiments.Fig5Result) []trace.Series {
+	n := len(r.Points)
+	mk := func(f func(experiments.Fig5Point) float64) ([]float64, []float64) {
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i, p := range r.Points {
+			xs[i], ys[i] = float64(p.CL), f(p)
+		}
+		return xs, ys
+	}
+	var series []trace.Series
+	for _, s := range []struct {
+		name string
+		f    func(experiments.Fig5Point) float64
+	}{
+		{"abg-runtime", func(p experiments.Fig5Point) float64 { return p.ABGRuntime }},
+		{"agreedy-runtime", func(p experiments.Fig5Point) float64 { return p.AGRuntime }},
+		{"runtime-ratio", func(p experiments.Fig5Point) float64 { return p.RuntimeRatio }},
+		{"abg-waste", func(p experiments.Fig5Point) float64 { return p.ABGWaste }},
+		{"agreedy-waste", func(p experiments.Fig5Point) float64 { return p.AGWaste }},
+		{"waste-ratio", func(p experiments.Fig5Point) float64 { return p.WasteRatio }},
+	} {
+		xs, ys := mk(s.f)
+		series = append(series, trace.Series{Name: s.name, X: xs, Y: ys})
+	}
+	return series
+}
+
+func fig6Series(r experiments.Fig6Result) []trace.Series {
+	var series []trace.Series
+	add := func(name string, pts []stats.Point) {
+		xs, ys := make([]float64, len(pts)), make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p.X, p.Y
+		}
+		series = append(series, trace.Series{Name: name, X: xs, Y: ys})
+	}
+	add("abg-makespan", r.ABGMakespanCurve)
+	add("agreedy-makespan", r.AGMakespanCurve)
+	add("makespan-ratio", r.MakespanRatioCurve)
+	add("abg-response", r.ABGResponseCurve)
+	add("agreedy-response", r.AGResponseCurve)
+	add("response-ratio", r.ResponseRatioCurve)
+	return series
+}

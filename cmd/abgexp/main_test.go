@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"abg/internal/experiments"
+	"abg/internal/stats"
+)
+
+func TestTransientSeries(t *testing.T) {
+	r := experiments.TransientResult{
+		ABGRequests:     []float64{1, 9, 11},
+		AGreedyRequests: []float64{1, 2, 4, 8},
+	}
+	series := transientSeries(r)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if len(series[0].X) != 3 || series[0].X[2] != 3 {
+		t.Fatalf("abg x axis: %v", series[0].X)
+	}
+	if len(series[1].X) != 4 || series[1].Y[3] != 8 {
+		t.Fatalf("agreedy series: %+v", series[1])
+	}
+}
+
+func TestFig5Series(t *testing.T) {
+	r := experiments.Fig5Result{Points: []experiments.Fig5Point{
+		{CL: 2, ABGRuntime: 1.1, AGRuntime: 1.3, RuntimeRatio: 1.18, ABGWaste: 0.4, AGWaste: 0.8, WasteRatio: 2},
+		{CL: 50, ABGRuntime: 1.4, AGRuntime: 1.6, RuntimeRatio: 1.14, ABGWaste: 0.6, AGWaste: 0.9, WasteRatio: 1.5},
+	}}
+	series := fig5Series(r)
+	if len(series) != 6 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 2 || s.X[0] != 2 || s.X[1] != 50 {
+			t.Fatalf("series %s x axis: %v", s.Name, s.X)
+		}
+	}
+	if series[0].Name != "abg-runtime" || series[0].Y[1] != 1.4 {
+		t.Fatalf("first series: %+v", series[0])
+	}
+	if series[5].Name != "waste-ratio" || series[5].Y[0] != 2 {
+		t.Fatalf("last series: %+v", series[5])
+	}
+}
+
+func TestFig6Series(t *testing.T) {
+	r := experiments.Fig6Result{
+		ABGMakespanCurve:   []stats.Point{{X: 1, Y: 1.5}},
+		AGMakespanCurve:    []stats.Point{{X: 1, Y: 1.7}},
+		MakespanRatioCurve: []stats.Point{{X: 1, Y: 1.13}},
+		ABGResponseCurve:   []stats.Point{{X: 1, Y: 1.4}},
+		AGResponseCurve:    []stats.Point{{X: 1, Y: 1.6}},
+		ResponseRatioCurve: []stats.Point{{X: 1, Y: 1.14}},
+	}
+	series := fig6Series(r)
+	if len(series) != 6 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if series[2].Name != "makespan-ratio" || series[2].Y[0] != 1.13 {
+		t.Fatalf("ratio series: %+v", series[2])
+	}
+}

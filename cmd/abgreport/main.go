@@ -1,0 +1,41 @@
+// Command abgreport runs the experiment suite and writes a self-contained
+// Markdown reproduction report to stdout:
+//
+//	abgreport -scale small  > report.md     # seconds, shapes only
+//	abgreport -scale medium > report.md     # a minute or two
+//	abgreport -scale full   > report.md     # the paper's exact setup
+//	abgreport -sections fig4,fig5,validate  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"abg/internal/report"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "small", "experiment scale: small|medium|full")
+		seed     = flag.Uint64("seed", 2008, "experiment seed")
+		sections = flag.String("sections", "", "comma-separated subset (default: all): "+
+			strings.Join(report.KnownSections(), ","))
+	)
+	flag.Parse()
+
+	opts := report.Options{
+		Seed:  *seed,
+		Scale: report.Scale(*scale),
+		Now:   time.Now(),
+	}
+	if *sections != "" {
+		opts.Sections = strings.Split(*sections, ",")
+	}
+	if err := report.Generate(os.Stdout, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "abgreport: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Command abgtrace simulates one job and dumps its per-quantum trace as CSV
+// (default) or JSON, for plotting outside this repository.
+//
+//	abgtrace -scheduler abg -cl 20 > trace.csv
+//	abgtrace -scheduler agreedy -constant 12 -format json > trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abg/internal/core"
+	"abg/internal/job"
+	"abg/internal/trace"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+func main() {
+	var (
+		schedName = flag.String("scheduler", "abg", "scheduler: abg | agreedy")
+		r         = flag.Float64("r", 0.2, "ABG convergence rate")
+		rho       = flag.Float64("rho", 2, "A-Greedy multiplicative factor")
+		delta     = flag.Float64("delta", 0.8, "A-Greedy utilization threshold")
+		p         = flag.Int("P", 128, "machine size")
+		l         = flag.Int("L", 1000, "quantum length")
+		cl        = flag.Int("cl", 20, "transition factor of the random fork-join job")
+		constant  = flag.Int("constant", 0, "if >0, constant-parallelism job of this width")
+		quanta    = flag.Int("quanta", 10, "constant job length in quanta")
+		seed      = flag.Uint64("seed", 2008, "workload seed")
+		format    = flag.String("format", "csv", "output format: csv | json")
+	)
+	flag.Parse()
+
+	var scheduler core.Scheduler
+	switch *schedName {
+	case "abg":
+		scheduler = core.NewABG(*r)
+	case "agreedy":
+		scheduler = core.NewAGreedy(*rho, *delta)
+	default:
+		fmt.Fprintf(os.Stderr, "abgtrace: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+	var profile *job.Profile
+	if *constant > 0 {
+		profile = workload.ConstantJob(*constant, *quanta, *l)
+	} else {
+		profile = workload.GenJob(xrand.New(*seed), workload.DefaultJobParams(*cl, *l))
+	}
+	res, err := core.RunJob(core.Machine{P: *p, L: *l}, scheduler, profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abgtrace: %v\n", err)
+		os.Exit(1)
+	}
+	records := trace.FromQuanta(res.Quanta)
+	switch *format {
+	case "csv":
+		err = trace.WriteCSV(os.Stdout, records)
+	case "json":
+		err = trace.WriteJSON(os.Stdout, records)
+	default:
+		fmt.Fprintf(os.Stderr, "abgtrace: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abgtrace: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: schedule one malleable data-parallel job with ABG and inspect
+// the result.
+//
+// A malleable job is described as a profile of levels (or an explicit dag —
+// see examples/customdag). The two-level framework then drives it quantum by
+// quantum: B-Greedy executes and measures the job, A-Control turns the
+// measurement into the next processor request, and the OS allocator grants
+// processors.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"abg/internal/core"
+	"abg/internal/table"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+func main() {
+	// A machine with 64 processors and scheduling quanta of 500 steps.
+	machine := core.Machine{P: 64, L: 500}
+
+	// A random fork-join job: serial and parallel phases alternate; the
+	// parallel phases are 24 wide, so the job's parallelism swings between
+	// 1 and 24 (its transition factor is ≈ 24).
+	job := workload.GenJob(xrand.New(42), workload.DefaultJobParams(24, machine.L))
+	fmt.Printf("job: T1=%d tasks, T∞=%d levels, average parallelism %.1f\n\n",
+		job.Work(), job.CriticalPathLen(), job.AvgParallelism())
+
+	// Run it under ABG (convergence rate r=0.2, the paper's default).
+	res, err := core.RunJob(machine, core.NewABG(0.2), job)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The per-quantum trace shows the adaptive feedback at work: the request
+	// d(q) tracks the measured average parallelism A(q−1).
+	tb := table.New("quantum", "request d(q)", "allotment", "measured A(q)")
+	for _, q := range res.Quanta {
+		if q.Index > 12 {
+			tb.AddRow("...", "", "", "")
+			break
+		}
+		tb.AddRowf(q.Index, q.Request, q.Allotment, q.AvgParallelism())
+	}
+	tb.Render(os.Stdout)
+
+	rep, err := core.Analyze(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinished in %d steps (%.2f× the critical path)\n", res.Runtime, rep.NormalizedRuntime)
+	fmt.Printf("speedup %.1f× on up to %d processors, utilization %.0f%%\n",
+		rep.Speedup, machine.P, 100*rep.Utilization)
+	fmt.Printf("wasted cycles: %.1f%% of the job's work\n", 100*rep.NormalizedWaste)
+	fmt.Printf("measured transition factor C_L = %.1f\n", rep.TransitionFactor)
+}

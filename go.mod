@@ -1,0 +1,3 @@
+module abg
+
+go 1.22

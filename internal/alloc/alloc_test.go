@@ -1,0 +1,296 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"abg/internal/xrand"
+)
+
+func TestUnconstrained(t *testing.T) {
+	u := NewUnconstrained(128)
+	if u.Grant(1, 50) != 50 {
+		t.Fatal("request below P should be granted in full")
+	}
+	if u.Grant(1, 500) != 128 {
+		t.Fatal("request above P should be capped")
+	}
+	if u.Grant(1, -3) != 0 {
+		t.Fatal("negative request should yield 0")
+	}
+	if !strings.Contains(u.Name(), "128") {
+		t.Fatal("name")
+	}
+}
+
+func TestUnconstrainedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUnconstrained(0)
+}
+
+func TestAvailabilityTrace(t *testing.T) {
+	a := NewAvailabilityTrace(100, func(q int) int { return q * 10 }, "ramp")
+	if a.Grant(1, 50) != 10 {
+		t.Fatal("should be capped by availability")
+	}
+	if a.Grant(3, 12) != 12 {
+		t.Fatal("request below availability should be granted")
+	}
+	if a.Grant(50, 1000) != 100 {
+		t.Fatal("availability should be clamped to P")
+	}
+	// Availability below 1 is clamped to 1 (fair allocator, |J| ≤ P).
+	zero := NewAvailabilityTrace(100, func(int) int { return 0 }, "")
+	if zero.Grant(1, 5) != 1 {
+		t.Fatal("availability should be clamped to at least 1")
+	}
+	if zero.Name() == "" || a.Name() != "ramp" {
+		t.Fatal("names")
+	}
+}
+
+func TestAvailabilityTracePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAvailabilityTrace(0, func(int) int { return 1 }, "") },
+		func() { NewAvailabilityTrace(4, nil, "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDEQKnownCases(t *testing.T) {
+	deq := DynamicEquiPartition{}
+	cases := []struct {
+		requests []int
+		p        int
+		want     []int
+	}{
+		// All satisfied.
+		{[]int{2, 3, 1}, 100, []int{2, 3, 1}},
+		// Equal split when everyone wants more.
+		{[]int{50, 50, 50}, 30, []int{10, 10, 10}},
+		// Small requesters first, leftovers redistributed: share=10;
+		// job1 takes 2, remaining 28 over 2 jobs → 14 each.
+		{[]int{50, 2, 50}, 30, []int{14, 2, 14}},
+		// Cascading redistribution: share=8, j2(3) leaves; share=(25-3... )
+		{[]int{9, 3, 100, 100}, 32, []int{9, 3, 10, 10}},
+		// Remainder goes one-by-one in order.
+		{[]int{50, 50, 50}, 31, []int{11, 10, 10}},
+		// Zero requests get nothing.
+		{[]int{0, 7, 0}, 10, []int{0, 7, 0}},
+		// More jobs than processors: one each until exhausted.
+		{[]int{5, 5, 5, 5}, 3, []int{1, 1, 1, 0}},
+		// Empty.
+		{nil, 10, []int{}},
+	}
+	for i, c := range cases {
+		got := deq.Allot(c.requests, c.p)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+// TestDEQInvariants property-checks conservativeness, capacity, fairness
+// and non-reservation on random inputs.
+func TestDEQInvariants(t *testing.T) {
+	deq := DynamicEquiPartition{}
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(12)
+		p := 1 + rng.Intn(200)
+		reqs := make([]int, n)
+		for i := range reqs {
+			reqs[i] = rng.Intn(80)
+		}
+		got := deq.Allot(reqs, p)
+		total := 0
+		for i, a := range got {
+			if a < 0 || a > reqs[i] {
+				return false // conservative
+			}
+			total += a
+		}
+		if total > p {
+			return false // capacity
+		}
+		// Non-reserving: if processors idle, every job is satisfied.
+		if total < p {
+			for i, a := range got {
+				if a < reqs[i] {
+					return false
+				}
+			}
+		}
+		// Fairness: an unsatisfied job never gets fewer processors than
+		// another job gets in excess of... simpler check: all unsatisfied
+		// jobs receive within 1 of each other.
+		lo, hi := 1<<30, -1
+		for i, a := range got {
+			if a < reqs[i] {
+				if a < lo {
+					lo = a
+				}
+				if a > hi {
+					hi = a
+				}
+			}
+		}
+		if hi >= 0 && hi-lo > 1 {
+			return false
+		}
+		// Fairness vs satisfied jobs: a satisfied job's grant never exceeds
+		// an unsatisfied job's grant by more than... (satisfied jobs took
+		// requests ≤ running share, so their grant ≤ any unsatisfied grant+1).
+		if hi >= 0 {
+			for i, a := range got {
+				if a == reqs[i] && a > hi+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDEQEachActiveJobGetsOneWhenPossible(t *testing.T) {
+	// |J| ≤ P: every requesting job receives at least one processor.
+	deq := DynamicEquiPartition{}
+	rng := xrand.New(5)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(16)
+		p := n + rng.Intn(64)
+		reqs := make([]int, n)
+		for i := range reqs {
+			reqs[i] = 1 + rng.Intn(50)
+		}
+		got := deq.Allot(reqs, p)
+		for i, a := range got {
+			if a < 1 {
+				t.Fatalf("job %d got %d with P=%d reqs=%v", i, a, p, reqs)
+			}
+		}
+	}
+}
+
+func TestDEQZeroProcessors(t *testing.T) {
+	got := DynamicEquiPartition{}.Allot([]int{3, 4}, 0)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEqualSplit(t *testing.T) {
+	es := EqualSplit{}
+	got := es.Allot([]int{2, 50, 50}, 30)
+	// Shares of 10 each; job 0 capped at 2 and the leftover is NOT
+	// redistributed (reserving).
+	if got[0] != 2 || got[1] != 10 || got[2] != 10 {
+		t.Fatalf("got %v", got)
+	}
+	got = es.Allot([]int{50, 50, 50}, 31)
+	if got[0]+got[1]+got[2] != 31 {
+		t.Fatalf("remainder lost: %v", got)
+	}
+	if got := es.Allot(nil, 5); len(got) != 0 {
+		t.Fatal("empty")
+	}
+	if got := es.Allot([]int{0, 0}, 5); got[0] != 0 || got[1] != 0 {
+		t.Fatal("all-zero requests")
+	}
+	if es.Name() == "" || (DynamicEquiPartition{}).Name() == "" {
+		t.Fatal("names")
+	}
+}
+
+func TestEqualSplitConservative(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(10)
+		p := 1 + rng.Intn(100)
+		reqs := make([]int, n)
+		for i := range reqs {
+			reqs[i] = rng.Intn(40)
+		}
+		got := EqualSplit{}.Allot(reqs, p)
+		total := 0
+		for i, a := range got {
+			if a < 0 || a > reqs[i] {
+				return false
+			}
+			total += a
+		}
+		return total <= p
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDEQDominatesEqualSplit: DEQ never hands out fewer total processors
+// than EqualSplit — redistribution only helps.
+func TestDEQDominatesEqualSplit(t *testing.T) {
+	rng := xrand.New(9)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		p := 1 + rng.Intn(100)
+		reqs := make([]int, n)
+		for i := range reqs {
+			reqs[i] = rng.Intn(60)
+		}
+		d := DynamicEquiPartition{}.Allot(reqs, p)
+		e := EqualSplit{}.Allot(reqs, p)
+		sd, se := 0, 0
+		for i := range d {
+			sd += d[i]
+			se += e[i]
+		}
+		if sd < se {
+			t.Fatalf("DEQ total %d < EqualSplit total %d (reqs=%v p=%d)", sd, se, reqs, p)
+		}
+	}
+}
+
+func BenchmarkDEQAllot(b *testing.B) {
+	rng := xrand.New(1)
+	reqs := make([]int, 64)
+	for i := range reqs {
+		reqs[i] = rng.Intn(40)
+	}
+	deq := DynamicEquiPartition{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deq.Allot(reqs, 128)
+	}
+}
+
+func BenchmarkRoundRobinAllot(b *testing.B) {
+	rng := xrand.New(1)
+	reqs := make([]int, 64)
+	for i := range reqs {
+		reqs[i] = rng.Intn(40)
+	}
+	rr := NewRoundRobin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr.Allot(reqs, 128)
+	}
+}

@@ -1,0 +1,71 @@
+package alloc
+
+import "fmt"
+
+// CheckedMulti wraps a Multi allocator and panics if a decision violates the
+// framework's contracts: conservativeness (a_i ≤ max(request_i, 0)),
+// capacity (Σ a_i ≤ P), non-negativity, and shape (one allotment per
+// request). Wrap experimental allocators with it during development; the
+// engine itself trusts its allocator, so a buggy one would otherwise corrupt
+// results silently.
+type CheckedMulti struct {
+	Inner Multi
+}
+
+// Allot implements Multi.
+func (c CheckedMulti) Allot(requests []int, p int) []int {
+	out := c.Inner.Allot(requests, p)
+	if len(out) != len(requests) {
+		panic(fmt.Sprintf("alloc: %s returned %d allotments for %d requests",
+			c.Inner.Name(), len(out), len(requests)))
+	}
+	total := 0
+	for i, a := range out {
+		if a < 0 {
+			panic(fmt.Sprintf("alloc: %s gave job %d a negative allotment %d", c.Inner.Name(), i, a))
+		}
+		req := requests[i]
+		if req < 0 {
+			req = 0
+		}
+		if a > req {
+			panic(fmt.Sprintf("alloc: %s is not conservative: job %d requested %d, got %d",
+				c.Inner.Name(), i, requests[i], a))
+		}
+		total += a
+	}
+	if total > p {
+		panic(fmt.Sprintf("alloc: %s oversubscribed: %d allotted of %d", c.Inner.Name(), total, p))
+	}
+	return out
+}
+
+// Name implements Multi.
+func (c CheckedMulti) Name() string { return c.Inner.Name() + "+checked" }
+
+// CheckedSingle wraps a Single allocator with the analogous checks:
+// 0 ≤ grant ≤ max(request, 0) and grant ≤ P is the caller's policy choice,
+// so only conservativeness and non-negativity are enforced here.
+type CheckedSingle struct {
+	Inner Single
+}
+
+// Grant implements Single.
+func (c CheckedSingle) Grant(q int, request int) int {
+	a := c.Inner.Grant(q, request)
+	if a < 0 {
+		panic(fmt.Sprintf("alloc: %s granted negative allotment %d", c.Inner.Name(), a))
+	}
+	req := request
+	if req < 0 {
+		req = 0
+	}
+	if a > req {
+		panic(fmt.Sprintf("alloc: %s is not conservative: requested %d, granted %d",
+			c.Inner.Name(), request, a))
+	}
+	return a
+}
+
+// Name implements Single.
+func (c CheckedSingle) Name() string { return c.Inner.Name() + "+checked" }

@@ -1,0 +1,117 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+
+	"abg/internal/xrand"
+)
+
+// brokenMulti misbehaves in a configurable way, for testing CheckedMulti.
+type brokenMulti struct {
+	mode string
+}
+
+func (b brokenMulti) Allot(requests []int, p int) []int {
+	switch b.mode {
+	case "shape":
+		return make([]int, len(requests)+1)
+	case "negative":
+		out := make([]int, len(requests))
+		out[0] = -1
+		return out
+	case "greedy": // exceeds request
+		out := make([]int, len(requests))
+		for i := range out {
+			out[i] = requests[i] + 1
+		}
+		return out
+	case "oversubscribe":
+		out := make([]int, len(requests))
+		for i := range out {
+			out[i] = requests[i]
+		}
+		return out
+	default:
+		return make([]int, len(requests))
+	}
+}
+
+func (brokenMulti) Name() string { return "broken" }
+
+func TestCheckedMultiCatchesViolations(t *testing.T) {
+	cases := map[string][]int{
+		"shape":         {1, 2},
+		"negative":      {1, 2},
+		"greedy":        {1, 2},
+		"oversubscribe": {5, 5}, // P=4 below
+	}
+	for mode, reqs := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mode %s: violation not caught", mode)
+				}
+			}()
+			CheckedMulti{Inner: brokenMulti{mode: mode}}.Allot(reqs, 4)
+		}()
+	}
+}
+
+func TestCheckedMultiPassesValidAllocators(t *testing.T) {
+	rng := xrand.New(3)
+	allocs := []Multi{DynamicEquiPartition{}, EqualSplit{}, NewRoundRobin()}
+	for _, inner := range allocs {
+		checked := CheckedMulti{Inner: inner}
+		if !strings.Contains(checked.Name(), "checked") {
+			t.Fatal("name")
+		}
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.Intn(8)
+			reqs := make([]int, n)
+			for i := range reqs {
+				reqs[i] = rng.Intn(40) - 2 // occasionally negative
+			}
+			// Must not panic.
+			checked.Allot(reqs, 1+rng.Intn(64))
+		}
+	}
+}
+
+type brokenSingle struct{ mode string }
+
+func (b brokenSingle) Grant(q, request int) int {
+	switch b.mode {
+	case "negative":
+		return -1
+	default:
+		return request + 1
+	}
+}
+func (brokenSingle) Name() string { return "broken" }
+
+func TestCheckedSingleCatchesViolations(t *testing.T) {
+	for _, mode := range []string{"negative", "greedy"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mode %s: violation not caught", mode)
+				}
+			}()
+			CheckedSingle{Inner: brokenSingle{mode: mode}}.Grant(1, 5)
+		}()
+	}
+}
+
+func TestCheckedSinglePassesValid(t *testing.T) {
+	c := CheckedSingle{Inner: NewUnconstrained(16)}
+	if c.Grant(1, 8) != 8 || c.Grant(1, 100) != 16 {
+		t.Fatal("pass-through broken")
+	}
+	if c.Grant(1, -5) != 0 {
+		t.Fatal("negative request handling")
+	}
+	if !strings.Contains(c.Name(), "checked") {
+		t.Fatal("name")
+	}
+}

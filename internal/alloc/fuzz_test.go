@@ -1,0 +1,54 @@
+package alloc
+
+import "testing"
+
+// FuzzDEQ feeds arbitrary request vectors to dynamic equi-partitioning and
+// asserts the allocator contracts (conservative, within capacity, fair,
+// non-reserving). Seeds run in the normal suite; use -fuzz to explore.
+func FuzzDEQ(f *testing.F) {
+	f.Add([]byte{5, 0, 200, 3}, uint8(16))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{255, 255, 255}, uint8(2))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, uint8(4))
+	f.Fuzz(func(t *testing.T, reqBytes []byte, pRaw uint8) {
+		if len(reqBytes) > 64 {
+			return
+		}
+		p := int(pRaw%200) + 1
+		reqs := make([]int, len(reqBytes))
+		totalReq := 0
+		for i, b := range reqBytes {
+			reqs[i] = int(b)
+			totalReq += reqs[i]
+		}
+		got := DynamicEquiPartition{}.Allot(reqs, p)
+		if len(got) != len(reqs) {
+			t.Fatalf("shape: %d != %d", len(got), len(reqs))
+		}
+		total := 0
+		for i, a := range got {
+			if a < 0 || a > reqs[i] {
+				t.Fatalf("job %d: allotment %d vs request %d", i, a, reqs[i])
+			}
+			total += a
+		}
+		if total > p {
+			t.Fatalf("oversubscribed: %d > %d", total, p)
+		}
+		if total < p && total < totalReq {
+			// Idle processors while someone wants more: only legal when
+			// there are more unsatisfied jobs than leftover processors
+			// cannot happen for DEQ — it hands out 1 each first.
+			unsat := 0
+			for i, a := range got {
+				if a < reqs[i] {
+					unsat++
+				}
+			}
+			if unsat > 0 {
+				t.Fatalf("reserving: %d of %d used, %d unsatisfied (reqs %v)",
+					total, p, unsat, reqs)
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package alloc
+
+// RoundRobin is the rotating-priority allocator of He, Hsu and Leiserson
+// [11]: at each quantum, jobs are served in a rotating order; each job in
+// turn receives min(its request, what is left). Over consecutive quanta the
+// rotation equalises access, making the allocator fair in the long run while
+// staying conservative and non-reserving within each quantum.
+//
+// RoundRobin is stateful (the rotation offset advances on every Allot call),
+// so use one instance per simulation.
+type RoundRobin struct {
+	offset int
+}
+
+// NewRoundRobin returns a fresh rotating allocator.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Allot implements Multi.
+func (r *RoundRobin) Allot(requests []int, p int) []int {
+	n := len(requests)
+	out := make([]int, n)
+	if n == 0 || p <= 0 {
+		return out
+	}
+	start := r.offset % n
+	r.offset++
+	remaining := p
+	for k := 0; k < n && remaining > 0; k++ {
+		i := (start + k) % n
+		want := requests[i]
+		if want <= 0 {
+			continue
+		}
+		grant := want
+		if grant > remaining {
+			grant = remaining
+		}
+		out[i] = grant
+		remaining -= grant
+	}
+	return out
+}
+
+// Name implements Multi.
+func (*RoundRobin) Name() string { return "round-robin" }

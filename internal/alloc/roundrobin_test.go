@@ -1,0 +1,116 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abg/internal/xrand"
+)
+
+func TestRoundRobinBasic(t *testing.T) {
+	rr := NewRoundRobin()
+	// Quantum 1: priority starts at job 0.
+	got := rr.Allot([]int{6, 6, 6}, 10)
+	if got[0] != 6 || got[1] != 4 || got[2] != 0 {
+		t.Fatalf("q1: %v", got)
+	}
+	// Quantum 2: priority rotates to job 1.
+	got = rr.Allot([]int{6, 6, 6}, 10)
+	if got[1] != 6 || got[2] != 4 || got[0] != 0 {
+		t.Fatalf("q2: %v", got)
+	}
+	// Quantum 3: job 2 first.
+	got = rr.Allot([]int{6, 6, 6}, 10)
+	if got[2] != 6 || got[0] != 4 {
+		t.Fatalf("q3: %v", got)
+	}
+}
+
+func TestRoundRobinSkipsZeroRequests(t *testing.T) {
+	rr := NewRoundRobin()
+	got := rr.Allot([]int{0, 5, 0, 5}, 7)
+	if got[0] != 0 || got[2] != 0 {
+		t.Fatalf("zero requests granted: %v", got)
+	}
+	if got[1]+got[3] != 7 {
+		t.Fatalf("capacity unused: %v", got)
+	}
+}
+
+func TestRoundRobinAllSatisfiedWhenAmple(t *testing.T) {
+	rr := NewRoundRobin()
+	got := rr.Allot([]int{3, 1, 4}, 100)
+	want := []int{3, 1, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestRoundRobinEdges(t *testing.T) {
+	rr := NewRoundRobin()
+	if out := rr.Allot(nil, 10); len(out) != 0 {
+		t.Fatal("empty requests")
+	}
+	if out := rr.Allot([]int{3}, 0); out[0] != 0 {
+		t.Fatal("zero processors")
+	}
+	if rr.Name() == "" {
+		t.Fatal("name")
+	}
+}
+
+func TestRoundRobinInvariants(t *testing.T) {
+	rr := NewRoundRobin()
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(10)
+		p := 1 + rng.Intn(100)
+		reqs := make([]int, n)
+		totalReq := 0
+		for i := range reqs {
+			reqs[i] = rng.Intn(50)
+			totalReq += reqs[i]
+		}
+		got := rr.Allot(reqs, p)
+		total := 0
+		for i, a := range got {
+			if a < 0 || a > reqs[i] {
+				return false // conservative
+			}
+			total += a
+		}
+		if total > p {
+			return false // capacity
+		}
+		// Non-reserving: capacity idles only if all requests are satisfied.
+		if total < p && total < totalReq {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundRobinLongRunFairness: with identical persistent requests, the
+// rotation spreads grants evenly over many quanta.
+func TestRoundRobinLongRunFairness(t *testing.T) {
+	rr := NewRoundRobin()
+	const n, p, rounds = 4, 6, 400
+	totals := make([]int, n)
+	reqs := []int{6, 6, 6, 6}
+	for q := 0; q < rounds; q++ {
+		got := rr.Allot(reqs, p)
+		for i, a := range got {
+			totals[i] += a
+		}
+	}
+	want := rounds * p / n
+	for i, tot := range totals {
+		if tot < want*9/10 || tot > want*11/10 {
+			t.Fatalf("job %d total %d, want ~%d (totals %v)", i, tot, want, totals)
+		}
+	}
+}

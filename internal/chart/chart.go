@@ -1,0 +1,126 @@
+// Package chart renders (x, y) series as ASCII line charts — a terminal
+// approximation of the paper's figures, used by cmd/abgexp's -chart flag.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"abg/internal/trace"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Options controls the plot layout.
+type Options struct {
+	// Width and Height are the plot area size in characters (defaults 64×16).
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// XLabel / YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+func (o *Options) normalize() {
+	if o.Width < 8 {
+		o.Width = 64
+	}
+	if o.Height < 4 {
+		o.Height = 16
+	}
+}
+
+// Render draws the series into w. Series share the axes; each gets a marker
+// listed in the legend. Empty or degenerate input renders a note instead of
+// a chart.
+func Render(w io.Writer, series []trace.Series, opts Options) error {
+	opts.normalize()
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintln(w, "(no finite points to plot)")
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(opts.Width-1))
+			row := opts.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(opts.Height-1))
+			if grid[row][col] == ' ' || grid[row][col] == m {
+				grid[row][col] = m
+			} else {
+				grid[row][col] = '&' // collision of different series
+			}
+		}
+	}
+	if opts.Title != "" {
+		if _, err := fmt.Fprintln(w, opts.Title); err != nil {
+			return err
+		}
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, strings.TrimRight(string(line), " ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth),
+		strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.4g%*.4g  %s\n", strings.Repeat(" ", labelWidth),
+		opts.Width/2, xmin, opts.Width-opts.Width/2, xmax, opts.XLabel); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if opts.YLabel != "" {
+		legend = append(legend, "y: "+opts.YLabel)
+	}
+	_, err := fmt.Fprintln(w, strings.Join(legend, "   "))
+	return err
+}

@@ -1,0 +1,93 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abg/internal/trace"
+)
+
+func TestRenderBasic(t *testing.T) {
+	series := []trace.Series{
+		{Name: "abg", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 3, 4}},
+		{Name: "agreedy", X: []float64{0, 1, 2, 3}, Y: []float64{4, 3, 2, 1}},
+	}
+	var sb strings.Builder
+	if err := Render(&sb, series, Options{Title: "test chart", XLabel: "quantum"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"test chart", "* abg", "o agreedy", "quantum", "+--"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// Both markers appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	// Y-axis labels present.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "1") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no finite points") {
+		t.Fatalf("empty note missing: %q", sb.String())
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	series := []trace.Series{{
+		Name: "s",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{1, math.NaN(), math.Inf(1)},
+	}}
+	var sb strings.Builder
+	if err := Render(&sb, series, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatal("NaN leaked into the plot")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x or y) must not divide by zero.
+	series := []trace.Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}}
+	var sb strings.Builder
+	if err := Render(&sb, series, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("point missing")
+	}
+}
+
+func TestCollisionMarker(t *testing.T) {
+	series := []trace.Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{0, 1}},
+	}
+	var sb strings.Builder
+	if err := Render(&sb, series, Options{Width: 10, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "&") {
+		t.Fatalf("collision marker missing:\n%s", sb.String())
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{Width: 1, Height: 1}
+	o.normalize()
+	if o.Width < 8 || o.Height < 4 {
+		t.Fatalf("normalize failed: %+v", o)
+	}
+}

@@ -1,0 +1,423 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"abg/internal/xrand"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPolyBasics(t *testing.T) {
+	p := NewPoly(1, 2, 3) // 1 + 2z + 3z²
+	if p.Degree() != 2 {
+		t.Fatalf("degree = %d", p.Degree())
+	}
+	if got := p.Eval(2); got != 1+4+12 {
+		t.Fatalf("eval = %v", got)
+	}
+	if NewPoly(5).Degree() != 0 {
+		t.Fatal("constant degree")
+	}
+	if NewPoly(1, 2, 0, 0).Degree() != 1 {
+		t.Fatal("trailing zeros not trimmed")
+	}
+	if !NewPoly(0, 0).IsZero() {
+		t.Fatal("IsZero")
+	}
+	if NewPoly(0).String() != "0" {
+		t.Fatalf("zero string = %q", NewPoly(0).String())
+	}
+	if s := NewPoly(-1, 1).String(); !strings.Contains(s, "z") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestPolyAddMul(t *testing.T) {
+	p := NewPoly(1, 1)  // 1 + z
+	q := NewPoly(-1, 1) // −1 + z
+	sum := p.Add(q)
+	if sum.Degree() != 1 || sum.Eval(3) != 6 {
+		t.Fatalf("sum = %v", sum)
+	}
+	prod := p.Mul(q) // z² − 1
+	if prod.Degree() != 2 || prod.Eval(3) != 8 {
+		t.Fatalf("prod = %v", prod)
+	}
+	if !p.Mul(NewPoly(0)).IsZero() {
+		t.Fatal("mul by zero")
+	}
+	if got := p.Scale(2).Eval(1); got != 4 {
+		t.Fatalf("scale = %v", got)
+	}
+}
+
+func TestPolyAddCancellation(t *testing.T) {
+	p := NewPoly(1, 2, 3)
+	q := NewPoly(0, 0, -3)
+	if d := p.Add(q).Degree(); d != 1 {
+		t.Fatalf("cancelled degree = %d", d)
+	}
+}
+
+func TestPolyEvalProperty(t *testing.T) {
+	// (p·q)(x) == p(x)·q(x) and (p+q)(x) == p(x)+q(x).
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		mk := func() Poly {
+			n := 1 + rng.Intn(5)
+			cs := make([]float64, n)
+			for i := range cs {
+				cs[i] = rng.FloatRange(-3, 3)
+			}
+			return NewPoly(cs...)
+		}
+		p, q := mk(), mk()
+		x := rng.FloatRange(-2, 2)
+		return approx(p.Mul(q).Eval(x), p.Eval(x)*q.Eval(x), 1e-6) &&
+			approx(p.Add(q).Eval(x), p.Eval(x)+q.Eval(x), 1e-9)
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsLinearQuadratic(t *testing.T) {
+	// z − 0.5 → root 0.5
+	r := NewPoly(-0.5, 1).Roots()
+	if len(r) != 1 || cmplx.Abs(r[0]-complex(0.5, 0)) > 1e-9 {
+		t.Fatalf("roots = %v", r)
+	}
+	// (z−2)(z+3) = z² + z − 6
+	r = NewPoly(-6, 1, 1).Roots()
+	if len(r) != 2 {
+		t.Fatalf("roots = %v", r)
+	}
+	got := []float64{real(r[0]), real(r[1])}
+	sort.Float64s(got)
+	if !approx(got[0], -3, 1e-8) || !approx(got[1], 2, 1e-8) {
+		t.Fatalf("roots = %v", r)
+	}
+}
+
+func TestRootsComplexPair(t *testing.T) {
+	// z² + 1 → ±i
+	r := NewPoly(1, 0, 1).Roots()
+	if len(r) != 2 {
+		t.Fatalf("roots = %v", r)
+	}
+	for _, z := range r {
+		if !approx(cmplx.Abs(z), 1, 1e-8) || !approx(math.Abs(imag(z)), 1, 1e-8) {
+			t.Fatalf("roots = %v", r)
+		}
+	}
+}
+
+func TestRootsReconstruction(t *testing.T) {
+	// Build a polynomial from known roots and recover them.
+	want := []float64{0.2, -0.7, 0.9, 0.3}
+	p := NewPoly(1)
+	for _, root := range want {
+		p = p.Mul(NewPoly(-root, 1))
+	}
+	got := p.Roots()
+	if len(got) != len(want) {
+		t.Fatalf("got %d roots", len(got))
+	}
+	reals := make([]float64, len(got))
+	for i, z := range got {
+		if math.Abs(imag(z)) > 1e-7 {
+			t.Fatalf("unexpected complex root %v", z)
+		}
+		reals[i] = real(z)
+	}
+	sort.Float64s(reals)
+	sorted := append([]float64(nil), want...)
+	sort.Float64s(sorted)
+	for i := range sorted {
+		if !approx(reals[i], sorted[i], 1e-6) {
+			t.Fatalf("roots %v, want %v", reals, sorted)
+		}
+	}
+}
+
+func TestRootsEdges(t *testing.T) {
+	if NewPoly(7).Roots() != nil {
+		t.Fatal("constant should have no roots")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero polynomial")
+		}
+	}()
+	NewPoly(0).Roots()
+}
+
+func TestTFValidation(t *testing.T) {
+	if _, err := NewTF(NewPoly(1), NewPoly(0)); err == nil {
+		t.Fatal("zero denominator accepted")
+	}
+	if _, err := NewTF(NewPoly(0, 0, 1), NewPoly(1, 1)); err == nil {
+		t.Fatal("non-causal accepted")
+	}
+	if _, err := NewTF(NewPoly(1), NewPoly(-1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTF should panic")
+		}
+	}()
+	MustTF(NewPoly(1), NewPoly(0))
+}
+
+func TestClosedLoopABGEquation2(t *testing.T) {
+	// T(z) = (K/A)/(z − (1−K/A)): check pole and DC gain for K=(1−r)A.
+	const A, r = 12.0, 0.2
+	k := SelfTuningGain(r, A)
+	cl := ClosedLoopABG(k, A)
+	poles := cl.Poles()
+	if len(poles) != 1 {
+		t.Fatalf("poles = %v", poles)
+	}
+	if !approx(real(poles[0]), r, 1e-9) || !approx(imag(poles[0]), 0, 1e-9) {
+		t.Fatalf("pole = %v, want %v", poles[0], r)
+	}
+	if !approx(cl.DCGain(), 1, 1e-12) {
+		t.Fatalf("DC gain = %v", cl.DCGain())
+	}
+	if !cl.BIBOStable() {
+		t.Fatal("closed loop should be stable")
+	}
+}
+
+// TestTheorem1 verifies all four claims of Theorem 1 on the closed-loop
+// step response for a sweep of convergence rates: BIBO stability, zero
+// steady-state error, zero overshoot, and convergence rate r.
+func TestTheorem1(t *testing.T) {
+	for _, r := range []float64{0, 0.1, 0.2, 0.5, 0.8, 0.95} {
+		for _, A := range []float64{1, 5, 42, 128} {
+			k := SelfTuningGain(r, A)
+			cl := ClosedLoopABG(k, A)
+			if !cl.BIBOStable() {
+				t.Fatalf("r=%v A=%v: unstable", r, A)
+			}
+			resp := cl.StepResponse(300)
+			m := Measure(resp, 1) // reference is the unit step
+			if !m.Bounded {
+				t.Fatalf("r=%v A=%v: unbounded response", r, A)
+			}
+			if m.SteadyStateError > 1e-6 {
+				t.Fatalf("r=%v A=%v: steady-state error %v", r, A, m.SteadyStateError)
+			}
+			if m.MaxOvershoot > 1e-9 {
+				t.Fatalf("r=%v A=%v: overshoot %v", r, A, m.MaxOvershoot)
+			}
+			if r > 0 {
+				if math.IsNaN(m.ConvergenceRate) || math.Abs(m.ConvergenceRate-r) > 1e-3 {
+					t.Fatalf("r=%v A=%v: measured rate %v", r, A, m.ConvergenceRate)
+				}
+			}
+		}
+	}
+}
+
+func TestUnstableGainDetected(t *testing.T) {
+	// K > 2A puts the pole below −1: unstable.
+	cl := ClosedLoopABG(25, 10)
+	if cl.BIBOStable() {
+		t.Fatal("should be unstable")
+	}
+	resp := cl.StepResponse(200)
+	m := Measure(resp, 1)
+	if m.MaxOvershoot <= 0 {
+		t.Fatal("unstable loop should overshoot")
+	}
+	// Diverging oscillation: error grows.
+	if math.Abs(resp[len(resp)-1]-1) < math.Abs(resp[10]-1) {
+		t.Fatal("response should diverge")
+	}
+}
+
+func TestIntegratorAndGain(t *testing.T) {
+	g := Integrator(2)
+	if g.Num.Eval(0) != 2 || g.Den.Eval(1) != 0 {
+		t.Fatalf("integrator = %v", g)
+	}
+	s := Gain(0.25)
+	if s.DCGain() != 0.25 {
+		t.Fatalf("gain DC = %v", s.DCGain())
+	}
+	if !strings.Contains(g.String(), "/") {
+		t.Fatal("String broken")
+	}
+}
+
+func TestSeriesAndFeedback(t *testing.T) {
+	// Open loop K/(z−1) · 1/A; closed loop must match Equation 2 by
+	// simulation.
+	const K, A = 3.0, 7.0
+	cl := Feedback(Integrator(K), Gain(1/A))
+	direct := MustTF(NewPoly(K/A), NewPoly(-(1-K/A), 1))
+	r1 := cl.StepResponse(50)
+	r2 := direct.StepResponse(50)
+	for i := range r1 {
+		if !approx(r1[i], r2[i], 1e-9) {
+			t.Fatalf("step %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestDCGainInfinite(t *testing.T) {
+	if !math.IsInf(Integrator(1).DCGain(), 1) {
+		t.Fatal("integrator DC gain should be +Inf")
+	}
+}
+
+func TestSimulateFirstOrderKnown(t *testing.T) {
+	// y[k] = p·y[k−1] + (1−p)·u[k−1] with p=0.5: step response
+	// 0, 0.5, 0.75, 0.875, ...
+	tf := MustTF(NewPoly(0.5), NewPoly(-0.5, 1))
+	y := tf.StepResponse(5)
+	want := []float64{0.5, 0.75, 0.875, 0.9375, 0.96875}
+	// Realization detail: with Num degree 0 and Den degree 1 the input acts
+	// with one step delay — y[0] uses u[−1]=0.
+	wantShifted := []float64{0, want[0], want[1], want[2], want[3]}
+	for i := range y {
+		if !approx(y[i], wantShifted[i], 1e-12) {
+			t.Fatalf("y = %v, want %v", y, wantShifted)
+		}
+	}
+}
+
+func TestSelfTuningGainPanics(t *testing.T) {
+	for _, r := range []float64{-0.1, 1.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("r=%v: expected panic", r)
+				}
+			}()
+			SelfTuningGain(r, 5)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for A<=0")
+		}
+	}()
+	ClosedLoopABG(1, 0)
+}
+
+func TestMeasureMetrics(t *testing.T) {
+	series := []float64{0, 5, 12, 11, 10, 10, 10}
+	m := Measure(series, 10)
+	if m.SteadyStateError != 0 {
+		t.Fatalf("sse = %v", m.SteadyStateError)
+	}
+	if !approx(m.MaxOvershoot, 2, 1e-12) {
+		t.Fatalf("overshoot = %v", m.MaxOvershoot)
+	}
+	if m.SettlingTime != 4 {
+		t.Fatalf("settling = %d", m.SettlingTime)
+	}
+	if !m.Bounded {
+		t.Fatal("bounded")
+	}
+}
+
+func TestMeasureUnbounded(t *testing.T) {
+	m := Measure([]float64{1, math.Inf(1)}, 10)
+	if m.Bounded {
+		t.Fatal("should be unbounded")
+	}
+	m = Measure([]float64{1, math.NaN()}, 10)
+	if m.Bounded {
+		t.Fatal("NaN should be unbounded")
+	}
+}
+
+func TestMeasureNeverSettles(t *testing.T) {
+	m := Measure([]float64{0, 20, 0, 20}, 10)
+	if m.SettlingTime != 4 {
+		t.Fatalf("settling = %d", m.SettlingTime)
+	}
+}
+
+func TestMeasurePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Measure(nil, 1)
+}
+
+func TestOscillationCount(t *testing.T) {
+	if got := OscillationCount([]float64{5, 15, 5, 15, 5}, 10); got != 4 {
+		t.Fatalf("crossings = %d", got)
+	}
+	if got := OscillationCount([]float64{1, 2, 3}, 10); got != 0 {
+		t.Fatalf("crossings = %d", got)
+	}
+	// Touching the target exactly does not count as a crossing by itself.
+	if got := OscillationCount([]float64{5, 10, 5}, 10); got != 0 {
+		t.Fatalf("crossings = %d", got)
+	}
+	if got := OscillationCount([]float64{5, 10, 15}, 10); got != 1 {
+		t.Fatalf("crossings = %d", got)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if tv := TotalVariation([]float64{1, 3, 2}); !approx(tv, 3, 1e-12) {
+		t.Fatalf("tv = %v", tv)
+	}
+	if tv := TotalVariation([]float64{7}); tv != 0 {
+		t.Fatalf("tv = %v", tv)
+	}
+}
+
+// TestStepResponseMatchesClosedForm: the closed-loop response to a unit step
+// is 1 − pᵏ for pole p = 1 − K/A (up to the one-step input delay).
+func TestStepResponseMatchesClosedForm(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r := rng.Float64() * 0.9
+		A := 1 + rng.Float64()*100
+		cl := ClosedLoopABG(SelfTuningGain(r, A), A)
+		resp := cl.StepResponse(40)
+		for k := 1; k < len(resp); k++ {
+			want := 1 - math.Pow(r, float64(k))
+			if !approx(resp[k], want, 1e-7) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRootsDegree6(b *testing.B) {
+	p := NewPoly(1)
+	for _, root := range []float64{0.1, -0.3, 0.5, -0.7, 0.9, 0.2} {
+		p = p.Mul(NewPoly(-root, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Roots()
+	}
+}
+
+func BenchmarkStepResponse(b *testing.B) {
+	cl := ClosedLoopABG(SelfTuningGain(0.2, 50), 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.StepResponse(256)
+	}
+}

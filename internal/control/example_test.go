@@ -1,0 +1,31 @@
+package control_test
+
+import (
+	"fmt"
+
+	"abg/internal/control"
+)
+
+// ExampleClosedLoopABG derives the paper's Equation (2) closed loop for a
+// job of parallelism A=20 and convergence rate r=0.25, and checks Theorem 1
+// analytically: the single pole sits at r, the DC gain is 1 (zero
+// steady-state error), and the step response carries no overshoot.
+func ExampleClosedLoopABG() {
+	const A, r = 20.0, 0.25
+	k := control.SelfTuningGain(r, A) // K = (1−r)·A
+	cl := control.ClosedLoopABG(k, A)
+
+	fmt.Printf("gain K = %.0f\n", k)
+	fmt.Printf("pole = %.2f\n", real(cl.Poles()[0]))
+	fmt.Printf("stable = %v\n", cl.BIBOStable())
+	fmt.Printf("dc gain = %.0f\n", cl.DCGain())
+
+	m := control.Measure(cl.StepResponse(100), 1)
+	fmt.Printf("overshoot = %.0f, settles by quantum %d\n", m.MaxOvershoot, m.SettlingTime)
+	// Output:
+	// gain K = 15
+	// pole = 0.25
+	// stable = true
+	// dc gain = 1
+	// overshoot = 0, settles by quantum 3
+}

@@ -1,0 +1,130 @@
+package control
+
+import "math"
+
+// ResponseMetrics are the transient and steady-state criteria of paper §4,
+// measured on a response series (a step response of a transfer function or
+// a request trace recorded by the simulator) against a target value.
+type ResponseMetrics struct {
+	// Target is the reference the series should converge to (the job's
+	// average parallelism for request traces, the DC gain × step for step
+	// responses).
+	Target float64
+	// Final is the last value of the series.
+	Final float64
+	// SteadyStateError is |Target − Final|.
+	SteadyStateError float64
+	// MaxOvershoot is the largest excursion above the target,
+	// max(series) − Target, clamped at 0 (paper: "maximal difference between
+	// the transient processor request and its steady-state value").
+	MaxOvershoot float64
+	// ConvergenceRate estimates r = |e(q+1)|/|e(q)| averaged geometrically
+	// over the samples where the error is meaningfully nonzero. NaN when the
+	// series converges immediately (no measurable decay).
+	ConvergenceRate float64
+	// SettlingTime is the first index after which the series stays within
+	// 2% of the target (or within 0.02 absolute when the target is 0);
+	// len(series) if it never settles.
+	SettlingTime int
+	// Bounded reports whether every sample is finite.
+	Bounded bool
+}
+
+// Measure computes ResponseMetrics for the series against the target.
+// It panics on an empty series.
+func Measure(series []float64, target float64) ResponseMetrics {
+	if len(series) == 0 {
+		panic("control: Measure on empty series")
+	}
+	m := ResponseMetrics{Target: target, Bounded: true}
+	m.Final = series[len(series)-1]
+	m.SteadyStateError = math.Abs(target - m.Final)
+	maxVal := math.Inf(-1)
+	for _, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			m.Bounded = false
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if over := maxVal - target; over > 0 {
+		m.MaxOvershoot = over
+	}
+	m.ConvergenceRate = estimateRate(series, target)
+	m.SettlingTime = settlingTime(series, target)
+	return m
+}
+
+func estimateRate(series []float64, target float64) float64 {
+	// Geometric mean of consecutive error ratios while the error is
+	// significant relative to the target scale.
+	scale := math.Abs(target)
+	if scale == 0 {
+		scale = 1
+	}
+	sumLog := 0.0
+	n := 0
+	for i := 1; i < len(series); i++ {
+		e0 := math.Abs(series[i-1] - target)
+		e1 := math.Abs(series[i] - target)
+		if e0 < 1e-9*scale || e1 < 1e-12*scale {
+			continue
+		}
+		sumLog += math.Log(e1 / e0)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sumLog / float64(n))
+}
+
+func settlingTime(series []float64, target float64) int {
+	tol := 0.02 * math.Abs(target)
+	if tol == 0 {
+		tol = 0.02
+	}
+	settled := len(series)
+	for i := len(series) - 1; i >= 0; i-- {
+		if math.Abs(series[i]-target) > tol {
+			break
+		}
+		settled = i
+	}
+	return settled
+}
+
+// OscillationCount returns how many times the series crosses the target —
+// the quantitative form of the "request instability" shown in Figure 1.
+func OscillationCount(series []float64, target float64) int {
+	crossings := 0
+	prevSign := 0
+	for _, v := range series {
+		var sign int
+		switch {
+		case v > target:
+			sign = 1
+		case v < target:
+			sign = -1
+		}
+		if sign != 0 && prevSign != 0 && sign != prevSign {
+			crossings++
+		}
+		if sign != 0 {
+			prevSign = sign
+		}
+	}
+	return crossings
+}
+
+// TotalVariation returns Σ|x(q+1) − x(q)|, a measure of how much the request
+// signal moves — fluctuating requests force processor reallocations, the
+// practical cost the paper attributes to A-Greedy's instability.
+func TotalVariation(series []float64) float64 {
+	tv := 0.0
+	for i := 1; i < len(series); i++ {
+		tv += math.Abs(series[i] - series[i-1])
+	}
+	return tv
+}

@@ -1,0 +1,154 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// TF is a discrete-time transfer function H(z) = Num(z)/Den(z). The system
+// must be causal (deg Num ≤ deg Den) and proper (nonzero denominator).
+type TF struct {
+	Num, Den Poly
+}
+
+// NewTF validates and returns a transfer function.
+func NewTF(num, den Poly) (TF, error) {
+	num, den = num.trim(), den.trim()
+	if den.IsZero() {
+		return TF{}, fmt.Errorf("control: zero denominator")
+	}
+	if num.Degree() > den.Degree() {
+		return TF{}, fmt.Errorf("control: non-causal transfer function (deg num %d > deg den %d)",
+			num.Degree(), den.Degree())
+	}
+	return TF{Num: num, Den: den}, nil
+}
+
+// MustTF is NewTF that panics on error.
+func MustTF(num, den Poly) TF {
+	tf, err := NewTF(num, den)
+	if err != nil {
+		panic(err)
+	}
+	return tf
+}
+
+// Integrator returns the integral controller G(z) = K/(z−1) used by
+// A-Control (paper §4).
+func Integrator(k float64) TF {
+	return MustTF(NewPoly(k), NewPoly(-1, 1))
+}
+
+// Gain returns the static plant S(z) = 1/A modelling B-Greedy's measurement
+// y(q) = d(q)/A (paper §4).
+func Gain(g float64) TF {
+	return MustTF(NewPoly(g), NewPoly(1))
+}
+
+// Series returns the cascade G·H.
+func Series(g, h TF) TF {
+	return MustTF(g.Num.Mul(h.Num), g.Den.Mul(h.Den))
+}
+
+// Feedback returns the unity-feedback closed loop T = GH/(1+GH) for the
+// forward path G·H — the structure of Figure 3.
+func Feedback(g, h TF) TF {
+	open := Series(g, h)
+	num := open.Num
+	den := open.Den.Add(open.Num)
+	return MustTF(num, den)
+}
+
+// ClosedLoopABG returns the paper's closed-loop system (Equation 2) for
+// controller gain K and job parallelism A:
+//
+//	T(z) = (K/A) / (z − (1 − K/A)).
+func ClosedLoopABG(k, a float64) TF {
+	if a <= 0 {
+		panic("control: parallelism must be positive")
+	}
+	return Feedback(Integrator(k), Gain(1/a))
+}
+
+// SelfTuningGain returns Theorem 1's gain K = (1−r)·A for convergence rate
+// r ∈ [0,1) and measured parallelism A.
+func SelfTuningGain(r, a float64) float64 {
+	if r < 0 || r >= 1 {
+		panic("control: convergence rate outside [0,1)")
+	}
+	return (1 - r) * a
+}
+
+// Poles returns the poles of the transfer function.
+func (t TF) Poles() []complex128 { return t.Den.Roots() }
+
+// BIBOStable reports whether all poles lie strictly inside the unit circle
+// (allowing a tiny numerical tolerance at the boundary counts as unstable).
+func (t TF) BIBOStable() bool {
+	for _, p := range t.Poles() {
+		if cmplx.Abs(p) >= 1-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// DCGain returns H(1), the steady-state gain for step inputs. It returns
+// +Inf when z = 1 is a pole.
+func (t TF) DCGain() float64 {
+	den := t.Den.Eval(1)
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return t.Num.Eval(1) / den
+}
+
+// Simulate runs the difference equation of H against the input sequence u
+// and returns the output sequence y of the same length, assuming zero
+// initial conditions. With Den = d0 + d1 z + … + dn zⁿ and
+// Num = c0 + … + cm z^m (m ≤ n), the realization is
+//
+//	dn·y[k] = Σ ci·u[k−(n−i)] − Σ_{i<n} di·y[k−(n−i)].
+func (t TF) Simulate(u []float64) []float64 {
+	n := t.Den.Degree()
+	dn := t.Den[n]
+	y := make([]float64, len(u))
+	uAt := func(k int) float64 {
+		if k < 0 {
+			return 0
+		}
+		return u[k]
+	}
+	for k := range u {
+		acc := 0.0
+		for i, c := range t.Num {
+			acc += c * uAt(k-(n-i))
+		}
+		for i := 0; i < n; i++ {
+			d := t.Den[i]
+			if d == 0 {
+				continue
+			}
+			if idx := k - (n - i); idx >= 0 {
+				acc -= d * y[idx]
+			}
+		}
+		y[k] = acc / dn
+	}
+	return y
+}
+
+// StepResponse returns the response to a unit step of length n.
+func (t TF) StepResponse(n int) []float64 {
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	return t.Simulate(u)
+}
+
+// String renders the transfer function.
+func (t TF) String() string {
+	return fmt.Sprintf("(%s) / (%s)", t.Num, t.Den)
+}

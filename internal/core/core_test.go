@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"abg/internal/alloc"
+	"abg/internal/dag"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+	"abg/internal/sim"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+var testMachine = Machine{P: 64, L: 100}
+
+func TestMachineValidate(t *testing.T) {
+	if testMachine.Validate() != nil {
+		t.Fatal("valid machine rejected")
+	}
+	for _, m := range []Machine{{P: 0, L: 10}, {P: 10, L: 0}} {
+		if m.Validate() == nil {
+			t.Fatalf("invalid machine accepted: %+v", m)
+		}
+	}
+}
+
+func TestSchedulerIdentities(t *testing.T) {
+	abg := NewABG(0.2)
+	if !strings.Contains(abg.Name(), "ABG") {
+		t.Fatalf("name = %q", abg.Name())
+	}
+	if abg.TaskScheduler().Order() != job.BreadthFirst {
+		t.Fatal("ABG must use breadth-first scheduling")
+	}
+	ag := NewAGreedy(2, 0.8)
+	if !strings.Contains(ag.Name(), "A-Greedy") {
+		t.Fatalf("name = %q", ag.Name())
+	}
+	if ag.TaskScheduler().Order() != job.FIFO {
+		t.Fatal("A-Greedy must use plain greedy scheduling")
+	}
+	// Fresh policies per job.
+	if abg.NewPolicy() == abg.NewPolicy() {
+		t.Fatal("policies must be per-job instances")
+	}
+	custom := NewCustom("x", feedback.StaticFactory(4), sched.DepthGreedy())
+	if custom.Name() != "x" {
+		t.Fatal("custom name")
+	}
+}
+
+func TestRunJobAndAnalyze(t *testing.T) {
+	p := workload.ConstantJob(8, 10, testMachine.L)
+	res, err := RunJob(testMachine, NewABG(0.2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work != p.Work() {
+		t.Fatal("work mismatch")
+	}
+	rep, err := Analyze(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant-parallelism job: C_L comes from the initial 1→8 transition.
+	if rep.TransitionFactor < 7 || rep.TransitionFactor > 9 {
+		t.Fatalf("C_L = %v", rep.TransitionFactor)
+	}
+	if rep.Requests.MaxOvershoot > 1e-9 {
+		t.Fatalf("ABG overshoot %v", rep.Requests.MaxOvershoot)
+	}
+	if rep.NormalizedRuntime < 1 {
+		t.Fatalf("normalized runtime %v < 1", rep.NormalizedRuntime)
+	}
+	if rep.Speedup <= 1 {
+		t.Fatalf("speedup %v", rep.Speedup)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Fatalf("utilization %v", rep.Utilization)
+	}
+}
+
+func TestRunJobInvalidMachine(t *testing.T) {
+	p := workload.ConstantJob(2, 1, 10)
+	if _, err := RunJob(Machine{}, NewABG(0.2), p); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+	if _, err := RunDag(Machine{}, NewABG(0.2), dag.Chain(3)); err == nil {
+		t.Fatal("invalid machine accepted (dag)")
+	}
+	if _, err := RunJobConstrained(Machine{}, NewABG(0.2), p, func(int) int { return 1 }); err == nil {
+		t.Fatal("invalid machine accepted (constrained)")
+	}
+	if _, err := RunJobSet(Machine{}, NewABG(0.2), []Submission{{Profile: p}}); err == nil {
+		t.Fatal("invalid machine accepted (set)")
+	}
+}
+
+func TestRunDag(t *testing.T) {
+	g := dag.ForkJoin([]dag.Phase{{SerialLen: 2, Width: 6, Height: 20}, {SerialLen: 1}})
+	res, err := RunDag(testMachine, NewABG(0.2), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work != g.Work() {
+		t.Fatal("dag work mismatch")
+	}
+	if res.Runtime < int64(g.CriticalPathLen()) {
+		t.Fatal("runtime below critical path")
+	}
+}
+
+func TestRunJobConstrained(t *testing.T) {
+	p := workload.ConstantJob(16, 5, testMachine.L)
+	res, err := RunJobConstrained(testMachine, NewABG(0), p, func(q int) int { return 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range res.Quanta {
+		if q.Allotment > 4 {
+			t.Fatalf("allotment %d exceeds availability", q.Allotment)
+		}
+	}
+}
+
+func TestRunJobSet(t *testing.T) {
+	rng := xrand.New(3)
+	var subs []Submission
+	for i := 0; i < 4; i++ {
+		subs = append(subs, Submission{
+			Name:    "job",
+			Profile: workload.GenJob(rng, workload.ScaledJobParams(6, testMachine.L, 4)),
+		})
+	}
+	res, err := RunJobSet(testMachine, NewABG(0.2), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 4 || res.Makespan == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	for _, j := range res.Jobs {
+		if j.Completion == 0 {
+			t.Fatal("job did not complete")
+		}
+	}
+	// Explicit allocator variant.
+	res2, err := RunJobSetWith(testMachine, NewAGreedy(2, 0.8), subs2(rng), alloc.EqualSplit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Jobs) != 2 {
+		t.Fatal("allocator variant broken")
+	}
+}
+
+func subs2(rng *xrand.RNG) []Submission {
+	var subs []Submission
+	for i := 0; i < 2; i++ {
+		subs = append(subs, Submission{
+			Profile: workload.GenJob(rng, workload.ScaledJobParams(4, 100, 8)),
+		})
+	}
+	return subs
+}
+
+func TestRunJobSetNilProfile(t *testing.T) {
+	if _, err := RunJobSet(testMachine, NewABG(0.2), []Submission{{}}); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+}
+
+func TestAnalyzeNeedsTrace(t *testing.T) {
+	if _, err := Analyze(sim.SingleResult{}); err == nil {
+		t.Fatal("trace-less result accepted")
+	}
+}
+
+// TestABGBeatsAGreedyEndToEnd is the paper's headline through the public API.
+func TestABGBeatsAGreedyEndToEnd(t *testing.T) {
+	// Phase lengths must stay at the paper-relative scale (0.5–2 quanta per
+	// phase, shrink=1): ABG's advantage over A-Greedy shrinks and can even
+	// reverse when phases are much shorter than a quantum, because the
+	// measured average parallelism then mixes phases (see EXPERIMENTS.md).
+	rng := xrand.New(11)
+	var abgWaste, agWaste float64
+	for i := 0; i < 8; i++ {
+		p := workload.GenJob(rng, workload.ScaledJobParams(20, testMachine.L, 1))
+		ra, err := RunJob(testMachine, NewABG(0.2), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := RunJob(testMachine, NewAGreedy(2, 0.8), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abgWaste += ra.NormalizedWaste()
+		agWaste += rg.NormalizedWaste()
+	}
+	if abgWaste >= agWaste {
+		t.Fatalf("ABG waste %v >= A-Greedy %v", abgWaste, agWaste)
+	}
+}

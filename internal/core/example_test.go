@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"abg/internal/core"
+	"abg/internal/job"
+)
+
+// ExampleRunJob schedules a constant-parallelism job with ABG and shows the
+// adaptive controller converging onto the job's parallelism with no
+// overshoot (Theorem 1 in action).
+func ExampleRunJob() {
+	machine := core.Machine{P: 32, L: 100}
+	profile := job.Constant(10, 800) // parallelism 10 for ~8 quanta
+
+	res, err := core.RunJob(machine, core.NewABG(0.2), profile)
+	if err != nil {
+		panic(err)
+	}
+	for _, q := range res.Quanta[:5] {
+		fmt.Printf("quantum %d: request %.2f\n", q.Index, q.Request)
+	}
+	rep, _ := core.Analyze(res)
+	fmt.Printf("overshoot: %.0f\n", rep.Requests.MaxOvershoot)
+	// Output:
+	// quantum 1: request 1.00
+	// quantum 2: request 8.20
+	// quantum 3: request 9.64
+	// quantum 4: request 9.93
+	// quantum 5: request 9.99
+	// overshoot: 0
+}
+
+// ExampleNewAGreedy shows the baseline's multiplicative-increase requests
+// climbing geometrically on the same job.
+func ExampleNewAGreedy() {
+	machine := core.Machine{P: 32, L: 100}
+	profile := job.Constant(10, 800)
+
+	res, err := core.RunJob(machine, core.NewAGreedy(2, 0.8), profile)
+	if err != nil {
+		panic(err)
+	}
+	for _, q := range res.Quanta[:5] {
+		fmt.Printf("quantum %d: request %.0f\n", q.Index, q.Request)
+	}
+	// Output:
+	// quantum 1: request 1
+	// quantum 2: request 2
+	// quantum 3: request 4
+	// quantum 4: request 8
+	// quantum 5: request 16
+}

@@ -1,0 +1,137 @@
+package dag
+
+import "abg/internal/xrand"
+
+// Chain builds a serial chain of n unit tasks.
+func Chain(n int) *Graph {
+	if n < 1 {
+		panic("dag: Chain needs n >= 1")
+	}
+	g := New()
+	ids := g.AddNodes(n)
+	for i := 1; i < n; i++ {
+		g.MustEdge(ids[i-1], ids[i])
+	}
+	return g.MustFinalize()
+}
+
+// Phase describes one serial+parallel section of a fork-join job: SerialLen
+// serial tasks followed by Width independent chains of Height tasks each.
+// Any field may be zero to omit that part (but not all of them).
+type Phase struct {
+	SerialLen int
+	Width     int
+	Height    int
+}
+
+// ForkJoin builds a data-parallel fork-join dag: for each phase, a serial
+// chain of SerialLen tasks, a fork to Width chains of Height tasks, and a
+// join into the next phase. This is the job family of the paper's §7
+// simulations, in explicit dag form.
+func ForkJoin(phases []Phase) *Graph {
+	g := New()
+	var tails []NodeID // nodes the next task(s) must depend on
+	link := func(id NodeID) {
+		for _, t := range tails {
+			g.MustEdge(t, id)
+		}
+	}
+	for _, ph := range phases {
+		for i := 0; i < ph.SerialLen; i++ {
+			id := g.AddNode()
+			link(id)
+			tails = []NodeID{id}
+		}
+		if ph.Width > 0 && ph.Height > 0 {
+			var newTails []NodeID
+			for c := 0; c < ph.Width; c++ {
+				var prev NodeID = -1
+				for h := 0; h < ph.Height; h++ {
+					id := g.AddNode()
+					if h == 0 {
+						link(id)
+					} else {
+						g.MustEdge(prev, id)
+					}
+					prev = id
+				}
+				newTails = append(newTails, prev)
+			}
+			tails = newTails
+		}
+	}
+	if g.NumNodes() == 0 {
+		panic("dag: ForkJoin with no tasks")
+	}
+	return g.MustFinalize()
+}
+
+// Diamond builds a source, width parallel tasks, and a sink.
+func Diamond(width int) *Graph {
+	if width < 1 {
+		panic("dag: Diamond needs width >= 1")
+	}
+	return ForkJoin([]Phase{{SerialLen: 1, Width: width, Height: 1}, {SerialLen: 1}})
+}
+
+// LayeredRandom builds a random layered dag: layer i has widths[i] nodes;
+// every node in layer i>0 gets one uniformly random parent in layer i−1
+// (guaranteeing the level structure) plus each other possible edge from the
+// previous layer independently with probability extraEdgeProb.
+func LayeredRandom(rng *xrand.RNG, widths []int, extraEdgeProb float64) *Graph {
+	if len(widths) == 0 {
+		panic("dag: LayeredRandom needs at least one layer")
+	}
+	g := New()
+	var prev []NodeID
+	for li, w := range widths {
+		if w < 1 {
+			panic("dag: LayeredRandom layer width must be >= 1")
+		}
+		cur := g.AddNodes(w)
+		if li > 0 {
+			for _, v := range cur {
+				mandatory := prev[rng.Intn(len(prev))]
+				g.MustEdge(mandatory, v)
+				for _, u := range prev {
+					if u != mandatory && rng.Float64() < extraEdgeProb {
+						g.MustEdge(u, v)
+					}
+				}
+			}
+		}
+		prev = cur
+	}
+	return g.MustFinalize()
+}
+
+// FromProfileWidths builds a level-synchronized dag (complete bipartite
+// dependencies between consecutive levels) with the given level widths.
+// Useful to cross-check the profile executor against the dag executor.
+func FromProfileWidths(widths []int) *Graph {
+	if len(widths) == 0 {
+		panic("dag: FromProfileWidths needs at least one level")
+	}
+	g := New()
+	var prev []NodeID
+	for _, w := range widths {
+		cur := g.AddNodes(w)
+		for _, v := range cur {
+			for _, u := range prev {
+				g.MustEdge(u, v)
+			}
+		}
+		prev = cur
+	}
+	return g.MustFinalize()
+}
+
+// IndependentChains builds width chains of height tasks with a common fork
+// source, matching job.Constant's dependency structure apart from the extra
+// source node.
+func IndependentChains(width, height int) *Graph {
+	if width < 1 || height < 1 {
+		panic("dag: IndependentChains needs width, height >= 1")
+	}
+	return ForkJoin([]Phase{{Width: width, Height: height}})
+}

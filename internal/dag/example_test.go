@@ -1,0 +1,30 @@
+package dag_test
+
+import (
+	"fmt"
+
+	"abg/internal/dag"
+	"abg/internal/job"
+)
+
+// ExampleForkJoin builds a data-parallel fork-join job and executes it
+// greedily, showing the breadth-first scheduler finishing in exactly the
+// critical-path length once enough processors are available.
+func ExampleForkJoin() {
+	g := dag.ForkJoin([]dag.Phase{
+		{SerialLen: 2, Width: 4, Height: 3}, // setup, then 4 chains of 3
+		{SerialLen: 1},                      // join
+	})
+	fmt.Printf("T1=%d T∞=%d\n", g.Work(), g.CriticalPathLen())
+
+	r := dag.NewRun(g)
+	steps := 0
+	for !r.Done() {
+		r.Step(8, job.BreadthFirst, nil)
+		steps++
+	}
+	fmt.Printf("finished in %d steps with 8 processors\n", steps)
+	// Output:
+	// T1=15 T∞=6
+	// finished in 6 steps with 8 processors
+}

@@ -1,0 +1,37 @@
+package dag
+
+import "abg/internal/job"
+
+// FromProfile materialises a profile job as an explicit dag with identical
+// scheduling semantics:
+//
+//   - a Sync level's tasks depend on every task of the previous level;
+//   - a Chain level's task i depends on task i of the previous level.
+//
+// The resulting graph has the same work, critical path, level widths, and —
+// under breadth-first greedy execution — the same schedule as the profile,
+// which the cross-executor equivalence tests rely on. Mind the size: a Sync
+// level of width a following one of width b creates a·b edges.
+func FromProfile(p *job.Profile) *Graph {
+	g := New()
+	var prev []NodeID
+	for l := 0; l < p.CriticalPathLen(); l++ {
+		level := p.Level(l)
+		cur := g.AddNodes(level.Width)
+		if l > 0 {
+			if level.Kind == job.Chain {
+				for i, v := range cur {
+					g.MustEdge(prev[i], v)
+				}
+			} else {
+				for _, v := range cur {
+					for _, u := range prev {
+						g.MustEdge(u, v)
+					}
+				}
+			}
+		}
+		prev = cur
+	}
+	return g.MustFinalize()
+}

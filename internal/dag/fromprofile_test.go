@@ -1,0 +1,68 @@
+package dag
+
+import (
+	"testing"
+
+	"abg/internal/job"
+	"abg/internal/xrand"
+)
+
+func TestFromProfileStructure(t *testing.T) {
+	p := job.MustProfile([]job.Level{
+		{Width: 1, Kind: job.Sync},
+		{Width: 4, Kind: job.Sync},
+		{Width: 4, Kind: job.Chain},
+		{Width: 2, Kind: job.Sync},
+	})
+	g := FromProfile(p)
+	if g.Work() != p.Work() || g.CriticalPathLen() != p.CriticalPathLen() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			g.Work(), g.CriticalPathLen(), p.Work(), p.CriticalPathLen())
+	}
+	for l := 0; l < p.CriticalPathLen(); l++ {
+		if g.LevelWidth(l) != p.Level(l).Width {
+			t.Fatalf("level %d width %d != %d", l, g.LevelWidth(l), p.Level(l).Width)
+		}
+	}
+	// Edges: 1·4 (sync) + 4 (chain) + 4·2 (sync) = 16.
+	if g.NumEdges() != 16 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+// TestFromProfileScheduleEquivalence: breadth-first execution of the
+// materialised dag matches the profile executor step for step on random
+// fork-join-like profiles (mixing Sync and Chain levels).
+func TestFromProfileScheduleEquivalence(t *testing.T) {
+	rng := xrand.New(29)
+	for trial := 0; trial < 25; trial++ {
+		nLevels := rng.IntRange(1, 12)
+		levels := make([]job.Level, nLevels)
+		for i := range levels {
+			if i > 0 && rng.Float64() < 0.5 {
+				levels[i] = job.Level{Width: levels[i-1].Width, Kind: job.Chain}
+			} else {
+				levels[i] = job.Level{Width: rng.IntRange(1, 7), Kind: job.Sync}
+			}
+		}
+		profile := job.MustProfile(levels)
+		graph := FromProfile(profile)
+		pr := job.NewRun(profile)
+		dr := NewRun(graph)
+		procs := rng.IntRange(1, 9)
+		var buf []job.LevelCount
+		step := 0
+		for !pr.Done() || !dr.Done() {
+			np, _ := pr.Step(procs, job.BreadthFirst, buf[:0])
+			nd, _ := dr.Step(procs, job.BreadthFirst, buf[:0])
+			if np != nd {
+				t.Fatalf("trial %d step %d: profile %d vs dag %d (levels %+v, p=%d)",
+					trial, step, np, nd, levels, procs)
+			}
+			step++
+			if step > 1<<20 {
+				t.Fatal("runaway")
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package dag
+
+import "abg/internal/job"
+
+// Run executes a finalized Graph step by step, non-clairvoyantly: only tasks
+// whose parents completed in earlier steps are eligible. It implements
+// job.Instance.
+type Run struct {
+	g         *Graph
+	predsLeft []int32
+	executed  []bool
+
+	// Ready tasks are kept both in per-level buckets (for BreadthFirst /
+	// DepthFirst selection) and in a FIFO queue. Entries are removed lazily:
+	// executed nodes found in the other structure are skipped.
+	buckets   [][]NodeID
+	fifo      []NodeID
+	fifoHead  int
+	lowestRdy int
+	highRdy   int
+	ready     int
+	done      int64
+}
+
+// NewRun returns a fresh executable instance of g, which must be finalized.
+func NewRun(g *Graph) *Run {
+	g.checkFinalized()
+	r := &Run{
+		g:         g,
+		predsLeft: make([]int32, g.NumNodes()),
+		executed:  make([]bool, g.NumNodes()),
+		buckets:   make([][]NodeID, g.CriticalPathLen()),
+		lowestRdy: 0,
+		highRdy:   0,
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		r.predsLeft[v] = int32(len(g.preds[v]))
+		if r.predsLeft[v] == 0 {
+			r.push(NodeID(v))
+		}
+	}
+	return r
+}
+
+func (r *Run) push(v NodeID) {
+	l := int(r.g.level[v])
+	r.buckets[l] = append(r.buckets[l], v)
+	r.fifo = append(r.fifo, v)
+	if l > r.highRdy {
+		r.highRdy = l
+	}
+	if l < r.lowestRdy {
+		r.lowestRdy = l
+	}
+	r.ready++
+}
+
+// Done implements job.Instance.
+func (r *Run) Done() bool { return r.done == r.g.Work() }
+
+// Remaining implements job.Instance.
+func (r *Run) Remaining() int64 { return r.g.Work() - r.done }
+
+// TotalWork implements job.Instance.
+func (r *Run) TotalWork() int64 { return r.g.Work() }
+
+// CriticalPathLen implements job.Instance.
+func (r *Run) CriticalPathLen() int { return r.g.CriticalPathLen() }
+
+// LevelWidth implements job.Instance.
+func (r *Run) LevelWidth(level int) int { return r.g.LevelWidth(level) }
+
+// Graph returns the graph this run executes.
+func (r *Run) Graph() *Graph { return r.g }
+
+// ReadyCount returns the number of currently ready (executable) tasks —
+// the job's instantaneous parallelism.
+func (r *Run) ReadyCount() int { return r.ready }
+
+// Step implements job.Instance.
+func (r *Run) Step(p int, order job.Order, buf []job.LevelCount) (int, []job.LevelCount) {
+	if p <= 0 || r.Done() {
+		return 0, buf
+	}
+	// Select victims first; enabling successors happens after selection so
+	// tasks never chain within a single step.
+	victims := make([]NodeID, 0, min(p, r.ready))
+	switch order {
+	case job.FIFO:
+		for len(victims) < p && r.fifoHead < len(r.fifo) {
+			v := r.fifo[r.fifoHead]
+			r.fifoHead++
+			if !r.executed[v] {
+				victims = append(victims, v)
+				r.executed[v] = true
+			}
+		}
+	case job.DepthFirst:
+		for l := r.highRdy; l >= 0 && len(victims) < p; l-- {
+			victims = r.drainBucket(l, p, victims)
+		}
+	default: // BreadthFirst
+		for l := r.lowestRdy; l < len(r.buckets) && len(victims) < p; l++ {
+			victims = r.drainBucket(l, p, victims)
+		}
+	}
+	// Record completions and enable successors.
+	start := len(buf)
+	counts := map[int]int{}
+	for _, v := range victims {
+		counts[int(r.g.level[v])]++
+		for _, w := range r.g.succs[v] {
+			r.predsLeft[w]--
+			if r.predsLeft[w] == 0 {
+				r.push(w)
+			}
+		}
+	}
+	for l, c := range counts {
+		buf = append(buf, job.LevelCount{Level: l, Count: c})
+	}
+	// Deterministic output order helps tests; counts is tiny.
+	sortLevelCounts(buf[start:])
+	r.ready -= len(victims)
+	r.done += int64(len(victims))
+	r.advancePointers()
+	return len(victims), buf
+}
+
+// drainBucket moves up to p−len(victims) unexecuted nodes out of bucket l.
+func (r *Run) drainBucket(l, p int, victims []NodeID) []NodeID {
+	b := r.buckets[l]
+	i := 0
+	for i < len(b) && len(victims) < p {
+		v := b[i]
+		i++
+		if !r.executed[v] {
+			victims = append(victims, v)
+			r.executed[v] = true
+		}
+	}
+	r.buckets[l] = b[i:]
+	return victims
+}
+
+func (r *Run) advancePointers() {
+	for r.lowestRdy < len(r.buckets) && r.bucketEmpty(r.lowestRdy) {
+		r.lowestRdy++
+	}
+	for r.highRdy > 0 && r.bucketEmpty(r.highRdy) {
+		r.highRdy--
+	}
+	if r.lowestRdy > r.highRdy {
+		r.lowestRdy = r.highRdy
+	}
+}
+
+func (r *Run) bucketEmpty(l int) bool {
+	// Trim the executed prefix so repeated scans stay amortized O(1) even
+	// when FIFO selection leaves stale entries behind.
+	b := r.buckets[l]
+	i := 0
+	for i < len(b) && r.executed[b[i]] {
+		i++
+	}
+	r.buckets[l] = b[i:]
+	return len(r.buckets[l]) == 0
+}
+
+func sortLevelCounts(lcs []job.LevelCount) {
+	// Insertion sort: buf segments are tiny (levels touched in one step).
+	for i := 1; i < len(lcs); i++ {
+		for j := i; j > 0 && lcs[j].Level < lcs[j-1].Level; j-- {
+			lcs[j], lcs[j-1] = lcs[j-1], lcs[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ job.Instance = (*Run)(nil)

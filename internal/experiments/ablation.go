@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abg/internal/alloc"
+	"abg/internal/control"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+	"abg/internal/sim"
+	"abg/internal/stats"
+	"abg/internal/table"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// GainAblationResult contrasts the adaptive controller with fixed-gain
+// integral controllers on a job whose parallelism steps between two levels —
+// the design-choice justification for retuning K(q) = (1−r)·A(q−1) every
+// quantum.
+type GainAblationResult struct {
+	// Policies names each contender.
+	Policies []string
+	// Runtime / Waste are T/T∞ and W/T1 per contender.
+	Runtime, Waste []float64
+	// TotalVariation measures request movement per contender.
+	TotalVariation []float64
+	// Overshoot is the maximum request excursion above the job's maximum
+	// parallelism per contender (the adaptive controller's is ~0).
+	Overshoot []float64
+}
+
+// GainAblation runs A-Control against fixed-gain controllers on a
+// step-parallelism job (low ↔ high parallelism phases).
+func GainAblation(cfg Config, low, high, hold, cycles int) (GainAblationResult, error) {
+	widths := make([]int, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		widths = append(widths, low, high)
+	}
+	profile := workload.StepWidths(widths, hold)
+	allocator := alloc.NewUnconstrained(cfg.P)
+	contenders := []struct {
+		name string
+		pol  feedback.Policy
+	}{
+		{"A-Control(r=0.2)", feedback.NewAControl(0.2)},
+		{fmt.Sprintf("FixedGain(K=%d)", low), feedback.NewFixedGain(float64(low))},
+		{fmt.Sprintf("FixedGain(K=%d)", high), feedback.NewFixedGain(float64(high))},
+		{fmt.Sprintf("FixedGain(K=%d)", 2*high), feedback.NewFixedGain(float64(2 * high))},
+	}
+	var res GainAblationResult
+	maxPar := float64(high)
+	for _, c := range contenders {
+		out, err := sim.RunSingle(job.NewRun(profile), c.pol, cfg.abgScheduler(),
+			allocator, sim.SingleConfig{L: cfg.L})
+		if err != nil {
+			return res, err
+		}
+		reqs := out.Requests()
+		over := 0.0
+		for _, d := range reqs {
+			if d-maxPar > over {
+				over = d - maxPar
+			}
+		}
+		res.Policies = append(res.Policies, c.name)
+		res.Runtime = append(res.Runtime, out.NormalizedRuntime())
+		res.Waste = append(res.Waste, out.NormalizedWaste())
+		res.TotalVariation = append(res.TotalVariation, control.TotalVariation(reqs))
+		res.Overshoot = append(res.Overshoot, over)
+	}
+	return res, nil
+}
+
+// Render writes the gain ablation as a table.
+func (r GainAblationResult) Render(w io.Writer) error {
+	tb := table.New("policy", "T/T∞", "W/T1", "request variation", "overshoot")
+	for i, name := range r.Policies {
+		tb.AddRowf(name, r.Runtime[i], r.Waste[i], r.TotalVariation[i], r.Overshoot[i])
+	}
+	return tb.Render(w)
+}
+
+// OrderAblationResult contrasts execution orders under identical feedback:
+// breadth-first (B-Greedy) vs depth-first vs FIFO. The breadth-first order
+// both finishes no later and measures parallelism more faithfully.
+type OrderAblationResult struct {
+	Orders  []string
+	Runtime []float64 // mean T/T∞
+	Waste   []float64 // mean W/T1
+}
+
+// OrderAblation runs A-Control with each execution order over a population
+// of random fork-join jobs.
+func OrderAblation(cfg Config, cls []int, jobsPerCL, shrink int) (OrderAblationResult, error) {
+	if len(cls) == 0 || jobsPerCL < 1 {
+		return OrderAblationResult{}, fmt.Errorf("experiments: empty order ablation config")
+	}
+	root := xrand.New(cfg.Seed)
+	var profiles []*job.Profile
+	for _, cl := range cls {
+		for j := 0; j < jobsPerCL; j++ {
+			profiles = append(profiles, workload.GenJob(root, workload.ScaledJobParams(cl, cfg.L, shrink)))
+		}
+	}
+	allocator := alloc.NewUnconstrained(cfg.P)
+	res := OrderAblationResult{}
+	for _, sc := range []sched.Scheduler{sched.BGreedy(), sched.DepthGreedy(), sched.Greedy()} {
+		var rt, ws stats.Welford
+		for _, p := range profiles {
+			out, err := sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), sc,
+				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+			if err != nil {
+				return res, err
+			}
+			rt.Add(out.NormalizedRuntime())
+			ws.Add(out.NormalizedWaste())
+		}
+		res.Orders = append(res.Orders, sc.Name())
+		res.Runtime = append(res.Runtime, rt.Mean())
+		res.Waste = append(res.Waste, ws.Mean())
+	}
+	return res, nil
+}
+
+// Render writes the order ablation as a table.
+func (r OrderAblationResult) Render(w io.Writer) error {
+	tb := table.New("scheduler", "T/T∞", "W/T1")
+	for i, name := range r.Orders {
+		tb.AddRowf(name, r.Runtime[i], r.Waste[i])
+	}
+	return tb.Render(w)
+}
+
+// QuantumLengthResult sweeps the quantum length L — the "dynamically
+// adjusting the quantum length" future-work axis of §9, explored statically.
+type QuantumLengthResult struct {
+	Ls      []int
+	Runtime []float64 // mean T/T∞
+	Waste   []float64 // mean W/T1
+	Quanta  []float64 // mean number of scheduling quanta (feedback actions)
+}
+
+// QuantumLengthAblation runs ABG over the same jobs at different L.
+// Phase lengths are held at the paper-relative scale of the *reference* L so
+// the jobs themselves do not change across the sweep.
+func QuantumLengthAblation(cfg Config, ls []int, cls []int, jobsPerCL, shrink int) (QuantumLengthResult, error) {
+	if len(ls) == 0 || len(cls) == 0 || jobsPerCL < 1 {
+		return QuantumLengthResult{}, fmt.Errorf("experiments: empty quantum-length config")
+	}
+	root := xrand.New(cfg.Seed)
+	var profiles []*job.Profile
+	for _, cl := range cls {
+		for j := 0; j < jobsPerCL; j++ {
+			profiles = append(profiles, workload.GenJob(root, workload.ScaledJobParams(cl, cfg.L, shrink)))
+		}
+	}
+	allocator := alloc.NewUnconstrained(cfg.P)
+	res := QuantumLengthResult{Ls: ls}
+	for _, l := range ls {
+		var rt, ws, nq stats.Welford
+		for _, p := range profiles {
+			out, err := sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),
+				allocator, sim.SingleConfig{L: l, DropTrace: true})
+			if err != nil {
+				return res, err
+			}
+			rt.Add(out.NormalizedRuntime())
+			ws.Add(out.NormalizedWaste())
+			nq.Add(float64(out.NumQuanta))
+		}
+		res.Runtime = append(res.Runtime, rt.Mean())
+		res.Waste = append(res.Waste, ws.Mean())
+		res.Quanta = append(res.Quanta, nq.Mean())
+	}
+	return res, nil
+}
+
+// Render writes the quantum-length sweep as a table.
+func (r QuantumLengthResult) Render(w io.Writer) error {
+	tb := table.New("L", "T/T∞", "W/T1", "quanta")
+	for i, l := range r.Ls {
+		tb.AddRowf(l, r.Runtime[i], r.Waste[i], r.Quanta[i])
+	}
+	return tb.Render(w)
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abg/internal/alloc"
+	"abg/internal/job"
+	"abg/internal/parallel"
+	"abg/internal/sim"
+	"abg/internal/stats"
+	"abg/internal/table"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// AdaptiveLResult compares fixed quantum lengths against the dynamic
+// quantum-length engine (paper §9 future work, implemented in
+// sim.RunSingleAdaptiveL): short quanta track parallelism changes closely
+// but cost one feedback action (request calculation + potential
+// reallocation) per quantum; long quanta amortise those but respond slowly.
+// The adaptive engine should get close to the short-quantum waste with far
+// fewer feedback actions.
+type AdaptiveLResult struct {
+	Modes   []string
+	Runtime []float64 // mean T/T∞
+	Waste   []float64 // mean W/T1
+	Quanta  []float64 // mean number of feedback actions
+}
+
+// AdaptiveQuantum runs ABG with fixed L = lMin, fixed L = lMax, and the
+// adaptive engine bounded by [lMin, lMax], over random fork-join jobs.
+func AdaptiveQuantum(cfg Config, cls []int, jobsPerCL, shrink, lMin, lMax int) (AdaptiveLResult, error) {
+	if len(cls) == 0 || jobsPerCL < 1 || lMin < 1 || lMax < lMin {
+		return AdaptiveLResult{}, fmt.Errorf("experiments: invalid adaptive-quantum config")
+	}
+	root := xrand.New(cfg.Seed)
+	var profiles []*job.Profile
+	for _, cl := range cls {
+		for j := 0; j < jobsPerCL; j++ {
+			profiles = append(profiles, workload.GenJob(root, workload.ScaledJobParams(cl, cfg.L, shrink)))
+		}
+	}
+	allocator := alloc.NewUnconstrained(cfg.P)
+	type mode struct {
+		name string
+		run  func(p *job.Profile) (sim.SingleResult, error)
+	}
+	modes := []mode{
+		{fmt.Sprintf("fixed L=%d", lMin), func(p *job.Profile) (sim.SingleResult, error) {
+			return sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),
+				allocator, sim.SingleConfig{L: lMin, DropTrace: true})
+		}},
+		{fmt.Sprintf("fixed L=%d", lMax), func(p *job.Profile) (sim.SingleResult, error) {
+			return sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),
+				allocator, sim.SingleConfig{L: lMax, DropTrace: true})
+		}},
+		{fmt.Sprintf("adaptive [%d,%d]", lMin, lMax), func(p *job.Profile) (sim.SingleResult, error) {
+			return sim.RunSingleAdaptiveL(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),
+				allocator, sim.AdaptiveLConfig{LMin: lMin, LMax: lMax})
+		}},
+	}
+	res := AdaptiveLResult{}
+	for _, m := range modes {
+		type out struct{ rt, ws, nq float64 }
+		outs, err := parallel.Map(len(profiles), func(i int) (out, error) {
+			r, err := m.run(profiles[i])
+			if err != nil {
+				return out{}, err
+			}
+			return out{r.NormalizedRuntime(), r.NormalizedWaste(), float64(r.NumQuanta)}, nil
+		})
+		if err != nil {
+			return res, err
+		}
+		var rt, ws, nq stats.Welford
+		for _, o := range outs {
+			rt.Add(o.rt)
+			ws.Add(o.ws)
+			nq.Add(o.nq)
+		}
+		res.Modes = append(res.Modes, m.name)
+		res.Runtime = append(res.Runtime, rt.Mean())
+		res.Waste = append(res.Waste, ws.Mean())
+		res.Quanta = append(res.Quanta, nq.Mean())
+	}
+	return res, nil
+}
+
+// Render writes the comparison as a table.
+func (r AdaptiveLResult) Render(w io.Writer) error {
+	tb := table.New("quantum policy", "T/T∞", "W/T1", "feedback actions")
+	for i, name := range r.Modes {
+		tb.AddRowf(name, r.Runtime[i], r.Waste[i], r.Quanta[i])
+	}
+	return tb.Render(w)
+}

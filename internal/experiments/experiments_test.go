@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig returns a small, fast machine configuration for unit tests.
+func testConfig() Config {
+	return Config{Seed: 7, P: 64, L: 100, R: 0.2, Rho: 2, Delta: 0.8}
+}
+
+func TestTransientShapes(t *testing.T) {
+	res, err := Transient(testConfig(), 12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 1 on the simulated trace: ABG has no overshoot, near-zero
+	// steady-state error, and settles; A-Greedy oscillates forever with
+	// overshoot.
+	if res.ABG.MaxOvershoot > 1e-9 {
+		t.Fatalf("ABG overshoot %v", res.ABG.MaxOvershoot)
+	}
+	if res.ABG.SteadyStateError > 0.1 {
+		t.Fatalf("ABG steady-state error %v", res.ABG.SteadyStateError)
+	}
+	if res.AGreedy.MaxOvershoot <= 0 {
+		t.Fatal("A-Greedy should overshoot")
+	}
+	if res.AGreedyOscillations <= res.ABGOscillations {
+		t.Fatalf("A-Greedy oscillations %d not above ABG %d",
+			res.AGreedyOscillations, res.ABGOscillations)
+	}
+	if res.AGreedyTotalVariation <= res.ABGTotalVariation {
+		t.Fatalf("A-Greedy variation %v not above ABG %v",
+			res.AGreedyTotalVariation, res.ABGTotalVariation)
+	}
+	if len(res.ABGRequests) < 15 || len(res.AGreedyRequests) < 15 {
+		t.Fatal("traces too short")
+	}
+}
+
+func TestFig1AndFig4Run(t *testing.T) {
+	cfg := testConfig()
+	f1, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.AGreedyOscillations == 0 {
+		t.Fatal("Fig1 must show A-Greedy request instability")
+	}
+	f4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.ABGRequests) != 8 {
+		t.Fatalf("Fig4 should cover 8 quanta, got %d", len(f4.ABGRequests))
+	}
+	var sb strings.Builder
+	if err := f4.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"quantum", "overshoot", "A-Greedy"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Fatalf("render missing %q:\n%s", frag, sb.String())
+		}
+	}
+}
+
+func TestFig5SmallScale(t *testing.T) {
+	cfg := Fig5Config{
+		Config:    testConfig(),
+		CLValues:  []int{2, 10, 30},
+		JobsPerCL: 6,
+		Shrink:    2,
+	}
+	res, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.ABGRuntime < 1 {
+			t.Fatalf("C_L=%d: normalized runtime %v below 1 (optimal)", p.CL, p.ABGRuntime)
+		}
+		if p.ABGWaste < 0 || p.AGWaste < 0 {
+			t.Fatalf("negative waste at C_L=%d", p.CL)
+		}
+	}
+	// Headline claims, qualitatively: ABG no worse on average.
+	if res.WasteReduction <= 0 {
+		t.Fatalf("expected waste reduction > 0, got %v", res.WasteReduction)
+	}
+	if res.RuntimeImprovement < -0.05 {
+		t.Fatalf("ABG runtime should not be materially worse: %v", res.RuntimeImprovement)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "C_L") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig5Deterministic(t *testing.T) {
+	cfg := Fig5Config{Config: testConfig(), CLValues: []int{5}, JobsPerCL: 4, Shrink: 4}
+	a, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0] != b.Points[0] {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestFig5Validation(t *testing.T) {
+	if _, err := Fig5(Fig5Config{Config: testConfig()}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	d := Defaults()
+	if d.P != 128 || d.L != 1000 || d.R != 0.2 || d.Rho != 2 {
+		t.Fatalf("paper defaults wrong: %+v", d)
+	}
+	f5 := DefaultFig5Config()
+	if len(f5.CLValues) != 99 || f5.JobsPerCL != 50 {
+		t.Fatalf("Fig5 defaults wrong: %d CLs, %d jobs", len(f5.CLValues), f5.JobsPerCL)
+	}
+	f6 := DefaultFig6Config()
+	if f6.NumSets != 5000 {
+		t.Fatalf("Fig6 defaults wrong: %+v", f6)
+	}
+	rs := DefaultRSweepConfig()
+	if len(rs.Rs) == 0 {
+		t.Fatal("RSweep defaults empty")
+	}
+}
+
+func TestFig6SmallScale(t *testing.T) {
+	cfg := Fig6Config{
+		Config:  testConfig(),
+		NumSets: 10,
+		LoadMin: 0.3, LoadMax: 4,
+		Shrink: 8,
+		Bins:   4,
+	}
+	res, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 10 {
+		t.Fatalf("sets = %d", len(res.Sets))
+	}
+	for i, s := range res.Sets {
+		// Normalised metrics are ≥ 1 up to binning noise: the simulation can
+		// never beat the lower bound.
+		if s.ABGMakespan < 1-1e-9 || s.AGMakespan < 1-1e-9 {
+			t.Fatalf("set %d: normalized makespan below 1: %+v", i, s)
+		}
+		if s.ABGResponse < 1-1e-9 || s.AGResponse < 1-1e-9 {
+			t.Fatalf("set %d: normalized response below 1: %+v", i, s)
+		}
+		if s.Jobs < 1 {
+			t.Fatalf("set %d empty", i)
+		}
+	}
+	if len(res.ABGMakespanCurve) == 0 || len(res.ResponseRatioCurve) == 0 {
+		t.Fatal("curves empty")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Light load") {
+		t.Fatal("render missing summary")
+	}
+}
+
+func TestFig6Deterministic(t *testing.T) {
+	cfg := Fig6Config{Config: testConfig(), NumSets: 4, LoadMin: 0.5, LoadMax: 2, Shrink: 8, Bins: 2}
+	a, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sets {
+		if a.Sets[i] != b.Sets[i] {
+			t.Fatalf("nondeterministic set %d", i)
+		}
+	}
+}
+
+func TestFig6Validation(t *testing.T) {
+	if _, err := Fig6(Fig6Config{Config: testConfig()}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestRSweepShape(t *testing.T) {
+	cfg := RSweepConfig{
+		Config:       testConfig(),
+		Rs:           []float64{0, 0.2, 0.5, 0.9},
+		CLValues:     []int{5, 20},
+		JobsPerPoint: 3,
+		Shrink:       4,
+	}
+	res, err := RSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Footnote 3's shape: small r values are all close; r=0.9 degrades
+	// runtime (sluggish adaptation).
+	base := res.Points[0].Runtime
+	if res.Points[1].Runtime > base*1.2 {
+		t.Fatalf("r=0.2 deviates too much: %v vs %v", res.Points[1].Runtime, base)
+	}
+	if res.Points[3].Runtime < res.Points[0].Runtime {
+		t.Fatalf("r=0.9 should be slower than r=0: %v vs %v",
+			res.Points[3].Runtime, res.Points[0].Runtime)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RSweep(RSweepConfig{Config: testConfig()}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestGainAblation(t *testing.T) {
+	res, err := GainAblation(testConfig(), 2, 32, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 4 {
+		t.Fatalf("contenders = %d", len(res.Policies))
+	}
+	// The adaptive controller never overshoots the maximum parallelism; the
+	// over-aggressive fixed gain does.
+	if res.Overshoot[0] > 1e-9 {
+		t.Fatalf("A-Control overshoot %v", res.Overshoot[0])
+	}
+	if res.Overshoot[3] <= 0 {
+		t.Fatalf("FixedGain(2·high) should overshoot, got %v", res.Overshoot[3])
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderAblation(t *testing.T) {
+	res, err := OrderAblation(testConfig(), []int{5, 15}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Orders) != 3 {
+		t.Fatalf("orders = %d", len(res.Orders))
+	}
+	// B-Greedy (breadth-first) is never materially worse than depth-first.
+	if res.Runtime[0] > res.Runtime[1]*1.05 {
+		t.Fatalf("BF runtime %v worse than DF %v", res.Runtime[0], res.Runtime[1])
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OrderAblation(testConfig(), nil, 1, 1); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestQuantumLengthAblation(t *testing.T) {
+	res, err := QuantumLengthAblation(testConfig(), []int{25, 100, 400}, []int{10}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ls) != 3 || len(res.Runtime) != 3 {
+		t.Fatalf("result sizes wrong: %+v", res)
+	}
+	// Shorter quanta mean more feedback actions.
+	if !(res.Quanta[0] > res.Quanta[1] && res.Quanta[1] > res.Quanta[2]) {
+		t.Fatalf("quanta counts not decreasing in L: %v", res.Quanta)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QuantumLengthAblation(testConfig(), nil, nil, 0, 0); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestFig6ArbitraryReleases(t *testing.T) {
+	cfg := Fig6Config{
+		Config:  testConfig(),
+		NumSets: 6,
+		LoadMin: 0.5, LoadMax: 3,
+		Shrink: 8,
+		Bins:   3,
+		// Spread releases over roughly one set-duration.
+		ReleaseSpread: 0.5,
+	}
+	res, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Sets {
+		// Lower bounds stay lower bounds under releases.
+		if s.ABGMakespan < 1-1e-9 || s.ABGResponse < 1-1e-9 {
+			t.Fatalf("set %d beat a lower bound: %+v", i, s)
+		}
+	}
+	// Releases are part of the seeded determinism.
+	res2, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sets[0] != res2.Sets[0] {
+		t.Fatal("nondeterministic with releases")
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abg/internal/alloc"
+	"abg/internal/job"
+	"abg/internal/parallel"
+	"abg/internal/sim"
+	"abg/internal/stats"
+	"abg/internal/table"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// MixedResult is an extension experiment beyond the paper: job sets in
+// which half the jobs are driven by ABG and half by A-Greedy, space-sharing
+// one machine under dynamic equi-partitioning. It answers two questions the
+// homogeneous Figure 6 comparison cannot:
+//
+//  1. Does ABG's advantage persist when its competitors are A-Greedy jobs
+//     whose oscillating requests perturb the allocator?
+//  2. Do A-Greedy jobs free-ride on ABG jobs' accurate (modest) requests?
+//
+// Response times are normalised per job against that job's response in the
+// corresponding homogeneous run, so a value below 1 means the job got
+// faster in the mixed system.
+type MixedResult struct {
+	Sets int
+	// ABGInMixed is the mean over ABG-driven jobs of
+	// response(mixed) / response(all-ABG system).
+	ABGInMixed float64
+	// AGInMixed is the mean over A-Greedy-driven jobs of
+	// response(mixed) / response(all-A-Greedy system).
+	AGInMixed float64
+	// MixedVsABG / MixedVsAG compare the whole mixed system's mean response
+	// against the two homogeneous systems.
+	MixedVsABG, MixedVsAG float64
+}
+
+// Mixed runs the mixed-population experiment over numSets job sets of the
+// given target load.
+func Mixed(cfg Config, numSets int, targetLoad float64, shrink int) (MixedResult, error) {
+	if numSets < 1 || targetLoad <= 0 {
+		return MixedResult{}, fmt.Errorf("experiments: invalid mixed config")
+	}
+	if shrink < 1 {
+		shrink = 1
+	}
+	root := xrand.New(cfg.Seed)
+	seeds := make([]uint64, numSets)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	type outcome struct {
+		abgRatio, agRatio stats.Welford
+		mixedResp         float64
+		abgResp, agResp   float64
+		valid             bool
+	}
+	outs, err := parallel.Map(numSets, func(si int) (outcome, error) {
+		var oc outcome
+		rng := xrand.New(seeds[si])
+		profiles := workload.GenJobSet(rng, workload.SetParams{
+			TargetLoad: targetLoad, P: cfg.P, QuantumLen: cfg.L,
+			CLMin: 2, CLMax: 100, Shrink: shrink, MaxJobs: cfg.P,
+		})
+		if len(profiles) < 2 {
+			// Need at least one job per population; skip tiny sets.
+			return oc, nil
+		}
+		run := func(mode string) (sim.MultiResult, error) {
+			specs := make([]sim.JobSpec, len(profiles))
+			for i, p := range profiles {
+				abg := mode == "abg" || (mode == "mixed" && i%2 == 0)
+				spec := sim.JobSpec{Name: fmt.Sprintf("j%d", i), Inst: job.NewRun(p)}
+				if abg {
+					spec.Policy, spec.Sched = cfg.abgPolicy(), cfg.abgScheduler()
+				} else {
+					spec.Policy, spec.Sched = cfg.agreedyPolicy(), cfg.agreedyScheduler()
+				}
+				specs[i] = spec
+			}
+			return sim.RunMulti(specs, sim.MultiConfig{
+				P: cfg.P, L: cfg.L, Allocator: alloc.DynamicEquiPartition{},
+			})
+		}
+		allABG, err := run("abg")
+		if err != nil {
+			return oc, err
+		}
+		allAG, err := run("agreedy")
+		if err != nil {
+			return oc, err
+		}
+		mixed, err := run("mixed")
+		if err != nil {
+			return oc, err
+		}
+		for i := range profiles {
+			if i%2 == 0 { // ABG-driven in the mixed system
+				oc.abgRatio.Add(float64(mixed.Jobs[i].Response) / float64(allABG.Jobs[i].Response))
+			} else {
+				oc.agRatio.Add(float64(mixed.Jobs[i].Response) / float64(allAG.Jobs[i].Response))
+			}
+		}
+		oc.mixedResp = mixed.MeanResponse()
+		oc.abgResp = allABG.MeanResponse()
+		oc.agResp = allAG.MeanResponse()
+		oc.valid = true
+		return oc, nil
+	})
+	if err != nil {
+		return MixedResult{}, err
+	}
+	res := MixedResult{}
+	var abgRatio, agRatio, vsABG, vsAG stats.Welford
+	for i := range outs {
+		oc := &outs[i]
+		if !oc.valid {
+			continue
+		}
+		res.Sets++
+		abgRatio.Merge(&oc.abgRatio)
+		agRatio.Merge(&oc.agRatio)
+		vsABG.Add(oc.mixedResp / oc.abgResp)
+		vsAG.Add(oc.mixedResp / oc.agResp)
+	}
+	if res.Sets == 0 {
+		return res, fmt.Errorf("experiments: every mixed set degenerated to a single job")
+	}
+	res.ABGInMixed = abgRatio.Mean()
+	res.AGInMixed = agRatio.Mean()
+	res.MixedVsABG = vsABG.Mean()
+	res.MixedVsAG = vsAG.Mean()
+	return res, nil
+}
+
+// Render writes the mixed-population summary.
+func (r MixedResult) Render(w io.Writer) error {
+	tb := table.New("quantity", "mean ratio", "reading")
+	tb.AddRowf("ABG jobs: mixed / all-ABG", r.ABGInMixed, ">1 = A-Greedy neighbours hurt them")
+	tb.AddRowf("A-Greedy jobs: mixed / all-A-Greedy", r.AGInMixed, "<1 = they benefit from ABG neighbours")
+	tb.AddRowf("system: mixed / all-ABG", r.MixedVsABG, "")
+	tb.AddRowf("system: mixed / all-A-Greedy", r.MixedVsAG, "")
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\n(%d job sets)\n", r.Sets)
+	return err
+}

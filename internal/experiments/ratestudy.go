@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/metrics"
+	"abg/internal/parallel"
+	"abg/internal/sim"
+	"abg/internal/stats"
+	"abg/internal/table"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// RateStudyResult compares the paper's fixed convergence rate with the
+// historical-characterization rate selection its §6.2 remark assumes
+// (implemented as feedback.AutoRate). The paper itself notes that its
+// simulations use r=0.2 even though that violates the r < 1/C_L requirement
+// for C_L ≥ 5; this study quantifies the difference.
+type RateStudyResult struct {
+	Policies []string
+	Runtime  []float64 // mean T/T∞
+	Waste    []float64 // mean W/T1
+	// BoundApplicable is the fraction of jobs for which Theorem 4's waste
+	// bound applied (rate stayed below 1/C_L as measured from the trace).
+	BoundApplicable []float64
+	// BoundHeld is the fraction of jobs with applicable bounds whose
+	// measured waste respected the bound.
+	BoundHeld []float64
+}
+
+// RateStudy runs fixed-rate A-Control against AutoRate over high-C_L
+// fork-join jobs (widths where r=0.2 ≥ 1/C_L).
+func RateStudy(cfg Config, widths []int, jobsPerWidth, shrink int) (RateStudyResult, error) {
+	if len(widths) == 0 || jobsPerWidth < 1 {
+		return RateStudyResult{}, fmt.Errorf("experiments: empty rate study config")
+	}
+	if shrink < 1 {
+		shrink = 1
+	}
+	root := xrand.New(cfg.Seed)
+	var profiles []*job.Profile
+	for _, w := range widths {
+		for j := 0; j < jobsPerWidth; j++ {
+			profiles = append(profiles, workload.GenJob(root, workload.ScaledJobParams(w, cfg.L, shrink)))
+		}
+	}
+	allocator := alloc.NewUnconstrained(cfg.P)
+	type contender struct {
+		name    string
+		factory feedback.Factory
+		rateOf  func(pol feedback.Policy) float64
+	}
+	contenders := []contender{
+		{
+			name:    fmt.Sprintf("A-Control(r=%g fixed)", cfg.R),
+			factory: feedback.AControlFactory(cfg.R),
+			rateOf:  func(feedback.Policy) float64 { return cfg.R },
+		},
+		{
+			name:    "AutoRate(rMax=0.2,safety=0.5)",
+			factory: feedback.AutoRateFactory(0.2, 0.5),
+			rateOf: func(pol feedback.Policy) float64 {
+				return pol.(*feedback.AutoRate).Rate()
+			},
+		},
+	}
+	res := RateStudyResult{}
+	for _, cont := range contenders {
+		type out struct {
+			rt, ws           float64
+			applicable, held bool
+		}
+		outs, err := parallel.Map(len(profiles), func(i int) (out, error) {
+			pol := cont.factory()
+			r, err := sim.RunSingle(job.NewRun(profiles[i]), pol, cfg.abgScheduler(),
+				allocator, sim.SingleConfig{L: cfg.L})
+			if err != nil {
+				return out{}, err
+			}
+			o := out{rt: r.NormalizedRuntime(), ws: r.NormalizedWaste()}
+			cl := metrics.TransitionFactorFromQuanta(r.Quanta)
+			// The rate in force at the end of the run is the binding one for
+			// the bound check (AutoRate only ever decreases it).
+			rate := cont.rateOf(pol)
+			if rate < 1/cl {
+				o.applicable = true
+				bound := metrics.Theorem4WasteBound(r.Work, cl, rate, cfg.P, cfg.L)
+				o.held = float64(r.Waste+r.BoundaryWaste) <= bound
+			}
+			return o, nil
+		})
+		if err != nil {
+			return res, err
+		}
+		var rt, ws stats.Welford
+		applicable, held := 0, 0
+		for _, o := range outs {
+			rt.Add(o.rt)
+			ws.Add(o.ws)
+			if o.applicable {
+				applicable++
+				if o.held {
+					held++
+				}
+			}
+		}
+		res.Policies = append(res.Policies, cont.name)
+		res.Runtime = append(res.Runtime, rt.Mean())
+		res.Waste = append(res.Waste, ws.Mean())
+		res.BoundApplicable = append(res.BoundApplicable, float64(applicable)/float64(len(outs)))
+		if applicable > 0 {
+			res.BoundHeld = append(res.BoundHeld, float64(held)/float64(applicable))
+		} else {
+			res.BoundHeld = append(res.BoundHeld, 0)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the study as a table.
+func (r RateStudyResult) Render(w io.Writer) error {
+	tb := table.New("policy", "T/T∞", "W/T1", "Thm4 applicable", "Thm4 held")
+	for i, name := range r.Policies {
+		tb.AddRowf(name, r.Runtime[i], r.Waste[i],
+			fmt.Sprintf("%.0f%%", 100*r.BoundApplicable[i]),
+			fmt.Sprintf("%.0f%%", 100*r.BoundHeld[i]))
+	}
+	return tb.Render(w)
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sim"
+	"abg/internal/stats"
+	"abg/internal/table"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// RSweepConfig sizes the convergence-rate sensitivity experiment
+// (footnote 3: "the results do not deviate too much for all values of
+// convergence rate less than 0.6").
+type RSweepConfig struct {
+	Config
+	// Rs are the convergence rates to sweep.
+	Rs []float64
+	// CLValues are the transition factors tested at each rate.
+	CLValues []int
+	// JobsPerPoint is the number of random jobs per (r, C_L) pair.
+	JobsPerPoint int
+	// Shrink divides phase lengths.
+	Shrink int
+}
+
+// DefaultRSweepConfig returns a sweep of r from 0 to 0.8.
+func DefaultRSweepConfig() RSweepConfig {
+	return RSweepConfig{
+		Config:       Defaults(),
+		Rs:           []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+		CLValues:     []int{5, 20, 50, 100},
+		JobsPerPoint: 10,
+		Shrink:       2,
+	}
+}
+
+// RSweepPoint is the averaged outcome at one convergence rate.
+type RSweepPoint struct {
+	R       float64
+	Runtime float64 // mean T/T∞ over all jobs
+	Waste   float64 // mean W/T1 over all jobs
+}
+
+// RSweepResult is the sensitivity sweep outcome.
+type RSweepResult struct {
+	Points []RSweepPoint
+}
+
+// RSweep runs ABG with different convergence rates on the same set of jobs
+// and reports the averaged normalized runtime and waste per rate.
+func RSweep(cfg RSweepConfig) (RSweepResult, error) {
+	if len(cfg.Rs) == 0 || len(cfg.CLValues) == 0 || cfg.JobsPerPoint < 1 {
+		return RSweepResult{}, fmt.Errorf("experiments: empty RSweep config")
+	}
+	if cfg.Shrink < 1 {
+		cfg.Shrink = 1
+	}
+	allocator := alloc.NewUnconstrained(cfg.P)
+	// Draw the job population once so every r sees identical jobs.
+	root := xrand.New(cfg.Seed)
+	var profiles []*job.Profile
+	for _, cl := range cfg.CLValues {
+		for j := 0; j < cfg.JobsPerPoint; j++ {
+			profiles = append(profiles, workload.GenJob(root, workload.ScaledJobParams(cl, cfg.L, cfg.Shrink)))
+		}
+	}
+	res := RSweepResult{}
+	for _, r := range cfg.Rs {
+		var rt, ws stats.Welford
+		for _, p := range profiles {
+			out, err := sim.RunSingle(job.NewRun(p), feedback.NewAControl(r), cfg.abgScheduler(),
+				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+			if err != nil {
+				return res, err
+			}
+			rt.Add(out.NormalizedRuntime())
+			ws.Add(out.NormalizedWaste())
+		}
+		res.Points = append(res.Points, RSweepPoint{R: r, Runtime: rt.Mean(), Waste: ws.Mean()})
+	}
+	return res, nil
+}
+
+// Render writes the sweep as a table.
+func (r RSweepResult) Render(w io.Writer) error {
+	tb := table.New("r", "T/T∞", "W/T1")
+	for _, p := range r.Points {
+		tb.AddRowf(p.R, p.Runtime, p.Waste)
+	}
+	return tb.Render(w)
+}

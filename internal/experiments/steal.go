@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"abg/internal/alloc"
+	"abg/internal/dag"
+	"abg/internal/parallel"
+	"abg/internal/sim"
+	"abg/internal/stats"
+	"abg/internal/table"
+	"abg/internal/wsteal"
+	"abg/internal/xrand"
+)
+
+// StealResult contrasts the centralized schedulers with decentralized
+// work-stealing execution (§8's A-Steal/ABP family) on the same dags:
+//
+//   - ABG: B-Greedy (centralized, breadth-first) + A-Control.
+//   - A-Greedy: centralized greedy + mul-inc/mul-dec desire.
+//   - A-Steal: randomized work stealing + mul-inc/mul-dec desire.
+//   - WS+A-Control: work stealing + the adaptive controller, showing how the
+//     parallelism measurement degrades without B-Greedy's level order.
+type StealResult struct {
+	Schedulers []string
+	Runtime    []float64 // mean T/T∞
+	Waste      []float64 // mean W/T1 (for work stealing this includes steal and mug cycles)
+	StealFrac  []float64 // steal attempts per allotted cycle (0 for centralized)
+}
+
+// Steal runs the comparison over random fork-join dags with the given
+// parallel widths.
+func Steal(cfg Config, widths []int, jobsPerWidth, shrink int) (StealResult, error) {
+	if len(widths) == 0 || jobsPerWidth < 1 {
+		return StealResult{}, fmt.Errorf("experiments: empty steal config")
+	}
+	if shrink < 1 {
+		shrink = 1
+	}
+	// Build explicit dags (work stealing needs node-level structure).
+	root := xrand.New(cfg.Seed)
+	type jobCase struct {
+		g    *dag.Graph
+		seed uint64
+	}
+	var cases []jobCase
+	for _, w := range widths {
+		for j := 0; j < jobsPerWidth; j++ {
+			var phases []dag.Phase
+			n := root.IntRange(4, 8)
+			for i := 0; i < n; i++ {
+				phases = append(phases, dag.Phase{
+					SerialLen: root.IntRange(cfg.L/(2*shrink), 2*cfg.L/shrink),
+					Width:     w,
+					Height:    root.IntRange(cfg.L/(2*shrink), 2*cfg.L/shrink),
+				})
+			}
+			phases = append(phases, dag.Phase{SerialLen: root.IntRange(1, cfg.L/shrink)})
+			cases = append(cases, jobCase{g: dag.ForkJoin(phases), seed: root.Uint64()})
+		}
+	}
+	allocator := alloc.NewUnconstrained(cfg.P)
+	type contender struct {
+		name string
+		run  func(c jobCase) (sim.SingleResult, int64, error)
+	}
+	contenders := []contender{
+		{"ABG (B-Greedy central)", func(c jobCase) (sim.SingleResult, int64, error) {
+			r, err := sim.RunSingle(dag.NewRun(c.g), cfg.abgPolicy(), cfg.abgScheduler(),
+				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+			return r, 0, err
+		}},
+		{"A-Greedy (central)", func(c jobCase) (sim.SingleResult, int64, error) {
+			r, err := sim.RunSingle(dag.NewRun(c.g), cfg.agreedyPolicy(), cfg.agreedyScheduler(),
+				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+			return r, 0, err
+		}},
+		{"A-Steal (WS + desire)", func(c jobCase) (sim.SingleResult, int64, error) {
+			ws := wsteal.NewRun(c.g, c.seed)
+			r, err := sim.RunSingle(ws, cfg.agreedyPolicy(), cfg.agreedyScheduler(),
+				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+			return r, ws.StealAttempts() + ws.Mugs(), err
+		}},
+		{"WS + A-Control", func(c jobCase) (sim.SingleResult, int64, error) {
+			ws := wsteal.NewRun(c.g, c.seed)
+			r, err := sim.RunSingle(ws, cfg.abgPolicy(), cfg.agreedyScheduler(),
+				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+			return r, ws.StealAttempts() + ws.Mugs(), err
+		}},
+	}
+	res := StealResult{}
+	for _, cont := range contenders {
+		type out struct {
+			rt, ws, sf float64
+		}
+		outs, err := parallel.Map(len(cases), func(i int) (out, error) {
+			r, overhead, err := cont.run(cases[i])
+			if err != nil {
+				return out{}, err
+			}
+			sf := 0.0
+			if r.AllottedCycles > 0 {
+				sf = float64(overhead) / float64(r.AllottedCycles)
+			}
+			return out{rt: r.NormalizedRuntime(), ws: r.NormalizedWaste(), sf: sf}, nil
+		})
+		if err != nil {
+			return res, err
+		}
+		var rt, ws, sf stats.Welford
+		for _, o := range outs {
+			rt.Add(o.rt)
+			ws.Add(o.ws)
+			sf.Add(o.sf)
+		}
+		res.Schedulers = append(res.Schedulers, cont.name)
+		res.Runtime = append(res.Runtime, rt.Mean())
+		res.Waste = append(res.Waste, ws.Mean())
+		res.StealFrac = append(res.StealFrac, sf.Mean())
+	}
+	return res, nil
+}
+
+// Render writes the comparison as a table.
+func (r StealResult) Render(w io.Writer) error {
+	tb := table.New("scheduler", "T/T∞", "W/T1", "steal+mug / cycle")
+	for i, name := range r.Schedulers {
+		tb.AddRowf(name, r.Runtime[i], r.Waste[i], r.StealFrac[i])
+	}
+	return tb.Render(w)
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStealComparison(t *testing.T) {
+	res, err := Steal(testConfig(), []int{8, 16}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedulers) != 4 {
+		t.Fatalf("contenders = %d", len(res.Schedulers))
+	}
+	// Centralized schedulers make no steal attempts; work stealing does.
+	if res.StealFrac[0] != 0 || res.StealFrac[1] != 0 {
+		t.Fatalf("centralized steal fractions: %v", res.StealFrac)
+	}
+	if res.StealFrac[2] <= 0 || res.StealFrac[3] <= 0 {
+		t.Fatalf("work stealing made no steals: %v", res.StealFrac)
+	}
+	// Everyone completes with sane normalized metrics.
+	for i, rt := range res.Runtime {
+		if rt < 1 {
+			t.Fatalf("%s: T/T∞ = %v below optimal", res.Schedulers[i], rt)
+		}
+	}
+	// ABG (centralized, breadth-first) never loses to the decentralized
+	// executors on runtime in this overhead model.
+	if res.Runtime[0] > res.Runtime[2]*1.05 {
+		t.Fatalf("ABG %v materially worse than A-Steal %v", res.Runtime[0], res.Runtime[2])
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "A-Steal") {
+		t.Fatal("render missing contender")
+	}
+	if _, err := Steal(testConfig(), nil, 1, 1); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestStealDeterministic(t *testing.T) {
+	a, err := Steal(testConfig(), []int{6}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Steal(testConfig(), []int{6}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runtime {
+		if a.Runtime[i] != b.Runtime[i] || a.StealFrac[i] != b.StealFrac[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestAdaptiveQuantumExperiment(t *testing.T) {
+	res, err := AdaptiveQuantum(testConfig(), []int{5, 20}, 3, 2, 25, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modes) != 3 {
+		t.Fatalf("modes = %d", len(res.Modes))
+	}
+	// Feedback actions: fixed LMin uses the most, fixed LMax the fewest,
+	// adaptive in between (and below fixed LMin).
+	if !(res.Quanta[0] > res.Quanta[2] && res.Quanta[2] > res.Quanta[1]) {
+		t.Fatalf("feedback action ordering wrong: %v", res.Quanta)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "adaptive") {
+		t.Fatal("render missing adaptive row")
+	}
+	if _, err := AdaptiveQuantum(testConfig(), nil, 1, 1, 10, 5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestMixedPopulation(t *testing.T) {
+	res, err := Mixed(testConfig(), 6, 1.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sets == 0 {
+		t.Fatal("no valid sets")
+	}
+	// Sanity: ratios are positive and finite.
+	for name, v := range map[string]float64{
+		"abg-in-mixed": res.ABGInMixed,
+		"ag-in-mixed":  res.AGInMixed,
+		"vs-abg":       res.MixedVsABG,
+		"vs-ag":        res.MixedVsAG,
+	} {
+		if !(v > 0) || v > 100 {
+			t.Fatalf("%s = %v", name, v)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mixed") {
+		t.Fatal("render")
+	}
+	if _, err := Mixed(testConfig(), 0, 1, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestOpenSystemSweep(t *testing.T) {
+	res, err := OpenSystem(testConfig(), []float64{0.3, 0.8}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loads) != 2 || len(res.Ratio) != 2 {
+		t.Fatalf("result sizes: %+v", res)
+	}
+	// Response grows with offered load for both schedulers.
+	if res.ABGResponse[1] <= res.ABGResponse[0] {
+		t.Fatalf("ABG response flat across loads: %v", res.ABGResponse)
+	}
+	if res.AGResponse[1] <= res.AGResponse[0] {
+		t.Fatalf("A-Greedy response flat across loads: %v", res.AGResponse)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "offered load") {
+		t.Fatal("render")
+	}
+	if _, err := OpenSystem(testConfig(), nil, 40, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRateStudy(t *testing.T) {
+	res, err := RateStudy(testConfig(), []int{10, 30}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 2 {
+		t.Fatalf("contenders = %d", len(res.Policies))
+	}
+	// AutoRate must make the bound applicable far more often than the fixed
+	// rate on these high-C_L jobs (fixed r=0.2 needs C_L < 5).
+	if res.BoundApplicable[1] <= res.BoundApplicable[0] {
+		t.Fatalf("AutoRate applicability %v not above fixed %v",
+			res.BoundApplicable[1], res.BoundApplicable[0])
+	}
+	// Wherever applicable, the bound held.
+	if res.BoundApplicable[1] > 0 && res.BoundHeld[1] < 1 {
+		t.Fatalf("Theorem 4 violated under AutoRate: held %v", res.BoundHeld[1])
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "AutoRate") {
+		t.Fatal("render")
+	}
+	if _, err := RateStudy(testConfig(), nil, 1, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package job
+
+import "testing"
+
+// FuzzProfileRun decodes arbitrary bytes into a profile and an allotment
+// schedule, executes it under both orders, and asserts the executor's
+// invariants: conservation of work, no over-completion per level, and
+// termination within the serial bound. The seed corpus runs as part of the
+// normal test suite; `go test -fuzz=FuzzProfileRun ./internal/job` explores
+// further.
+func FuzzProfileRun(f *testing.F) {
+	f.Add([]byte{3, 1, 5, 2}, uint8(2))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(1))
+	f.Add([]byte{9, 9, 9, 0, 4}, uint8(7))
+	f.Add([]byte{}, uint8(3))
+	f.Fuzz(func(t *testing.T, widths []byte, procs uint8) {
+		if len(widths) == 0 || len(widths) > 64 {
+			return
+		}
+		levels := make([]Level, 0, len(widths))
+		for i, b := range widths {
+			w := int(b%16) + 1
+			kind := Sync
+			// Chain when the width matches the predecessor and the low bit
+			// of the byte says so.
+			if i > 0 && b&1 == 1 && levels[i-1].Width == w {
+				kind = Chain
+			}
+			levels = append(levels, Level{Width: w, Kind: kind})
+		}
+		p, err := NewProfile(levels)
+		if err != nil {
+			t.Fatalf("constructed profile rejected: %v", err)
+		}
+		pn := int(procs%12) + 1
+		for _, order := range []Order{BreadthFirst, DepthFirst} {
+			r := NewRun(p)
+			perLevel := make([]int, p.CriticalPathLen())
+			var total int64
+			var buf []LevelCount
+			steps := 0
+			for !r.Done() {
+				var n int
+				buf = buf[:0]
+				n, buf = r.Step(pn, order, buf)
+				if n == 0 {
+					t.Fatalf("no progress (order %v, p %d)", order, pn)
+				}
+				for _, lc := range buf {
+					perLevel[lc.Level] += lc.Count
+					if perLevel[lc.Level] > p.Level(lc.Level).Width {
+						t.Fatalf("level %d over-completed", lc.Level)
+					}
+				}
+				total += int64(n)
+				steps++
+				if int64(steps) > p.Work()+int64(p.CriticalPathLen()) {
+					t.Fatalf("exceeded serial bound (order %v)", order)
+				}
+			}
+			if total != p.Work() {
+				t.Fatalf("work conservation broken: %d != %d", total, p.Work())
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package job
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LevelKind describes how tasks of a level become ready.
+type LevelKind uint8
+
+const (
+	// Sync levels become ready only once the entire previous level has
+	// completed (fork and join points, serial tasks, level-barrier jobs).
+	Sync LevelKind = iota
+	// Chain levels pair tasks with the previous level: task i becomes ready
+	// when task i of the previous level completes (the interior of a
+	// parallel phase made of independent chains). A Chain level must have
+	// the same width as its predecessor.
+	Chain
+)
+
+// String returns the name of the kind.
+func (k LevelKind) String() string {
+	switch k {
+	case Sync:
+		return "sync"
+	case Chain:
+		return "chain"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Level is one level of a profile job: Width unit tasks that become ready
+// according to Kind.
+type Level struct {
+	Width int
+	Kind  LevelKind
+}
+
+// Profile describes a job as a sequence of levels. It is the compact,
+// immutable description; Run executes it. Profiles model exactly the
+// level-structured data-parallel jobs the paper simulates, while arbitrary
+// DAGs are handled by package dag.
+type Profile struct {
+	levels []Level
+	work   int64
+}
+
+// NewProfile validates the level sequence and returns a Profile.
+// Rules: at least one level; every width ≥ 1; level 0 must be Sync (there is
+// nothing to chain from); a Chain level must match its predecessor's width.
+func NewProfile(levels []Level) (*Profile, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("job: profile needs at least one level")
+	}
+	var work int64
+	for i, l := range levels {
+		if l.Width < 1 {
+			return nil, fmt.Errorf("job: level %d has width %d", i, l.Width)
+		}
+		if i == 0 && l.Kind != Sync {
+			return nil, errors.New("job: level 0 must be Sync")
+		}
+		if l.Kind == Chain && levels[i-1].Width != l.Width {
+			return nil, fmt.Errorf("job: chain level %d width %d != predecessor width %d",
+				i, l.Width, levels[i-1].Width)
+		}
+		work += int64(l.Width)
+	}
+	return &Profile{levels: append([]Level(nil), levels...), work: work}, nil
+}
+
+// MustProfile is NewProfile that panics on error; for tests and literals.
+func MustProfile(levels []Level) *Profile {
+	p, err := NewProfile(levels)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Work returns T1, the total number of unit tasks.
+func (p *Profile) Work() int64 { return p.work }
+
+// CriticalPathLen returns T∞ in levels (every level contributes one node to
+// the longest chain).
+func (p *Profile) CriticalPathLen() int { return len(p.levels) }
+
+// AvgParallelism returns T1/T∞.
+func (p *Profile) AvgParallelism() float64 {
+	return float64(p.work) / float64(len(p.levels))
+}
+
+// MaxWidth returns the widest level.
+func (p *Profile) MaxWidth() int {
+	m := 0
+	for _, l := range p.levels {
+		if l.Width > m {
+			m = l.Width
+		}
+	}
+	return m
+}
+
+// Level returns the i-th level.
+func (p *Profile) Level(i int) Level { return p.levels[i] }
+
+// Widths returns a copy of the level widths, mostly for tests and display.
+func (p *Profile) Widths() []int {
+	ws := make([]int, len(p.levels))
+	for i, l := range p.levels {
+		ws[i] = l.Width
+	}
+	return ws
+}
+
+// Constant returns a profile with constant parallelism: `height` levels of
+// `width` independent chains (a Sync fan-out level followed by Chain levels).
+// This is the constant-parallelism job of Figures 1 and 4.
+func Constant(width, height int) *Profile {
+	if width < 1 || height < 1 {
+		panic("job: Constant needs width, height >= 1")
+	}
+	levels := make([]Level, height)
+	levels[0] = Level{Width: width, Kind: Sync}
+	for i := 1; i < height; i++ {
+		levels[i] = Level{Width: width, Kind: Chain}
+	}
+	return MustProfile(levels)
+}
+
+// Serial returns a profile that is a chain of n unit tasks.
+func Serial(n int) *Profile {
+	if n < 1 {
+		panic("job: Serial needs n >= 1")
+	}
+	levels := make([]Level, n)
+	for i := range levels {
+		levels[i] = Level{Width: 1, Kind: Sync}
+	}
+	return MustProfile(levels)
+}
+
+// FromWidths returns a level-synchronized profile (every level Sync) with the
+// given widths. This models barrier-style data-parallel jobs.
+func FromWidths(widths []int) *Profile {
+	levels := make([]Level, len(widths))
+	for i, w := range widths {
+		levels[i] = Level{Width: w, Kind: Sync}
+	}
+	return MustProfile(levels)
+}
+
+// Concat returns a profile that runs the given profiles back to back. The
+// first level of each appended profile is forced to Sync, which models a join
+// between consecutive job fragments.
+func Concat(ps ...*Profile) *Profile {
+	if len(ps) == 0 {
+		panic("job: Concat of nothing")
+	}
+	var levels []Level
+	for _, p := range ps {
+		for i, l := range p.levels {
+			if len(levels) > 0 && i == 0 {
+				l.Kind = Sync
+			}
+			levels = append(levels, l)
+		}
+	}
+	return MustProfile(levels)
+}

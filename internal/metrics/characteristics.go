@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+
+	"abg/internal/sched"
+	"abg/internal/stats"
+)
+
+// ParallelismProfile summarises how a job's measured parallelism behaves
+// over its quanta. Beyond the transition factor C_L, it includes the
+// alternative characteristics the paper's §9 suggests for future analysis:
+// the frequency of parallelism changes and their variance-style magnitude.
+type ParallelismProfile struct {
+	// Quanta is the number of full quanta the profile is computed over.
+	Quanta int
+	// Mean and Std are the moments of A(q) over full quanta.
+	Mean, Std float64
+	// TransitionFactor is C_L (§5.2), with A(0)=1.
+	TransitionFactor float64
+	// ChangeFrequency is the fraction of adjacent full-quanta pairs whose
+	// parallelism ratio exceeds ChangeThreshold — how often the job's
+	// parallelism moves, as opposed to C_L which only captures the single
+	// worst move.
+	ChangeFrequency float64
+	// MeanAbsLogRatio is the mean of |ln(A(q)/A(q−1))| over adjacent full
+	// quanta — the average magnitude of parallelism changes; 0 for a
+	// constant-parallelism job.
+	MeanAbsLogRatio float64
+}
+
+// ChangeThreshold is the adjacent-quanta parallelism ratio above which a
+// transition counts as a "change" for ChangeFrequency.
+const ChangeThreshold = 1.5
+
+// ParallelismProfileFromQuanta computes the profile over the full quanta of
+// a trace. An empty trace yields a zero profile with TransitionFactor 1.
+func ParallelismProfileFromQuanta(quanta []sched.QuantumStats) ParallelismProfile {
+	var as []float64
+	for _, q := range quanta {
+		if q.Full() {
+			if a := q.AvgParallelism(); a > 0 {
+				as = append(as, a)
+			}
+		}
+	}
+	p := ParallelismProfile{Quanta: len(as), TransitionFactor: TransitionFactor(as)}
+	if len(as) == 0 {
+		return p
+	}
+	var w stats.Welford
+	for _, a := range as {
+		w.Add(a)
+	}
+	p.Mean = w.Mean()
+	if len(as) > 1 {
+		p.Std = w.Std()
+	}
+	changes := 0
+	var sumAbsLog float64
+	pairs := 0
+	for i := 1; i < len(as); i++ {
+		ratio := as[i] / as[i-1]
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > ChangeThreshold {
+			changes++
+		}
+		sumAbsLog += math.Log(ratio)
+		pairs++
+	}
+	if pairs > 0 {
+		p.ChangeFrequency = float64(changes) / float64(pairs)
+		p.MeanAbsLogRatio = sumAbsLog / float64(pairs)
+	}
+	return p
+}

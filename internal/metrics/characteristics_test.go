@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"abg/internal/sched"
+)
+
+func fullQuantum(a float64) sched.QuantumStats {
+	return sched.QuantumStats{Length: 10, Steps: 10, Work: int64(a * 10), CPL: 10}
+}
+
+func TestParallelismProfileEmpty(t *testing.T) {
+	p := ParallelismProfileFromQuanta(nil)
+	if p.Quanta != 0 || p.TransitionFactor != 1 || p.Mean != 0 {
+		t.Fatalf("empty profile: %+v", p)
+	}
+}
+
+func TestParallelismProfileConstant(t *testing.T) {
+	quanta := []sched.QuantumStats{fullQuantum(8), fullQuantum(8), fullQuantum(8)}
+	p := ParallelismProfileFromQuanta(quanta)
+	if p.Quanta != 3 || p.Mean != 8 {
+		t.Fatalf("profile: %+v", p)
+	}
+	if p.Std != 0 || p.ChangeFrequency != 0 || p.MeanAbsLogRatio != 0 {
+		t.Fatalf("constant job should show no changes: %+v", p)
+	}
+	// C_L still sees the A(0)=1 → 8 initial transition.
+	if math.Abs(p.TransitionFactor-8) > 1e-12 {
+		t.Fatalf("C_L = %v", p.TransitionFactor)
+	}
+}
+
+func TestParallelismProfileAlternating(t *testing.T) {
+	quanta := []sched.QuantumStats{
+		fullQuantum(2), fullQuantum(8), fullQuantum(2), fullQuantum(8),
+	}
+	p := ParallelismProfileFromQuanta(quanta)
+	// Every adjacent pair is a 4× change (> 1.5 threshold).
+	if p.ChangeFrequency != 1 {
+		t.Fatalf("change frequency = %v", p.ChangeFrequency)
+	}
+	if math.Abs(p.MeanAbsLogRatio-math.Log(4)) > 1e-12 {
+		t.Fatalf("mean |log ratio| = %v", p.MeanAbsLogRatio)
+	}
+	if math.Abs(p.TransitionFactor-4) > 1e-12 {
+		t.Fatalf("C_L = %v", p.TransitionFactor)
+	}
+	if math.Abs(p.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v", p.Mean)
+	}
+}
+
+func TestParallelismProfileMildDrift(t *testing.T) {
+	// Changes below the threshold count in MeanAbsLogRatio but not in
+	// ChangeFrequency.
+	quanta := []sched.QuantumStats{fullQuantum(10), fullQuantum(12), fullQuantum(10)}
+	p := ParallelismProfileFromQuanta(quanta)
+	if p.ChangeFrequency != 0 {
+		t.Fatalf("change frequency = %v", p.ChangeFrequency)
+	}
+	if p.MeanAbsLogRatio <= 0 {
+		t.Fatalf("mean |log ratio| = %v", p.MeanAbsLogRatio)
+	}
+}
+
+func TestParallelismProfileSkipsPartialQuanta(t *testing.T) {
+	partial := sched.QuantumStats{Length: 10, Steps: 4, Work: 400, CPL: 4}
+	quanta := []sched.QuantumStats{fullQuantum(5), partial, fullQuantum(5)}
+	p := ParallelismProfileFromQuanta(quanta)
+	if p.Quanta != 2 {
+		t.Fatalf("quanta = %d", p.Quanta)
+	}
+	if p.ChangeFrequency != 0 {
+		t.Fatalf("partial quantum contaminated the profile: %+v", p)
+	}
+}
+
+func TestParallelismProfileSingleQuantum(t *testing.T) {
+	p := ParallelismProfileFromQuanta([]sched.QuantumStats{fullQuantum(7)})
+	if p.Quanta != 1 || p.Mean != 7 || p.Std != 0 {
+		t.Fatalf("single quantum: %+v", p)
+	}
+}

@@ -1,0 +1,251 @@
+// Package metrics computes the analysis-side quantities of the paper:
+// the transition factor C_L (§5.2), R-trimmed processor availability for
+// trim analysis (§6.1), the theoretical lower bounds on makespan and mean
+// response time used to normalise Figure 6, and the closed-form bounds of
+// Lemma 2 and Theorems 3–4 that the test suite validates against simulation.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"abg/internal/sched"
+)
+
+// TransitionFactor returns C_L measured from a sequence of per-quantum
+// average parallelisms of *full* quanta, with A(0) defined to be 1:
+// the maximum of max(A(q)/A(q−1), A(q−1)/A(q)) over adjacent quanta.
+// It returns 1 for an empty trace.
+func TransitionFactor(parallelisms []float64) float64 {
+	cl := 1.0
+	prev := 1.0 // A(0) = 1
+	for _, a := range parallelisms {
+		if a <= 0 {
+			continue
+		}
+		ratio := a / prev
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > cl {
+			cl = ratio
+		}
+		prev = a
+	}
+	return cl
+}
+
+// TransitionFactorFromQuanta measures C_L from a quantum trace, considering
+// full quanta only (the definition in §5.2 is over full quanta; the last,
+// partial quantum of a job is excluded).
+func TransitionFactorFromQuanta(quanta []sched.QuantumStats) float64 {
+	as := make([]float64, 0, len(quanta))
+	for _, q := range quanta {
+		if q.Full() {
+			as = append(as, q.AvgParallelism())
+		}
+	}
+	return TransitionFactor(as)
+}
+
+// TrimmedAvailability returns the R-trimmed processor availability of §6.1:
+// given the per-quantum availabilities p(q) (in processors) and the quantum
+// length L, it removes the ⌈R/L⌉ quanta with the highest availability and
+// returns the average availability over the remaining quanta. If everything
+// is trimmed it returns 0.
+func TrimmedAvailability(avail []int, L int, trimSteps float64) float64 {
+	if len(avail) == 0 || L < 1 {
+		return 0
+	}
+	trim := int(math.Ceil(trimSteps / float64(L)))
+	if trim >= len(avail) {
+		return 0
+	}
+	sorted := append([]int(nil), avail...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	kept := sorted[trim:]
+	var sum int64
+	for _, p := range kept {
+		sum += int64(p)
+	}
+	return float64(sum) / float64(len(kept))
+}
+
+// JobInfo carries the intrinsic characteristics of one job used by the
+// lower-bound computations.
+type JobInfo struct {
+	Work         int64
+	CriticalPath int
+	Release      int64
+}
+
+// AvgParallelism returns T1/T∞ for the job.
+func (j JobInfo) AvgParallelism() float64 {
+	if j.CriticalPath == 0 {
+		return 0
+	}
+	return float64(j.Work) / float64(j.CriticalPath)
+}
+
+// Load returns the paper's §7.2 system load of a job set: the total average
+// parallelism of the jobs normalised by the machine size.
+func Load(jobs []JobInfo, p int) float64 {
+	if p < 1 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range jobs {
+		sum += j.AvgParallelism()
+	}
+	return sum / float64(p)
+}
+
+// MakespanLowerBound returns M*, the standard makespan lower bound for a job
+// set with arbitrary release times on P processors:
+//
+//	M* = max( (Σ T1_i)/P , max_i (release_i + T∞_i) ).
+func MakespanLowerBound(jobs []JobInfo, p int) float64 {
+	if len(jobs) == 0 || p < 1 {
+		return 0
+	}
+	var totalWork int64
+	maxPath := 0.0
+	for _, j := range jobs {
+		totalWork += j.Work
+		if v := float64(j.Release) + float64(j.CriticalPath); v > maxPath {
+			maxPath = v
+		}
+	}
+	return math.Max(float64(totalWork)/float64(p), maxPath)
+}
+
+// ResponseLowerBound returns R*, the mean response time lower bound for a
+// batched job set (all released at time 0) on P processors: the maximum of
+// the aggregate critical-path bound and the squashed-work-area bound
+//
+//	R* = max( (1/n)·Σ T∞_i , (1/(nP))·Σ_i (n−i+1)·T1_(i) )
+//
+// where T1_(1) ≤ … ≤ T1_(n) are the works in ascending order (SRPT-style
+// squashing).
+func ResponseLowerBound(jobs []JobInfo, p int) float64 {
+	n := len(jobs)
+	if n == 0 || p < 1 {
+		return 0
+	}
+	var pathSum float64
+	works := make([]float64, n)
+	for i, j := range jobs {
+		pathSum += float64(j.CriticalPath)
+		works[i] = float64(j.Work)
+	}
+	sort.Float64s(works)
+	var squashed float64
+	for i, w := range works {
+		squashed += float64(n-i) * w
+	}
+	return math.Max(pathSum/float64(n), squashed/(float64(n)*float64(p)))
+}
+
+// ResponseLowerBoundReleased returns a mean-response-time lower bound that
+// remains valid for arbitrary release times: each job's response is at
+// least its own critical path, so R* ≥ (1/n)·Σ T∞_i. (The squashed-work-area
+// bound of ResponseLowerBound assumes a batched release and is not used
+// here.)
+func ResponseLowerBoundReleased(jobs []JobInfo) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	var pathSum float64
+	for _, j := range jobs {
+		pathSum += float64(j.CriticalPath)
+	}
+	return pathSum / float64(len(jobs))
+}
+
+// Lemma2Bounds returns the multiplicative envelope of Lemma 2: for every
+// full quantum, lo·A(q) ≤ d(q) ≤ hi·A(q), where
+//
+//	lo = (1−r)/(C_L−r)   and   hi = C_L(1−r)/(1−C_L·r).
+//
+// The upper bound requires r < 1/C_L; hi is +Inf otherwise.
+func Lemma2Bounds(cl, r float64) (lo, hi float64) {
+	lo = (1 - r) / (cl - r)
+	if r < 1/cl {
+		hi = cl * (1 - r) / (1 - cl*r)
+	} else {
+		hi = math.Inf(1)
+	}
+	return lo, hi
+}
+
+// Theorem3RuntimeBound returns the right-hand side of Theorem 3:
+//
+//	T ≤ 2·T1/P̃ + ((C_L+1−2r)/(1−r))·T∞ + L
+//
+// where pTrimmed is the ((C_L+1−2r)/(1−r)·T∞ + L)-trimmed availability.
+func Theorem3RuntimeBound(t1 int64, tinf int, cl, r float64, l int, pTrimmed float64) float64 {
+	if pTrimmed <= 0 {
+		return math.Inf(1)
+	}
+	return 2*float64(t1)/pTrimmed + Theorem3TrimTerm(tinf, cl, r) + float64(l)
+}
+
+// Theorem3TrimTerm returns ((C_L+1−2r)/(1−r))·T∞ — both the critical-path
+// term of the runtime bound and (plus L) the amount of time to trim.
+func Theorem3TrimTerm(tinf int, cl, r float64) float64 {
+	return (cl + 1 - 2*r) / (1 - r) * float64(tinf)
+}
+
+// Theorem4WasteBound returns the right-hand side of Theorem 4:
+//
+//	W ≤ C_L(1−r)/(1−C_L·r)·T1 + P·L,
+//
+// valid for r < 1/C_L (+Inf otherwise).
+func Theorem4WasteBound(t1 int64, cl, r float64, p, l int) float64 {
+	if r >= 1/cl {
+		return math.Inf(1)
+	}
+	return cl*(1-r)/(1-cl*r)*float64(t1) + float64(p)*float64(l)
+}
+
+// Theorem5MakespanFactor returns the competitive-ratio factor of the
+// makespan bound (Equation 10):
+//
+//	M ≤ ((C_L+1−2·C_L·r)/(1−C_L·r) + (C_L+1−2r)/(1−r))·M* + L·(|J|+2).
+func Theorem5MakespanFactor(cl, r float64) float64 {
+	if r >= 1/cl {
+		return math.Inf(1)
+	}
+	return (cl+1-2*cl*r)/(1-cl*r) + (cl+1-2*r)/(1-r)
+}
+
+// Theorem5ResponseFactor returns the competitive-ratio factor of the mean
+// response time bound (Equation 11):
+//
+//	R ≤ ((2C_L+2−4·C_L·r)/(1−C_L·r) + (C_L+1−2r)/(1−r))·R* + L·(|J|+2).
+func Theorem5ResponseFactor(cl, r float64) float64 {
+	if r >= 1/cl {
+		return math.Inf(1)
+	}
+	return (2*cl+2-4*cl*r)/(1-cl*r) + (cl+1-2*r)/(1-r)
+}
+
+// JainFairness returns Jain's fairness index of the samples:
+// (Σx)² / (n·Σx²), which is 1 when all values are equal and 1/n when one
+// value dominates. Applied to per-job slowdowns of a multiprogrammed run it
+// quantifies how evenly a scheduler spreads the pain — a natural companion
+// to the makespan and mean-response metrics of Figure 6.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"abg/internal/sched"
+	"abg/internal/xrand"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTransitionFactor(t *testing.T) {
+	cases := []struct {
+		name string
+		as   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"constant from 1", []float64{1, 1, 1}, 1},
+		// A(0)=1 so the jump to 4 counts.
+		{"initial jump", []float64{4, 4}, 4},
+		{"up and down", []float64{1, 3, 1}, 3},
+		{"down dominates", []float64{1, 2, 0.25}, 8},
+		{"zeros skipped", []float64{2, 0, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := TransitionFactor(c.as); !approx(got, c.want, 1e-12) {
+			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTransitionFactorAtLeastOne(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := rng.Intn(20)
+		as := make([]float64, n)
+		for i := range as {
+			as[i] = rng.FloatRange(0.5, 100)
+		}
+		return TransitionFactor(as) >= 1
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitionFactorFromQuanta(t *testing.T) {
+	full := func(a float64) sched.QuantumStats {
+		return sched.QuantumStats{Length: 10, Steps: 10, Work: int64(a * 10), CPL: 10}
+	}
+	partial := func(a float64) sched.QuantumStats {
+		return sched.QuantumStats{Length: 10, Steps: 3, Work: int64(a * 3), CPL: 3}
+	}
+	// The huge partial quantum must be excluded from the measurement.
+	quanta := []sched.QuantumStats{full(2), full(4), partial(100)}
+	if got := TransitionFactorFromQuanta(quanta); !approx(got, 2, 1e-12) {
+		t.Fatalf("got %v, want 2", got)
+	}
+}
+
+func TestTrimmedAvailability(t *testing.T) {
+	avail := []int{10, 100, 10, 10}
+	// Trim up to 1 quantum (R = L): removes the 100.
+	if got := TrimmedAvailability(avail, 10, 10); !approx(got, 10, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	// No trimming (R = 0): mean of all.
+	if got := TrimmedAvailability(avail, 10, 0); !approx(got, 32.5, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	// Trim everything: 0.
+	if got := TrimmedAvailability(avail, 10, 1000); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+	// Partial quantum trims round up.
+	if got := TrimmedAvailability(avail, 10, 5); !approx(got, 10, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	if got := TrimmedAvailability(nil, 10, 0); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := TrimmedAvailability(avail, 0, 0); got != 0 {
+		t.Fatalf("bad L: %v", got)
+	}
+}
+
+func TestTrimmedAvailabilityMonotone(t *testing.T) {
+	// Trimming more never increases the average availability... (it removes
+	// the highest entries first, so the mean is non-increasing).
+	rng := xrand.New(3)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntRange(1, 30)
+		avail := make([]int, n)
+		for i := range avail {
+			avail[i] = rng.IntRange(1, 128)
+		}
+		prev := math.Inf(1)
+		for trim := 0; trim <= n; trim++ {
+			got := TrimmedAvailability(avail, 1, float64(trim))
+			if got > prev+1e-9 {
+				t.Fatalf("trim %d increased availability: %v > %v", trim, got, prev)
+			}
+			if got > 0 {
+				prev = got
+			}
+		}
+	}
+}
+
+func TestJobInfoAndLoad(t *testing.T) {
+	j := JobInfo{Work: 100, CriticalPath: 10}
+	if j.AvgParallelism() != 10 {
+		t.Fatal("avg parallelism")
+	}
+	if (JobInfo{}).AvgParallelism() != 0 {
+		t.Fatal("zero cpl guard")
+	}
+	jobs := []JobInfo{{Work: 100, CriticalPath: 10}, {Work: 60, CriticalPath: 10}}
+	if got := Load(jobs, 8); !approx(got, 2, 1e-12) {
+		t.Fatalf("load = %v", got)
+	}
+	if Load(jobs, 0) != 0 {
+		t.Fatal("bad P guard")
+	}
+}
+
+func TestMakespanLowerBound(t *testing.T) {
+	jobs := []JobInfo{
+		{Work: 800, CriticalPath: 10, Release: 0},
+		{Work: 100, CriticalPath: 50, Release: 30},
+	}
+	// Work bound: 900/8 = 112.5; path bound: max(0+10, 30+50) = 80.
+	if got := MakespanLowerBound(jobs, 8); !approx(got, 112.5, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	// With many processors the path bound dominates.
+	if got := MakespanLowerBound(jobs, 1000); !approx(got, 80, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	if MakespanLowerBound(nil, 8) != 0 || MakespanLowerBound(jobs, 0) != 0 {
+		t.Fatal("edge guards")
+	}
+}
+
+func TestResponseLowerBound(t *testing.T) {
+	jobs := []JobInfo{
+		{Work: 100, CriticalPath: 30},
+		{Work: 300, CriticalPath: 10},
+	}
+	// Path bound: (30+10)/2 = 20.
+	// Squashed: sort works [100,300]; (2·100 + 1·300)/(2·4) = 500/8 = 62.5.
+	if got := ResponseLowerBound(jobs, 4); !approx(got, 62.5, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	// With huge P the path bound dominates.
+	if got := ResponseLowerBound(jobs, 100000); !approx(got, 20, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	if ResponseLowerBound(nil, 4) != 0 || ResponseLowerBound(jobs, 0) != 0 {
+		t.Fatal("edge guards")
+	}
+}
+
+func TestResponseLowerBoundSquashedOrderInvariant(t *testing.T) {
+	// The squashed-area bound must not depend on input order.
+	a := []JobInfo{{Work: 10, CriticalPath: 1}, {Work: 500, CriticalPath: 1}, {Work: 90, CriticalPath: 1}}
+	b := []JobInfo{a[2], a[0], a[1]}
+	if ResponseLowerBound(a, 3) != ResponseLowerBound(b, 3) {
+		t.Fatal("order dependence")
+	}
+}
+
+func TestLemma2Bounds(t *testing.T) {
+	lo, hi := Lemma2Bounds(2, 0.2)
+	if !approx(lo, 0.8/1.8, 1e-12) {
+		t.Fatalf("lo = %v", lo)
+	}
+	if !approx(hi, 2*0.8/0.6, 1e-12) {
+		t.Fatalf("hi = %v", hi)
+	}
+	// r ≥ 1/C_L: upper bound undefined.
+	_, hi = Lemma2Bounds(10, 0.2)
+	if !math.IsInf(hi, 1) {
+		t.Fatalf("hi should be +Inf, got %v", hi)
+	}
+	// lo ≤ 1 ≤ hi always (r < 1/CL); and lo·hi relation sanity.
+	rng := xrand.New(7)
+	for trial := 0; trial < 100; trial++ {
+		cl := rng.FloatRange(1, 50)
+		r := rng.FloatRange(0, 0.99/cl)
+		lo, hi := Lemma2Bounds(cl, r)
+		if lo > 1+1e-9 || hi < 1-1e-9 {
+			t.Fatalf("envelope excludes 1: lo=%v hi=%v (cl=%v r=%v)", lo, hi, cl, r)
+		}
+		if lo <= 0 {
+			t.Fatalf("lo must be positive: %v", lo)
+		}
+	}
+}
+
+func TestTheoremFormulas(t *testing.T) {
+	// Spot-check the closed forms at r=0 where they simplify:
+	// Thm3 trim term → (C_L+1)·T∞; Thm4 → C_L·T1 + P·L;
+	// Thm5 makespan factor → 2C_L+2; response factor → 3C_L+3.
+	const cl = 5.0
+	if got := Theorem3TrimTerm(10, cl, 0); !approx(got, 60, 1e-12) {
+		t.Fatalf("trim term = %v", got)
+	}
+	if got := Theorem4WasteBound(100, cl, 0, 8, 10); !approx(got, 580, 1e-12) {
+		t.Fatalf("thm4 = %v", got)
+	}
+	if got := Theorem5MakespanFactor(cl, 0); !approx(got, 2*cl+2, 1e-12) {
+		t.Fatalf("thm5 M = %v", got)
+	}
+	if got := Theorem5ResponseFactor(cl, 0); !approx(got, 3*cl+3, 1e-12) {
+		t.Fatalf("thm5 R = %v", got)
+	}
+	// r ≥ 1/C_L → +Inf everywhere.
+	if !math.IsInf(Theorem4WasteBound(1, 10, 0.5, 1, 1), 1) ||
+		!math.IsInf(Theorem5MakespanFactor(10, 0.5), 1) ||
+		!math.IsInf(Theorem5ResponseFactor(10, 0.5), 1) {
+		t.Fatal("r ≥ 1/C_L should be +Inf")
+	}
+	if !math.IsInf(Theorem3RuntimeBound(1, 1, 2, 0, 1, 0), 1) {
+		t.Fatal("zero trimmed availability should be +Inf")
+	}
+	if got := Theorem3RuntimeBound(100, 10, 2, 0, 5, 4); !approx(got, 2*100.0/4+30+5, 1e-12) {
+		t.Fatalf("thm3 = %v", got)
+	}
+}
+
+func BenchmarkTransitionFactor(b *testing.B) {
+	rng := xrand.New(1)
+	as := make([]float64, 1024)
+	for i := range as {
+		as[i] = rng.FloatRange(1, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TransitionFactor(as)
+	}
+}
+
+func BenchmarkTrimmedAvailability(b *testing.B) {
+	rng := xrand.New(2)
+	avail := make([]int, 1024)
+	for i := range avail {
+		avail[i] = rng.IntRange(1, 128)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrimmedAvailability(avail, 100, 5000)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if JainFairness(nil) != 0 {
+		t.Fatal("empty")
+	}
+	if got := JainFairness([]float64{3, 3, 3}); !approx(got, 1, 1e-12) {
+		t.Fatalf("equal values: %v", got)
+	}
+	// One dominant value among n: index → 1/n.
+	if got := JainFairness([]float64{100, 0, 0, 0}); !approx(got, 0.25, 1e-12) {
+		t.Fatalf("dominant value: %v", got)
+	}
+	if got := JainFairness([]float64{1, 3}); !approx(got, 16.0/20.0, 1e-12) {
+		t.Fatalf("two values: %v", got)
+	}
+	if JainFairness([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero guard")
+	}
+}

@@ -1,0 +1,169 @@
+// Package opensys simulates an open multiprogrammed system: jobs arrive
+// over time (Poisson process), are scheduled by the two-level framework
+// under dynamic equi-partitioning, finish, and leave. Where the paper's
+// Figure 6 measures closed batches, an open system exposes steady-state
+// behaviour: mean response time as a function of the offered load, with the
+// characteristic blow-up as the load approaches saturation.
+//
+// The engine reuses sim.RunMulti by materialising the arrival process up
+// front (deterministically from a seed), running the whole trace, and
+// discarding a warm-up prefix when reporting.
+package opensys
+
+import (
+	"fmt"
+	"math"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+	"abg/internal/sim"
+	"abg/internal/stats"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// Config describes an open-system run.
+type Config struct {
+	// Seed drives arrivals and job bodies.
+	Seed uint64
+	// P and L are the machine parameters.
+	P, L int
+	// Jobs is the number of arrivals to simulate; Warmup of them are
+	// excluded from the reported statistics (defaults: 200 / 25%).
+	Jobs, Warmup int
+	// OfferedLoad is the target utilisation ρ ∈ (0, ~1): the arrival rate
+	// is set to λ = ρ·P / E[T1], so work arrives at ρ times the machine's
+	// processing capacity.
+	OfferedLoad float64
+	// CLMin..CLMax bounds the per-job transition factors.
+	CLMin, CLMax int
+	// Shrink divides job phase lengths.
+	Shrink int
+	// Policy and Scheduler define the task scheduler under test.
+	Policy    feedback.Factory
+	Scheduler sched.Scheduler
+}
+
+func (c *Config) normalize() error {
+	if c.P < 1 || c.L < 1 {
+		return fmt.Errorf("opensys: invalid machine P=%d L=%d", c.P, c.L)
+	}
+	if c.OfferedLoad <= 0 || c.OfferedLoad >= 2 {
+		return fmt.Errorf("opensys: offered load %v out of range", c.OfferedLoad)
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 200
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Jobs / 4
+	}
+	if c.Warmup >= c.Jobs {
+		return fmt.Errorf("opensys: warmup %d >= jobs %d", c.Warmup, c.Jobs)
+	}
+	if c.CLMin < 1 || c.CLMax < c.CLMin {
+		c.CLMin, c.CLMax = 2, 50
+	}
+	if c.Shrink < 1 {
+		c.Shrink = 4
+	}
+	if c.Policy == nil {
+		c.Policy = feedback.AControlFactory(0.2)
+	}
+	return nil
+}
+
+// Result summarises the post-warmup steady state.
+type Result struct {
+	// Jobs is the number of jobs measured (arrivals minus warmup).
+	Jobs int
+	// OfferedLoad echoes the configured load; RealizedLoad is the measured
+	// total work divided by capacity over the measured span.
+	OfferedLoad, RealizedLoad float64
+	// Response summarises job response times (steps).
+	Response stats.Summary
+	// Slowdown summarises response / critical-path — how much worse than a
+	// dedicated machine each job fared.
+	Slowdown stats.Summary
+	// MeanActiveJobs estimates the average multiprogramming level via
+	// Little's law: λ · mean response.
+	MeanActiveJobs float64
+}
+
+// Run simulates the open system.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	rng := xrand.New(cfg.Seed)
+	// Draw the job bodies first to learn the mean work, then place arrivals
+	// at rate λ = ρ·P/E[T1].
+	profiles := make([]*job.Profile, cfg.Jobs)
+	var totalWork float64
+	for i := range profiles {
+		cl := rng.IntRange(cfg.CLMin, cfg.CLMax)
+		profiles[i] = workload.GenJob(rng, workload.ScaledJobParams(cl, cfg.L, cfg.Shrink))
+		totalWork += float64(profiles[i].Work())
+	}
+	meanWork := totalWork / float64(cfg.Jobs)
+	lambda := cfg.OfferedLoad * float64(cfg.P) / meanWork // arrivals per step
+	specs := make([]sim.JobSpec, cfg.Jobs)
+	now := 0.0
+	for i := range specs {
+		now += rng.ExpFloat64() / lambda
+		specs[i] = sim.JobSpec{
+			Name:    fmt.Sprintf("j%d", i),
+			Release: int64(now),
+			Inst:    job.NewRun(profiles[i]),
+			Policy:  cfg.Policy(),
+			Sched:   cfg.Scheduler,
+		}
+	}
+	mres, err := sim.RunMulti(specs, sim.MultiConfig{
+		P: cfg.P, L: cfg.L, Allocator: alloc.DynamicEquiPartition{},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{OfferedLoad: cfg.OfferedLoad}
+	var responses, slowdowns []float64
+	var measuredWork float64
+	var firstRelease, lastCompletion int64 = math.MaxInt64, 0
+	for i := cfg.Warmup; i < cfg.Jobs; i++ {
+		j := mres.Jobs[i]
+		responses = append(responses, float64(j.Response))
+		slowdowns = append(slowdowns, float64(j.Response)/float64(j.CriticalPath))
+		measuredWork += float64(j.Work)
+		if j.Release < firstRelease {
+			firstRelease = j.Release
+		}
+		if j.Completion > lastCompletion {
+			lastCompletion = j.Completion
+		}
+	}
+	res.Jobs = len(responses)
+	res.Response = stats.Summarize(responses)
+	res.Slowdown = stats.Summarize(slowdowns)
+	if span := lastCompletion - firstRelease; span > 0 {
+		res.RealizedLoad = measuredWork / (float64(span) * float64(cfg.P))
+	}
+	res.MeanActiveJobs = lambda * res.Response.Mean
+	return res, nil
+}
+
+// Sweep runs the open system across offered loads with the same seed and
+// returns one Result per load.
+func Sweep(cfg Config, loads []float64) ([]Result, error) {
+	out := make([]Result, 0, len(loads))
+	for _, rho := range loads {
+		c := cfg
+		c.OfferedLoad = rho
+		r, err := Run(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package opensys
+
+import (
+	"testing"
+
+	"abg/internal/feedback"
+	"abg/internal/sched"
+)
+
+func testCfg(load float64) Config {
+	return Config{
+		Seed: 11, P: 32, L: 50,
+		Jobs: 60, Warmup: 15,
+		OfferedLoad: load,
+		CLMin:       2, CLMax: 16,
+		Shrink:    8,
+		Policy:    feedback.AControlFactory(0.2),
+		Scheduler: sched.BGreedy(),
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(testCfg(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 45 {
+		t.Fatalf("measured jobs = %d", res.Jobs)
+	}
+	if res.Response.Mean <= 0 {
+		t.Fatalf("mean response %v", res.Response.Mean)
+	}
+	// Every job's slowdown is at least ~1 (response ≥ critical path).
+	if res.Slowdown.Min < 1-1e-9 {
+		t.Fatalf("slowdown min %v < 1", res.Slowdown.Min)
+	}
+	if res.MeanActiveJobs <= 0 {
+		t.Fatal("Little's-law estimate missing")
+	}
+	if res.RealizedLoad <= 0 || res.RealizedLoad > 1.5 {
+		t.Fatalf("realized load %v implausible", res.RealizedLoad)
+	}
+}
+
+func TestResponseGrowsWithLoad(t *testing.T) {
+	// Steady-state response time must increase with offered load, sharply
+	// near saturation.
+	low, err := Run(testCfg(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(testCfg(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Response.Mean <= low.Response.Mean {
+		t.Fatalf("response did not grow with load: %v (ρ=0.9) vs %v (ρ=0.2)",
+			high.Response.Mean, low.Response.Mean)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	rs, err := Sweep(testCfg(0.1), []float64{0.2, 0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].OfferedLoad != 0.2 || rs[2].OfferedLoad != 0.8 {
+		t.Fatal("loads not applied")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(testCfg(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testCfg(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Response.Mean != b.Response.Mean || a.RealizedLoad != b.RealizedLoad {
+		t.Fatal("open system is not deterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{P: 0, L: 10, OfferedLoad: 0.5},
+		{P: 8, L: 0, OfferedLoad: 0.5},
+		{P: 8, L: 10, OfferedLoad: 0},
+		{P: 8, L: 10, OfferedLoad: 3},
+		{P: 8, L: 10, OfferedLoad: 0.5, Jobs: 10, Warmup: 10},
+	}
+	for i, c := range bad {
+		if _, err := Run(c); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Config{P: 16, L: 20, OfferedLoad: 0.3, Scheduler: sched.BGreedy()}
+	if err := c.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs != 200 || c.Warmup != 50 || c.Policy == nil || c.Shrink < 1 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+// TestABGBeatsAGreedyOpenSystem: the headline comparison holds in the open
+// system at moderate load.
+func TestABGBeatsAGreedyOpenSystem(t *testing.T) {
+	abgCfg := testCfg(0.5)
+	agCfg := testCfg(0.5)
+	agCfg.Policy = feedback.AGreedyFactory(2, 0.8)
+	agCfg.Scheduler = sched.Greedy()
+	abg, err := Run(abgCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := Run(agCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abg.Response.Mean > ag.Response.Mean*1.1 {
+		t.Fatalf("ABG response %v materially worse than A-Greedy %v",
+			abg.Response.Mean, ag.Response.Mean)
+	}
+}

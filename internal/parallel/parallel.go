@@ -1,0 +1,63 @@
+// Package parallel provides the deterministic fan-out primitive used by the
+// experiment harness: independent simulation tasks are executed concurrently
+// across CPUs while results land in input order, so a sweep's output is
+// identical no matter how many cores ran it.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using up to GOMAXPROCS
+// goroutines. fn must be safe for concurrent invocation on distinct indices;
+// each index is processed exactly once. ForEach returns when all calls have
+// completed. n ≤ 0 is a no-op.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) concurrently and returns the results in input
+// order. Errors are collected per index; the first non-nil error (in index
+// order) is returned alongside the full result slice.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	called := false
+	ForEach(0, func(int) { called = true })
+	ForEach(-5, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+	// n = 1 must work (sequential fast path).
+	count := 0
+	ForEach(1, func(i int) { count++ })
+	if count != 1 {
+		t.Fatal("n=1 failed")
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	out, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := Map(10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errB
+		case 7:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if err != errB {
+		t.Fatalf("expected the lowest-index error, got %v", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, func(int) (string, error) { return "", nil })
+	if err != nil || len(out) != 0 {
+		t.Fatal("empty map broken")
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(64, func(j int) {
+			s := 0
+			for k := 0; k < 1000; k++ {
+				s += k
+			}
+			_ = s
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"abg/internal/job"
+	"abg/internal/sched"
+)
+
+// ExampleRunQuantum reproduces the paper's Figure 2 measurement: a quantum
+// of 3 steps with 4 processors on a job whose levels are 5 wide, starting
+// one task into the first level, measures T1(q)=12 and the fractional
+// T∞(q)=0.8+1+0.6=2.4, so A(q)=5.
+func ExampleRunQuantum() {
+	p := job.Constant(5, 3)
+	r := job.NewRun(p)
+	r.Step(1, job.BreadthFirst, nil) // pre-quantum: 1 task of level 0 done
+
+	st := sched.RunQuantum(r, sched.BGreedy(), 4, 3)
+	fmt.Printf("T1(q) = %d\n", st.Work)
+	fmt.Printf("T∞(q) = %.1f\n", st.CPL)
+	fmt.Printf("A(q)  = %.0f\n", st.AvgParallelism())
+	// Output:
+	// T1(q) = 12
+	// T∞(q) = 2.4
+	// A(q)  = 5
+}

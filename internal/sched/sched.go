@@ -1,0 +1,159 @@
+// Package sched implements the user-level task schedulers of the paper:
+// B-Greedy (greedy with breadth-first priority, §2) and plain greedy, plus
+// the per-quantum measurement both rely on.
+//
+// Within a scheduling quantum the task scheduler executes the job step by
+// step with the quantum's allotment and collects:
+//
+//	T1(q)  — quantum work: tasks completed in the quantum;
+//	T∞(q)  — quantum critical-path length: the number of levels the job
+//	         advanced, where a partially completed level contributes the
+//	         fraction (tasks of that level completed in q) / (level width);
+//	A(q)   — quantum average parallelism T1(q)/T∞(q).
+//
+// The fractional rule reproduces the paper's Figure 2 example exactly
+// (T1(q)=12, T∞(q)=0.8+1+0.6=2.4, A(q)=5).
+package sched
+
+import (
+	"fmt"
+
+	"abg/internal/job"
+)
+
+// Scheduler is a task scheduler: an execution order plus a name. The order
+// is what distinguishes B-Greedy (breadth-first) from a plain greedy
+// scheduler; both execute min(allotment, #ready) tasks per step.
+type Scheduler struct {
+	name  string
+	order job.Order
+}
+
+// BGreedy returns the breadth-first greedy scheduler of the paper.
+func BGreedy() Scheduler { return Scheduler{name: "B-Greedy", order: job.BreadthFirst} }
+
+// Greedy returns a plain greedy scheduler executing ready tasks in FIFO
+// order, the task scheduler underneath A-Greedy.
+func Greedy() Scheduler { return Scheduler{name: "Greedy", order: job.FIFO} }
+
+// DepthGreedy returns a greedy scheduler that prioritises the deepest ready
+// tasks; the adversarial ordering used by the execution-order ablation.
+func DepthGreedy() Scheduler { return Scheduler{name: "DepthGreedy", order: job.DepthFirst} }
+
+// Name returns the scheduler's display name.
+func (s Scheduler) Name() string { return s.name }
+
+// Order returns the task selection order the scheduler uses.
+func (s Scheduler) Order() job.Order { return s.order }
+
+// QuantumStats records what happened to one job during one quantum. All the
+// feedback policies in abg/internal/feedback decide from this alone.
+type QuantumStats struct {
+	Index     int     // quantum number, 1-based
+	Request   float64 // d(q), the request the policy issued
+	Allotment int     // a(q) granted by the OS allocator
+	Length    int     // quantum length L in steps
+	Steps     int     // steps actually executed (< Length only on completion)
+	Work      int64   // T1(q)
+	CPL       float64 // T∞(q), fractional
+	IdleSteps int     // steps on which no task completed
+	// PartialSteps counts steps on which some but fewer than a(q) tasks
+	// completed — the "incomplete steps" of the classical greedy argument.
+	PartialSteps int
+	// LevelsTouched counts distinct levels with at least one completion in
+	// the quantum. The integer (Graham-form) greedy bound
+	// L ≤ T1(q)/a(q) + LevelsTouched(q) holds for every full quantum of any
+	// dag, whereas the paper's fractional α(q)+β(q) ≥ 1 (Inequality 5) is
+	// exact only on the fork-join job family it simulates.
+	LevelsTouched int
+	Deprived      bool // a(q) < request (after integer rounding)
+	Completed     bool // job finished during this quantum
+}
+
+// Full reports whether the quantum is full per §5.1: work was done on every
+// time step of the quantum.
+func (s QuantumStats) Full() bool { return s.IdleSteps == 0 && s.Steps == s.Length }
+
+// AvgParallelism returns A(q) = T1(q)/T∞(q). It returns 0 for an empty
+// quantum (no work done).
+func (s QuantumStats) AvgParallelism() float64 {
+	if s.CPL == 0 {
+		return 0
+	}
+	return float64(s.Work) / s.CPL
+}
+
+// Waste returns the processor cycles wasted in the quantum: allotted
+// processor-steps not spent completing tasks. Only the steps the job
+// actually held processors count; the boundary tail after completion is
+// accounted separately by the engine (see sim.BoundaryWaste).
+func (s QuantumStats) Waste() int64 {
+	return int64(s.Allotment)*int64(s.Steps) - s.Work
+}
+
+// WorkEfficiency returns α(q) = T1(q) / (a(q)·L) for a full quantum.
+func (s QuantumStats) WorkEfficiency() float64 {
+	if s.Allotment == 0 || s.Length == 0 {
+		return 0
+	}
+	return float64(s.Work) / (float64(s.Allotment) * float64(s.Length))
+}
+
+// CPLEfficiency returns β(q) = T∞(q) / L.
+func (s QuantumStats) CPLEfficiency() float64 {
+	if s.Length == 0 {
+		return 0
+	}
+	return s.CPL / float64(s.Length)
+}
+
+// String renders the stats compactly for traces and debugging.
+func (s QuantumStats) String() string {
+	return fmt.Sprintf("q=%d d=%.2f a=%d steps=%d/%d T1=%d T∞=%.3f A=%.2f",
+		s.Index, s.Request, s.Allotment, s.Steps, s.Length, s.Work, s.CPL, s.AvgParallelism())
+}
+
+// RunQuantum executes one scheduling quantum: up to length steps of inst
+// with the given allotment, selecting tasks per the scheduler's order, and
+// returns the measured statistics. The Index, Request and Deprived fields
+// are left for the caller (the engine) to fill in.
+func RunQuantum(inst job.Instance, sc Scheduler, allotment, length int) QuantumStats {
+	st := QuantumStats{Allotment: allotment, Length: length}
+	if length <= 0 {
+		return st
+	}
+	var buf []job.LevelCount
+	// Accumulate per-level fractions. Levels touched within a quantum form a
+	// short contiguous-ish window, so a small map is fine here; the hot path
+	// for the big sweeps is the profile Step itself.
+	levelDone := make(map[int]int, 8)
+	for s := 0; s < length; s++ {
+		if inst.Done() {
+			break
+		}
+		var n int
+		buf = buf[:0]
+		n, buf = inst.Step(allotment, sc.order, buf)
+		st.Steps++
+		if n == 0 {
+			st.IdleSteps++
+			continue
+		}
+		st.Work += int64(n)
+		if n < allotment {
+			st.PartialSteps++
+		}
+		for _, lc := range buf {
+			levelDone[lc.Level] += lc.Count
+		}
+		if inst.Done() {
+			st.Completed = true
+			break
+		}
+	}
+	st.LevelsTouched = len(levelDone)
+	for level, count := range levelDone {
+		st.CPL += float64(count) / float64(inst.LevelWidth(level))
+	}
+	return st
+}

@@ -1,0 +1,317 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abg/internal/dag"
+	"abg/internal/job"
+	"abg/internal/xrand"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestFigure2QuantumMeasurement reproduces the paper's Figure 2 numbers
+// exactly: a quantum that completes 4 tasks of a 5-wide level, all 5 of the
+// next, and 3 of the one after yields T1(q)=12, T∞(q)=0.8+1+0.6=2.4 and
+// A(q)=5.
+func TestFigure2QuantumMeasurement(t *testing.T) {
+	p := job.Constant(5, 3)
+	r := job.NewRun(p)
+	// Pre-quantum: one step with a single processor completes 1 task of
+	// level 0, so the measured quantum starts mid-level.
+	if n, _ := r.Step(1, job.BreadthFirst, nil); n != 1 {
+		t.Fatal("pre-step failed")
+	}
+	st := RunQuantum(r, BGreedy(), 4, 3)
+	if st.Work != 12 {
+		t.Fatalf("T1(q) = %d, want 12", st.Work)
+	}
+	if !approx(st.CPL, 2.4, 1e-12) {
+		t.Fatalf("T∞(q) = %v, want 2.4", st.CPL)
+	}
+	if !approx(st.AvgParallelism(), 5, 1e-12) {
+		t.Fatalf("A(q) = %v, want 5", st.AvgParallelism())
+	}
+}
+
+func TestQuantumStatsDerived(t *testing.T) {
+	st := QuantumStats{Allotment: 4, Length: 10, Steps: 10, Work: 25, CPL: 5}
+	if !st.Full() {
+		t.Fatal("should be full")
+	}
+	if st.Waste() != 4*10-25 {
+		t.Fatalf("waste = %d", st.Waste())
+	}
+	if !approx(st.WorkEfficiency(), 25.0/40.0, 1e-12) {
+		t.Fatalf("α = %v", st.WorkEfficiency())
+	}
+	if !approx(st.CPLEfficiency(), 0.5, 1e-12) {
+		t.Fatalf("β = %v", st.CPLEfficiency())
+	}
+	if !strings.Contains(st.String(), "T1=25") {
+		t.Fatalf("String: %s", st.String())
+	}
+}
+
+func TestQuantumStatsEdges(t *testing.T) {
+	var st QuantumStats
+	if st.AvgParallelism() != 0 {
+		t.Fatal("empty quantum parallelism should be 0")
+	}
+	if st.WorkEfficiency() != 0 || st.CPLEfficiency() != 0 {
+		t.Fatal("zero-division guards failed")
+	}
+	st = QuantumStats{Length: 10, Steps: 3, IdleSteps: 0}
+	if st.Full() {
+		t.Fatal("short quantum is not full")
+	}
+	st = QuantumStats{Length: 10, Steps: 10, IdleSteps: 1}
+	if st.Full() {
+		t.Fatal("idle quantum is not full")
+	}
+}
+
+func TestSchedulerIdentities(t *testing.T) {
+	if BGreedy().Name() != "B-Greedy" || BGreedy().Order() != job.BreadthFirst {
+		t.Fatal("BGreedy wrong")
+	}
+	if Greedy().Name() != "Greedy" || Greedy().Order() != job.FIFO {
+		t.Fatal("Greedy wrong")
+	}
+	if DepthGreedy().Order() != job.DepthFirst {
+		t.Fatal("DepthGreedy wrong")
+	}
+}
+
+func TestRunQuantumCompletesJob(t *testing.T) {
+	p := job.Constant(3, 4) // 12 tasks
+	r := job.NewRun(p)
+	st := RunQuantum(r, BGreedy(), 3, 100)
+	if !st.Completed {
+		t.Fatal("job should complete")
+	}
+	if st.Steps != 4 { // one level per step with a=width
+		t.Fatalf("steps = %d", st.Steps)
+	}
+	if st.Work != 12 {
+		t.Fatalf("work = %d", st.Work)
+	}
+	if !approx(st.CPL, 4, 1e-12) {
+		t.Fatalf("cpl = %v", st.CPL)
+	}
+	// A finished job yields an empty quantum afterwards.
+	st2 := RunQuantum(r, BGreedy(), 3, 10)
+	if st2.Work != 0 || st2.Steps != 0 || st2.Completed {
+		t.Fatalf("quantum on finished job: %+v", st2)
+	}
+}
+
+func TestRunQuantumZeroLength(t *testing.T) {
+	r := job.NewRun(job.Serial(3))
+	st := RunQuantum(r, BGreedy(), 2, 0)
+	if st.Steps != 0 || st.Work != 0 {
+		t.Fatalf("zero-length quantum: %+v", st)
+	}
+}
+
+func TestRunQuantumZeroAllotment(t *testing.T) {
+	r := job.NewRun(job.Serial(3))
+	st := RunQuantum(r, BGreedy(), 0, 5)
+	if st.Work != 0 {
+		t.Fatal("no allotment should do no work")
+	}
+	if st.IdleSteps != 5 || st.Steps != 5 {
+		t.Fatalf("idle accounting: %+v", st)
+	}
+	if st.Full() {
+		t.Fatal("all-idle quantum is not full")
+	}
+}
+
+// TestFractionsSumToLevels checks that, over a whole execution, the quantum
+// critical-path lengths sum to the job's T∞ — every level contributes its
+// fractions exactly once.
+func TestFractionsSumToLevels(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 20; trial++ {
+		nLevels := rng.IntRange(1, 15)
+		widths := make([]int, nLevels)
+		for i := range widths {
+			widths[i] = rng.IntRange(1, 9)
+		}
+		p := job.FromWidths(widths)
+		r := job.NewRun(p)
+		a := rng.IntRange(1, 12)
+		L := rng.IntRange(1, 9)
+		var sumCPL float64
+		var sumWork int64
+		for !r.Done() {
+			st := RunQuantum(r, BGreedy(), a, L)
+			sumCPL += st.CPL
+			sumWork += st.Work
+		}
+		if !approx(sumCPL, float64(p.CriticalPathLen()), 1e-9) {
+			t.Fatalf("ΣT∞(q) = %v, want %d (widths %v a=%d L=%d)",
+				sumCPL, p.CriticalPathLen(), widths, a, L)
+		}
+		if sumWork != p.Work() {
+			t.Fatalf("ΣT1(q) = %d, want %d", sumWork, p.Work())
+		}
+	}
+}
+
+// TestAlphaPlusBetaAtLeastOne verifies Inequality (5) of the paper:
+// α(q) + β(q) ≥ 1 for every full quantum under B-Greedy, on the paper's job
+// family — fork-join jobs whose parallel phases are equal-width chains. (On
+// that family every incomplete step telescopes to exactly one fractional
+// level of progress. The inequality is NOT exact on arbitrary
+// level-synchronized dags: a quantum that starts on the 1-task tail of a
+// wide barrier level earns only 1/width of a level for one whole incomplete
+// step; see TestGrahamFormGreedyBound for the invariant that holds
+// universally. EXPERIMENTS.md records this subtlety.)
+func TestAlphaPlusBetaAtLeastOne(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 40; trial++ {
+		w := rng.IntRange(1, 24)
+		h := rng.IntRange(2, 60)
+		p := job.Constant(w, h)
+		r := job.NewRun(p)
+		a := rng.IntRange(1, 16)
+		L := rng.IntRange(2, 12)
+		for !r.Done() {
+			st := RunQuantum(r, BGreedy(), a, L)
+			if !st.Full() {
+				continue
+			}
+			if s := st.WorkEfficiency() + st.CPLEfficiency(); s < 1-1e-9 {
+				t.Fatalf("α+β = %v < 1 on full quantum %+v (w=%d h=%d a=%d L=%d)", s, st, w, h, a, L)
+			}
+		}
+	}
+}
+
+// TestGrahamFormGreedyBound verifies the integer form of the greedy bound
+// that holds on every dag: for a full quantum,
+// L ≤ T1(q)/a(q) + LevelsTouched(q), equivalently
+// PartialSteps(q) ≤ LevelsTouched(q), because every step either completes
+// a(q) tasks or advances the ready frontier past at least one level.
+func TestGrahamFormGreedyBound(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 40; trial++ {
+		nLevels := rng.IntRange(2, 30)
+		widths := make([]int, nLevels)
+		for i := range widths {
+			widths[i] = rng.IntRange(1, 20)
+		}
+		p := job.FromWidths(widths)
+		r := job.NewRun(p)
+		a := rng.IntRange(1, 16)
+		L := rng.IntRange(2, 12)
+		for !r.Done() {
+			st := RunQuantum(r, BGreedy(), a, L)
+			if !st.Full() {
+				continue
+			}
+			if st.PartialSteps > st.LevelsTouched {
+				t.Fatalf("partial steps %d > levels touched %d: %+v (widths %v)",
+					st.PartialSteps, st.LevelsTouched, st, widths)
+			}
+			bound := float64(st.Work)/float64(st.Allotment) + float64(st.LevelsTouched)
+			if float64(st.Length) > bound+1e-9 {
+				t.Fatalf("L=%d > %v: %+v", st.Length, bound, st)
+			}
+		}
+	}
+}
+
+// TestConstantParallelismMeasurement: on a constant-parallelism job with
+// allotment ≥ width, B-Greedy measures A(q) equal to the width exactly.
+func TestConstantParallelismMeasurement(t *testing.T) {
+	for _, w := range []int{1, 3, 12} {
+		p := job.Constant(w, 50)
+		r := job.NewRun(p)
+		st := RunQuantum(r, BGreedy(), w+5, 10)
+		if !approx(st.AvgParallelism(), float64(w), 1e-9) {
+			t.Fatalf("width %d: A(q) = %v", w, st.AvgParallelism())
+		}
+	}
+}
+
+// TestUnderAllottedMeasurement: with a < A, a full quantum yields A(q) ≥ a —
+// enough parallelism exists to keep every processor busy, so the measured
+// parallelism cannot underestimate the allotment.
+func TestUnderAllottedMeasurement(t *testing.T) {
+	p := job.Constant(16, 200)
+	r := job.NewRun(p)
+	st := RunQuantum(r, BGreedy(), 4, 20)
+	if !st.Full() {
+		t.Fatal("quantum should be full")
+	}
+	if st.AvgParallelism() < 4-1e-9 {
+		t.Fatalf("A(q) = %v < allotment 4", st.AvgParallelism())
+	}
+}
+
+// TestDagAndProfileQuantumAgreement: the measurement must agree across the
+// two executors on level-synchronized jobs.
+func TestDagAndProfileQuantumAgreement(t *testing.T) {
+	rng := xrand.New(19)
+	for trial := 0; trial < 15; trial++ {
+		nLevels := rng.IntRange(1, 8)
+		widths := make([]int, nLevels)
+		for i := range widths {
+			widths[i] = rng.IntRange(1, 6)
+		}
+		pr := job.NewRun(job.FromWidths(widths))
+		dr := dag.NewRun(dag.FromProfileWidths(widths))
+		a := rng.IntRange(1, 8)
+		L := rng.IntRange(1, 6)
+		for !pr.Done() || !dr.Done() {
+			sp := RunQuantum(pr, BGreedy(), a, L)
+			sd := RunQuantum(dr, BGreedy(), a, L)
+			if sp.Work != sd.Work || !approx(sp.CPL, sd.CPL, 1e-9) {
+				t.Fatalf("divergence: profile %+v dag %+v (widths %v)", sp, sd, widths)
+			}
+		}
+	}
+}
+
+// TestDepthFirstDistortsMeasurement demonstrates the ablation rationale: a
+// depth-first order can inflate the measured T∞(q) relative to breadth-first
+// (more levels are touched for the same work), never deflate the work.
+func TestDepthFirstDistortsMeasurement(t *testing.T) {
+	p := job.Constant(4, 60)
+	bf := job.NewRun(p)
+	df := job.NewRun(p)
+	stBF := RunQuantum(bf, BGreedy(), 2, 30)
+	stDF := RunQuantum(df, DepthGreedy(), 2, 30)
+	if stDF.CPL < stBF.CPL-1e-9 {
+		t.Fatalf("DF touched fewer levels (%v) than BF (%v)", stDF.CPL, stBF.CPL)
+	}
+}
+
+func BenchmarkRunQuantumProfile(b *testing.B) {
+	p := job.Constant(64, 10000)
+	r := job.NewRun(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Done() {
+			r.Reset()
+		}
+		RunQuantum(r, BGreedy(), 64, 100)
+	}
+}
+
+func BenchmarkRunQuantumDag(b *testing.B) {
+	g := dag.IndependentChains(32, 512)
+	r := dag.NewRun(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Done() {
+			r = dag.NewRun(g)
+		}
+		RunQuantum(r, BGreedy(), 32, 64)
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+)
+
+// AdaptiveLConfig configures the dynamic quantum-length engine — an
+// implementation of the paper's §9 future-work suggestion ("dynamically
+// adjusting the quantum length ... to achieve better system wide
+// adaptivity").
+//
+// The heuristic: when the processor request has settled (it changed by less
+// than StableTol relative to the previous quantum), the quantum length is
+// multiplied by Grow, up to LMax — fewer feedback actions and reallocations
+// for a job in steady state. When the request moves more than that, the
+// length resets to LMin so the controller can track the change closely.
+type AdaptiveLConfig struct {
+	// LMin and LMax bound the quantum length; LMin is also the initial
+	// length. Required: 1 ≤ LMin ≤ LMax.
+	LMin, LMax int
+	// Grow is the lengthening factor applied after a stable quantum
+	// (default 2 when zero; must be > 1 otherwise).
+	Grow float64
+	// StableTol is the relative request-change threshold below which a
+	// quantum counts as stable (default 0.05 when zero).
+	StableTol float64
+	// MaxQuanta caps the simulation; DefaultMaxQuanta when zero.
+	MaxQuanta int
+}
+
+func (c *AdaptiveLConfig) normalize() error {
+	if c.LMin < 1 || c.LMax < c.LMin {
+		return fmt.Errorf("sim: invalid adaptive quantum bounds [%d,%d]", c.LMin, c.LMax)
+	}
+	if c.Grow == 0 {
+		c.Grow = 2
+	}
+	if c.Grow <= 1 {
+		return fmt.Errorf("sim: adaptive quantum growth factor %v must exceed 1", c.Grow)
+	}
+	if c.StableTol == 0 {
+		c.StableTol = 0.05
+	}
+	if c.StableTol < 0 {
+		return fmt.Errorf("sim: negative stability tolerance %v", c.StableTol)
+	}
+	if c.MaxQuanta <= 0 {
+		c.MaxQuanta = DefaultMaxQuanta
+	}
+	return nil
+}
+
+// RunSingleAdaptiveL simulates a job alone like RunSingle but with a
+// dynamically adjusted quantum length. The per-quantum trace records the
+// length actually used in each quantum (QuantumStats.Length).
+func RunSingleAdaptiveL(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
+	allocator alloc.Single, cfg AdaptiveLConfig) (SingleResult, error) {
+
+	if err := cfg.normalize(); err != nil {
+		return SingleResult{}, err
+	}
+	res := SingleResult{
+		Work:         inst.TotalWork(),
+		CriticalPath: inst.CriticalPathLen(),
+	}
+	l := cfg.LMin
+	d := pol.InitialRequest()
+	prevD := d
+	for q := 1; !inst.Done(); q++ {
+		if q > cfg.MaxQuanta {
+			return res, fmt.Errorf("sim: job did not finish within %d quanta", cfg.MaxQuanta)
+		}
+		req := RoundRequest(d)
+		a := allocator.Grant(q, req)
+		st := sched.RunQuantum(inst, sc, a, l)
+		st.Index = q
+		st.Request = d
+		st.Deprived = a < req
+		res.NumQuanta++
+		res.Runtime += int64(st.Steps)
+		res.AllottedCycles += int64(a) * int64(st.Steps)
+		res.Waste += st.Waste()
+		if st.Completed {
+			res.BoundaryWaste = int64(a) * int64(l-st.Steps)
+		}
+		res.Quanta = append(res.Quanta, st)
+		prevD = d
+		d = pol.NextRequest(st)
+		// Adapt the quantum length from the observed request movement.
+		scale := prevD
+		if scale < 1 {
+			scale = 1
+		}
+		rel := d - prevD
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel/scale <= cfg.StableTol {
+			l = int(float64(l) * cfg.Grow)
+			if l > cfg.LMax {
+				l = cfg.LMax
+			}
+		} else {
+			l = cfg.LMin
+		}
+	}
+	return res, nil
+}

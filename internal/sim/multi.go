@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+)
+
+// JobSpec describes one job of a multiprogrammed job set.
+type JobSpec struct {
+	// Name labels the job in results (optional).
+	Name string
+	// Release is the arrival time in steps. A job arriving mid-quantum
+	// starts at the following quantum boundary (reallocation happens only at
+	// boundaries).
+	Release int64
+	// Inst is the job to execute.
+	Inst job.Instance
+	// Policy computes its processor requests (one instance per job).
+	Policy feedback.Policy
+	// Sched is its task scheduler.
+	Sched sched.Scheduler
+}
+
+// MultiConfig configures a multiprogrammed simulation.
+type MultiConfig struct {
+	// P is the machine size; L the quantum length. Both required.
+	P, L int
+	// Allocator space-shares the machine; required (e.g.
+	// alloc.DynamicEquiPartition{}).
+	Allocator alloc.Multi
+	// MaxQuanta caps the simulation; DefaultMaxQuanta when zero.
+	MaxQuanta int
+	// KeepTraces records every job's per-quantum statistics in
+	// JobOutcome.Quanta (off by default: large sweeps would hold thousands
+	// of traces alive).
+	KeepTraces bool
+}
+
+// JobOutcome is the per-job result of a multiprogrammed run.
+type JobOutcome struct {
+	Name         string
+	Release      int64
+	Completion   int64 // step at which the job's last task finished
+	Response     int64 // Completion − Release
+	Work         int64
+	CriticalPath int
+	Waste        int64 // Σ_q a(q)·L − T1: the job holds its allotment to each boundary
+	NumQuanta    int
+	DeprivedQ    int // quanta on which the allotment fell short of the request
+	// Quanta holds the job's per-quantum trace when MultiConfig.KeepTraces
+	// is set (nil otherwise).
+	Quanta []sched.QuantumStats
+}
+
+// MultiResult is the outcome of a multiprogrammed run.
+type MultiResult struct {
+	Jobs []JobOutcome
+	// Makespan is the completion time of the last job (time origin 0).
+	Makespan int64
+	// TotalWaste sums the per-job wastes.
+	TotalWaste int64
+	// QuantaElapsed is the number of global quantum boundaries processed.
+	QuantaElapsed int
+}
+
+// MeanResponse returns the mean response time of the job set.
+func (r MultiResult) MeanResponse() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, j := range r.Jobs {
+		sum += j.Response
+	}
+	return float64(sum) / float64(len(r.Jobs))
+}
+
+// jobState is the engine's per-job bookkeeping.
+type jobState struct {
+	spec    *JobSpec
+	request float64
+	started bool
+	done    bool
+}
+
+// RunMulti simulates the job set space-sharing P processors under the given
+// multi-job allocator, with synchronized quanta of length L. Allotments are
+// decided at every boundary from the current requests of all active jobs.
+func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
+	if cfg.P < 1 || cfg.L < 1 {
+		return MultiResult{}, fmt.Errorf("sim: invalid machine P=%d L=%d", cfg.P, cfg.L)
+	}
+	if cfg.Allocator == nil {
+		return MultiResult{}, fmt.Errorf("sim: nil allocator")
+	}
+	if len(specs) == 0 {
+		return MultiResult{}, fmt.Errorf("sim: empty job set")
+	}
+	maxQ := cfg.MaxQuanta
+	if maxQ <= 0 {
+		maxQ = DefaultMaxQuanta
+	}
+	res := MultiResult{Jobs: make([]JobOutcome, len(specs))}
+	states := make([]jobState, len(specs))
+	for i := range specs {
+		if specs[i].Inst == nil || specs[i].Policy == nil {
+			return MultiResult{}, fmt.Errorf("sim: job %d missing instance or policy", i)
+		}
+		states[i] = jobState{spec: &specs[i]}
+		res.Jobs[i] = JobOutcome{
+			Name:         specs[i].Name,
+			Release:      specs[i].Release,
+			Work:         specs[i].Inst.TotalWork(),
+			CriticalPath: specs[i].Inst.CriticalPathLen(),
+		}
+	}
+	remaining := len(specs)
+	L64 := int64(cfg.L)
+
+	// Reusable per-boundary scratch.
+	activeIdx := make([]int, 0, len(specs))
+	requests := make([]int, 0, len(specs))
+
+	for k := 0; remaining > 0; k++ {
+		if k > maxQ {
+			return res, fmt.Errorf("sim: job set did not finish within %d quanta", maxQ)
+		}
+		now := int64(k) * L64
+		// Collect active jobs; fast-forward if none are released yet.
+		activeIdx = activeIdx[:0]
+		var nextRelease int64 = -1
+		for i := range states {
+			s := &states[i]
+			if s.done {
+				continue
+			}
+			if s.spec.Release > now {
+				if nextRelease < 0 || s.spec.Release < nextRelease {
+					nextRelease = s.spec.Release
+				}
+				continue
+			}
+			if !s.started {
+				s.started = true
+				s.request = s.spec.Policy.InitialRequest()
+			}
+			activeIdx = append(activeIdx, i)
+		}
+		if len(activeIdx) == 0 {
+			// Jump to the boundary at or after the next release.
+			k = int((nextRelease + L64 - 1) / L64)
+			k-- // loop increment
+			continue
+		}
+		res.QuantaElapsed++
+		requests = requests[:0]
+		for _, i := range activeIdx {
+			requests = append(requests, RoundRequest(states[i].request))
+		}
+		allots := cfg.Allocator.Allot(requests, cfg.P)
+		for pos, i := range activeIdx {
+			s := &states[i]
+			a := allots[pos]
+			if a <= 0 {
+				// No processors this quantum (|J| > P); the job stalls and
+				// its request stands.
+				continue
+			}
+			st := sched.RunQuantum(s.spec.Inst, s.spec.Sched, a, cfg.L)
+			st.Index = res.Jobs[i].NumQuanta + 1
+			st.Request = s.request
+			st.Deprived = a < requests[pos]
+			res.Jobs[i].NumQuanta++
+			if st.Deprived {
+				res.Jobs[i].DeprivedQ++
+			}
+			if cfg.KeepTraces {
+				res.Jobs[i].Quanta = append(res.Jobs[i].Quanta, st)
+			}
+			// The job holds its allotment until the boundary, so the whole
+			// quantum's cycles are charged.
+			res.Jobs[i].Waste += int64(a)*L64 - st.Work
+			if st.Completed {
+				s.done = true
+				remaining--
+				res.Jobs[i].Completion = now + int64(st.Steps)
+				res.Jobs[i].Response = res.Jobs[i].Completion - s.spec.Release
+				if res.Jobs[i].Completion > res.Makespan {
+					res.Makespan = res.Jobs[i].Completion
+				}
+			} else {
+				s.request = s.spec.Policy.NextRequest(st)
+			}
+		}
+	}
+	for _, j := range res.Jobs {
+		res.TotalWaste += j.Waste
+	}
+	return res, nil
+}

@@ -1,0 +1,176 @@
+// Package sim is the quantum-driven discrete-time simulation engine of the
+// two-level scheduling framework. It drives jobs (job.Instance) through
+// scheduling quanta: between quanta a feedback policy computes the processor
+// request, an OS allocator grants an allotment, and the task scheduler
+// executes the quantum while measuring it (sched.RunQuantum).
+//
+// RunSingle simulates one job on a machine by itself (the paper's first
+// simulation set, Figure 5); RunMulti space-shares a machine among a job set
+// via a multi-job allocator such as dynamic equi-partitioning (Figure 6).
+// Reallocation happens only at quantum boundaries and scheduling overheads
+// are ignored, exactly as in the paper.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+)
+
+// DefaultMaxQuanta bounds runaway simulations; generously above anything the
+// experiments need.
+const DefaultMaxQuanta = 1 << 22
+
+// SingleConfig configures a single-job simulation.
+type SingleConfig struct {
+	// L is the quantum length in steps; required, ≥ 1.
+	L int
+	// MaxQuanta caps the simulation; DefaultMaxQuanta when zero.
+	MaxQuanta int
+	// KeepTrace records per-quantum stats in the result (on by default in
+	// RunSingle; the sweep experiments disable it to save memory).
+	DropTrace bool
+}
+
+// SingleResult is the outcome of simulating one job alone.
+type SingleResult struct {
+	// Quanta holds one record per scheduling quantum with Index, Request and
+	// Deprived filled in (empty when the config dropped the trace).
+	Quanta []sched.QuantumStats
+	// NumQuanta is the number of quanta executed (valid even without trace).
+	NumQuanta int
+	// Runtime is the job's execution time T in steps: full quanta count L,
+	// the final quantum counts only up to the completing step.
+	Runtime int64
+	// Work and CriticalPath echo the job's T1 and T∞.
+	Work         int64
+	CriticalPath int
+	// Waste is the number of allotted-but-unused processor cycles while the
+	// job ran: Σ_q a(q)·steps(q) − T1.
+	Waste int64
+	// BoundaryWaste is the tail of the final quantum, a(last)·(L − steps):
+	// cycles the non-reserving allocator cannot reclaim until the next
+	// boundary. Reported separately; the paper's Theorem 4 budget P·L for
+	// the last quantum covers both.
+	BoundaryWaste int64
+	// AllottedCycles is Σ_q a(q)·steps(q).
+	AllottedCycles int64
+}
+
+// Speedup returns T1/T, the speedup over serial execution.
+func (r SingleResult) Speedup() float64 {
+	if r.Runtime == 0 {
+		return 0
+	}
+	return float64(r.Work) / float64(r.Runtime)
+}
+
+// NormalizedRuntime returns T/T∞ — Figure 5(a)'s y-axis (1.0 is optimal in
+// an unconstrained environment).
+func (r SingleResult) NormalizedRuntime() float64 {
+	if r.CriticalPath == 0 {
+		return 0
+	}
+	return float64(r.Runtime) / float64(r.CriticalPath)
+}
+
+// NormalizedWaste returns W/T1 — Figure 5(c)'s y-axis.
+func (r SingleResult) NormalizedWaste() float64 {
+	if r.Work == 0 {
+		return 0
+	}
+	return float64(r.Waste) / float64(r.Work)
+}
+
+// Utilization returns T1 / Σ a(q)·steps(q), the fraction of allotted cycles
+// spent on useful work.
+func (r SingleResult) Utilization() float64 {
+	if r.AllottedCycles == 0 {
+		return 0
+	}
+	return float64(r.Work) / float64(r.AllottedCycles)
+}
+
+// Requests returns the request trace d(q) (needs the trace).
+func (r SingleResult) Requests() []float64 {
+	out := make([]float64, len(r.Quanta))
+	for i, q := range r.Quanta {
+		out[i] = q.Request
+	}
+	return out
+}
+
+// Allotments returns the allotment trace a(q) (needs the trace).
+func (r SingleResult) Allotments() []int {
+	out := make([]int, len(r.Quanta))
+	for i, q := range r.Quanta {
+		out[i] = q.Allotment
+	}
+	return out
+}
+
+// Parallelisms returns the measured A(q) trace (needs the trace).
+func (r SingleResult) Parallelisms() []float64 {
+	out := make([]float64, len(r.Quanta))
+	for i, q := range r.Quanta {
+		out[i] = q.AvgParallelism()
+	}
+	return out
+}
+
+// RoundRequest converts the continuous controller output into the integer
+// processor request presented to the OS allocator: ⌈d⌉, at least 1.
+func RoundRequest(d float64) int {
+	r := int(math.Ceil(d - 1e-9))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// RunSingle simulates the job alone on the machine. The policy drives
+// requests, the allocator grants allotments, and the scheduler executes each
+// quantum. It returns an error only if the safety cap on quanta is hit.
+func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
+	allocator alloc.Single, cfg SingleConfig) (SingleResult, error) {
+
+	if cfg.L < 1 {
+		return SingleResult{}, fmt.Errorf("sim: quantum length %d < 1", cfg.L)
+	}
+	maxQ := cfg.MaxQuanta
+	if maxQ <= 0 {
+		maxQ = DefaultMaxQuanta
+	}
+	res := SingleResult{
+		Work:         inst.TotalWork(),
+		CriticalPath: inst.CriticalPathLen(),
+	}
+	d := pol.InitialRequest()
+	for q := 1; !inst.Done(); q++ {
+		if q > maxQ {
+			return res, fmt.Errorf("sim: job did not finish within %d quanta", maxQ)
+		}
+		req := RoundRequest(d)
+		a := allocator.Grant(q, req)
+		st := sched.RunQuantum(inst, sc, a, cfg.L)
+		st.Index = q
+		st.Request = d
+		st.Deprived = a < req
+		res.NumQuanta++
+		res.Runtime += int64(st.Steps)
+		res.AllottedCycles += int64(a) * int64(st.Steps)
+		res.Waste += st.Waste()
+		if st.Completed {
+			res.BoundaryWaste = int64(a) * int64(cfg.L-st.Steps)
+		}
+		if !cfg.DropTrace {
+			res.Quanta = append(res.Quanta, st)
+		}
+		d = pol.NextRequest(st)
+	}
+	return res, nil
+}

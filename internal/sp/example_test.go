@@ -1,0 +1,27 @@
+package sp_test
+
+import (
+	"fmt"
+
+	"abg/internal/sp"
+)
+
+// ExampleLower describes a small divide-and-conquer computation and lowers
+// it to a schedulable task dag.
+func ExampleLower() {
+	c := sp.Seq(
+		sp.Task(2),                     // split
+		sp.Par(sp.Task(6), sp.Task(4)), // conquer halves in parallel
+		sp.Task(3),                     // merge
+	)
+	fmt.Println(sp.Describe(c))
+	fmt.Printf("work T1 = %d, span T∞ = %d\n", c.Work(), c.Span())
+
+	g := sp.Lower(c)
+	fmt.Printf("dag: %d nodes, critical path %d, parallelism %.2f\n",
+		g.NumNodes(), g.CriticalPathLen(), g.AvgParallelism())
+	// Output:
+	// Seq(Task(2), Par(Task(6), Task(4)), Task(3))
+	// work T1 = 15, span T∞ = 11
+	// dag: 15 nodes, critical path 11, parallelism 1.36
+}

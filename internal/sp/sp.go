@@ -1,0 +1,229 @@
+// Package sp builds series-parallel task graphs the way a programmer would
+// describe a fork-join computation (spawn/sync, Cilk-style), and lowers them
+// to the executable dag model. The paper's malleable jobs are "dynamically
+// unfolding dags" produced by exactly this kind of program; this package is
+// the bridge from program structure to the scheduler's job model.
+//
+// A computation is composed recursively:
+//
+//	Task(n)         — a serial chain of n unit tasks
+//	Seq(a, b, ...)  — run components one after another
+//	Par(a, b, ...)  — fork the components, run them in parallel, join
+//
+// Example — a divide-and-conquer computation:
+//
+//	c := sp.Seq(
+//	    sp.Task(4),                           // split
+//	    sp.Par(leftSubtree, rightSubtree),    // conquer in parallel
+//	    sp.Task(2),                           // merge
+//	)
+//	g := sp.Lower(c)                          // *dag.Graph, ready to schedule
+package sp
+
+import (
+	"fmt"
+
+	"abg/internal/dag"
+	"abg/internal/xrand"
+)
+
+// Component is a series-parallel fragment of a computation.
+type Component interface {
+	// Work returns the total number of unit tasks in the fragment.
+	Work() int64
+	// Span returns the critical-path length of the fragment in tasks.
+	Span() int64
+	// lower emits the fragment into g, attaching its entry task(s) after
+	// every node in heads, and returns the fragment's exit frontier.
+	lower(g *dag.Graph, heads []dag.NodeID) []dag.NodeID
+}
+
+// task is a serial chain of n ≥ 1 unit tasks.
+type task struct {
+	n int
+}
+
+// Task returns a serial chain of n unit tasks. It panics if n < 1.
+func Task(n int) Component {
+	if n < 1 {
+		panic("sp: Task needs n >= 1")
+	}
+	return task{n: n}
+}
+
+func (t task) Work() int64 { return int64(t.n) }
+func (t task) Span() int64 { return int64(t.n) }
+
+func (t task) lower(g *dag.Graph, heads []dag.NodeID) []dag.NodeID {
+	var prev dag.NodeID = -1
+	for i := 0; i < t.n; i++ {
+		id := g.AddNode()
+		if i == 0 {
+			for _, h := range heads {
+				g.MustEdge(h, id)
+			}
+		} else {
+			g.MustEdge(prev, id)
+		}
+		prev = id
+	}
+	return []dag.NodeID{prev}
+}
+
+// seq runs components one after another.
+type seq struct {
+	parts []Component
+}
+
+// Seq returns the sequential composition of the components. It panics on an
+// empty list.
+func Seq(parts ...Component) Component {
+	if len(parts) == 0 {
+		panic("sp: Seq of nothing")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return seq{parts: parts}
+}
+
+func (s seq) Work() int64 {
+	var w int64
+	for _, p := range s.parts {
+		w += p.Work()
+	}
+	return w
+}
+
+func (s seq) Span() int64 {
+	var sp int64
+	for _, p := range s.parts {
+		sp += p.Span()
+	}
+	return sp
+}
+
+func (s seq) lower(g *dag.Graph, heads []dag.NodeID) []dag.NodeID {
+	for _, p := range s.parts {
+		heads = p.lower(g, heads)
+	}
+	return heads
+}
+
+// par forks the components and joins them. The join is implicit: the
+// frontier is the union of the branches' exits; whatever follows the Par
+// depends on all of them (a following Task acts as the join node).
+type par struct {
+	parts []Component
+}
+
+// Par returns the parallel composition of the components. It panics on an
+// empty list.
+func Par(parts ...Component) Component {
+	if len(parts) == 0 {
+		panic("sp: Par of nothing")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return par{parts: parts}
+}
+
+func (p par) Work() int64 {
+	var w int64
+	for _, c := range p.parts {
+		w += c.Work()
+	}
+	return w
+}
+
+func (p par) Span() int64 {
+	var m int64
+	for _, c := range p.parts {
+		if s := c.Span(); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+func (p par) lower(g *dag.Graph, heads []dag.NodeID) []dag.NodeID {
+	var frontier []dag.NodeID
+	for _, c := range p.parts {
+		frontier = append(frontier, c.lower(g, heads)...)
+	}
+	return frontier
+}
+
+// Lower emits a component as an executable dag. The resulting graph's work
+// equals c.Work() and its critical path equals c.Span().
+func Lower(c Component) *dag.Graph {
+	g := dag.New()
+	c.lower(g, nil)
+	return g.MustFinalize()
+}
+
+// Describe renders the component tree compactly, for logs and tests.
+func Describe(c Component) string {
+	switch v := c.(type) {
+	case task:
+		return fmt.Sprintf("Task(%d)", v.n)
+	case seq:
+		s := "Seq("
+		for i, p := range v.parts {
+			if i > 0 {
+				s += ", "
+			}
+			s += Describe(p)
+		}
+		return s + ")"
+	case par:
+		s := "Par("
+		for i, p := range v.parts {
+			if i > 0 {
+				s += ", "
+			}
+			s += Describe(p)
+		}
+		return s + ")"
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}
+
+// RandomParams bounds the random series-parallel generator.
+type RandomParams struct {
+	// MaxDepth bounds the recursive composition depth.
+	MaxDepth int
+	// MaxFanout bounds Par/Seq arity (≥ 2).
+	MaxFanout int
+	// MaxTask bounds leaf chain lengths (≥ 1).
+	MaxTask int
+}
+
+// Random draws a random series-parallel computation. Useful for
+// property-based testing of schedulers against realistic recursive
+// structures. It panics on invalid params.
+func Random(rng *xrand.RNG, p RandomParams) Component {
+	if p.MaxDepth < 0 || p.MaxFanout < 2 || p.MaxTask < 1 {
+		panic(fmt.Sprintf("sp: invalid RandomParams %+v", p))
+	}
+	return random(rng, p, p.MaxDepth)
+}
+
+func random(rng *xrand.RNG, p RandomParams, depth int) Component {
+	if depth == 0 || rng.Float64() < 0.3 {
+		return Task(rng.IntRange(1, p.MaxTask))
+	}
+	n := rng.IntRange(2, p.MaxFanout)
+	parts := make([]Component, n)
+	for i := range parts {
+		parts[i] = random(rng, p, depth-1)
+	}
+	if rng.Float64() < 0.5 {
+		return Seq(parts...)
+	}
+	// Parallel sections are bracketed by fork/join tasks so the dag stays
+	// connected even at the top level.
+	return Seq(Task(1), Par(parts...), Task(1))
+}

@@ -1,0 +1,169 @@
+package sp
+
+import (
+	"strings"
+	"testing"
+
+	"abg/internal/alloc"
+	"abg/internal/dag"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+	"abg/internal/sim"
+	"abg/internal/xrand"
+)
+
+func TestTaskWorkSpan(t *testing.T) {
+	c := Task(5)
+	if c.Work() != 5 || c.Span() != 5 {
+		t.Fatalf("task: %d/%d", c.Work(), c.Span())
+	}
+}
+
+func TestSeqComposition(t *testing.T) {
+	c := Seq(Task(2), Task(3))
+	if c.Work() != 5 || c.Span() != 5 {
+		t.Fatalf("seq: %d/%d", c.Work(), c.Span())
+	}
+}
+
+func TestParComposition(t *testing.T) {
+	c := Par(Task(2), Task(7), Task(3))
+	if c.Work() != 12 || c.Span() != 7 {
+		t.Fatalf("par: %d/%d", c.Work(), c.Span())
+	}
+}
+
+func TestNestedComposition(t *testing.T) {
+	// split; two branches in parallel (one itself forked); merge.
+	c := Seq(
+		Task(1),
+		Par(
+			Seq(Task(2), Par(Task(4), Task(4)), Task(1)),
+			Task(10),
+		),
+		Task(1),
+	)
+	// Work: 1 + (2+8+1) + 10 + 1 = 23.
+	if c.Work() != 23 {
+		t.Fatalf("work = %d", c.Work())
+	}
+	// Span: 1 + max(2+4+1, 10) + 1 = 12.
+	if c.Span() != 12 {
+		t.Fatalf("span = %d", c.Span())
+	}
+}
+
+func TestSingletonCollapse(t *testing.T) {
+	if Seq(Task(3)) != Task(3) {
+		t.Fatal("Seq of one should collapse")
+	}
+	if Par(Task(3)) != Task(3) {
+		t.Fatal("Par of one should collapse")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Task(0)":   func() { Task(0) },
+		"Seq()":     func() { Seq() },
+		"Par()":     func() { Par() },
+		"badRandom": func() { Random(xrand.New(1), RandomParams{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLowerMatchesWorkAndSpan(t *testing.T) {
+	c := Seq(Task(1), Par(Task(3), Seq(Task(1), Par(Task(2), Task(2)))), Task(1))
+	g := Lower(c)
+	if g.Work() != c.Work() {
+		t.Fatalf("dag work %d != component work %d", g.Work(), c.Work())
+	}
+	if int64(g.CriticalPathLen()) != c.Span() {
+		t.Fatalf("dag cpl %d != component span %d", g.CriticalPathLen(), c.Span())
+	}
+}
+
+func TestLowerRandomProperty(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 40; trial++ {
+		c := Random(rng, RandomParams{MaxDepth: 4, MaxFanout: 4, MaxTask: 6})
+		g := Lower(c)
+		if g.Work() != c.Work() || int64(g.CriticalPathLen()) != c.Span() {
+			t.Fatalf("trial %d: dag %d/%d vs component %d/%d (%s)",
+				trial, g.Work(), g.CriticalPathLen(), c.Work(), c.Span(), Describe(c))
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := Seq(Task(1), Par(Task(2), Task(3)))
+	s := Describe(c)
+	for _, frag := range []string{"Seq(", "Par(", "Task(1)", "Task(2)", "Task(3)"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("describe %q missing %q", s, frag)
+		}
+	}
+}
+
+// TestScheduledEndToEnd lowers a random computation and schedules it with
+// ABG: the greedy completion bound must hold, and full allotment must
+// achieve the span.
+func TestScheduledEndToEnd(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 10; trial++ {
+		c := Random(rng, RandomParams{MaxDepth: 5, MaxFanout: 3, MaxTask: 12})
+		g := Lower(c)
+		res, err := sim.RunSingle(dag.NewRun(g), feedback.NewAControl(0.2), sched.BGreedy(),
+			alloc.NewUnconstrained(1024), sim.SingleConfig{L: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Runtime < c.Span() {
+			t.Fatalf("runtime %d below span %d", res.Runtime, c.Span())
+		}
+		bound := 2*c.Work() + c.Span() // loose sanity bound
+		if res.Runtime > bound {
+			t.Fatalf("runtime %d above %d", res.Runtime, bound)
+		}
+	}
+}
+
+// TestParallelismExpressed: with enough processors, a wide Par finishes in
+// its span, not its work — the dag really is parallel.
+func TestParallelismExpressed(t *testing.T) {
+	var branches []Component
+	for i := 0; i < 16; i++ {
+		branches = append(branches, Task(20))
+	}
+	c := Seq(Task(1), Par(branches...), Task(1))
+	g := Lower(c)
+	r := dag.NewRun(g)
+	var buf []job.LevelCount
+	steps := 0
+	for !r.Done() {
+		buf = buf[:0]
+		_, buf = r.Step(64, job.BreadthFirst, buf)
+		steps++
+	}
+	if int64(steps) != c.Span() {
+		t.Fatalf("steps %d != span %d with ample processors", steps, c.Span())
+	}
+}
+
+func BenchmarkLower(b *testing.B) {
+	rng := xrand.New(1)
+	c := Random(rng, RandomParams{MaxDepth: 8, MaxFanout: 3, MaxTask: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Lower(c)
+	}
+}

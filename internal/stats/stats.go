@@ -1,0 +1,328 @@
+// Package stats provides the small statistics toolkit used by the experiment
+// harness: streaming moments (Welford), summaries with quantiles, histograms,
+// and helpers for aggregating series of (x, y) samples into averaged curves
+// such as the ones plotted in the paper's Figures 5 and 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates count, mean, and variance in a single numerically
+// stable pass. The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean, or NaN when empty.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Var returns the unbiased sample variance, or NaN when n < 2.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation, or NaN when n < 2.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation, or NaN when empty.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
+
+// Merge folds another accumulator into this one (parallel Welford merge).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	mean := w.mean + delta*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Summary is a five-number-plus summary of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields NaN fields.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.P90, s.Max =
+			nan, nan, nan, nan, nan, nan, nan, nan
+		return s
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Mean = w.Mean()
+	s.Std = w.Std()
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P25 = Quantile(sorted, 0.25)
+	s.Median = Quantile(sorted, 0.5)
+	s.P75 = Quantile(sorted, 0.75)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// String renders the summary in a compact single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g p90=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P90, s.Max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted sample
+// using linear interpolation between order statistics. It panics if sorted is
+// empty or q is outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// it returns NaN otherwise or when empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation. Out-of-range values are tallied separately.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.under++
+		return
+	}
+	if x >= h.Hi {
+		h.over++
+		return
+	}
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin == len(h.Counts) { // guard against floating rounding at the edge
+		bin--
+	}
+	h.Counts[bin]++
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Outliers returns the number of observations below Lo and at/above Hi.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Point is one (X, Y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// Curve aggregates scattered (x, y) samples into a per-x averaged curve —
+// exactly the reduction used to draw Figures 5(a)/5(c)/6(a)/6(c), where each
+// plotted point is an average over many runs sharing the same x.
+type Curve struct {
+	buckets map[float64]*Welford
+}
+
+// NewCurve returns an empty curve aggregator.
+func NewCurve() *Curve {
+	return &Curve{buckets: map[float64]*Welford{}}
+}
+
+// Add records a (x, y) sample.
+func (c *Curve) Add(x, y float64) {
+	w, ok := c.buckets[x]
+	if !ok {
+		w = &Welford{}
+		c.buckets[x] = w
+	}
+	w.Add(y)
+}
+
+// Points returns the averaged curve sorted by x.
+func (c *Curve) Points() []Point {
+	xs := make([]float64, 0, len(c.buckets))
+	for x := range c.buckets {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, Y: c.buckets[x].Mean()}
+	}
+	return pts
+}
+
+// At returns the Welford accumulator for a given x, or nil if absent.
+func (c *Curve) At(x float64) *Welford { return c.buckets[x] }
+
+// BinnedCurve aggregates (x, y) samples into fixed-width x bins, reporting
+// the mean y per bin. Used for load sweeps where x (the load) is continuous.
+type BinnedCurve struct {
+	lo, width float64
+	bins      []Welford
+}
+
+// NewBinnedCurve covers [lo, hi) with n equal bins.
+func NewBinnedCurve(lo, hi float64, n int) *BinnedCurve {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid binned curve range")
+	}
+	return &BinnedCurve{lo: lo, width: (hi - lo) / float64(n), bins: make([]Welford, n)}
+}
+
+// Add records a sample; out-of-range x values are clamped to the end bins.
+func (b *BinnedCurve) Add(x, y float64) {
+	i := int((x - b.lo) / b.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(b.bins) {
+		i = len(b.bins) - 1
+	}
+	b.bins[i].Add(y)
+}
+
+// Points returns the center-of-bin averaged curve, skipping empty bins.
+func (b *BinnedCurve) Points() []Point {
+	var pts []Point
+	for i := range b.bins {
+		if b.bins[i].N() == 0 {
+			continue
+		}
+		x := b.lo + (float64(i)+0.5)*b.width
+		pts = append(pts, Point{X: x, Y: b.bins[i].Mean()})
+	}
+	return pts
+}

@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"abg/internal/xrand"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !approx(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if !approx(w.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var = %v", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Var()) || !math.IsNaN(w.Min()) {
+		t.Fatal("empty accumulator should report NaN")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := xrand.New(1)
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(50)
+		m := 1 + r.Intn(50)
+		var a, b, all Welford
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < m; i++ {
+			x := r.NormFloat64() * 3
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			approx(a.Mean(), all.Mean(), 1e-9) &&
+			approx(a.Var(), all.Var(), 1e-9)
+	}, &quick.Config{MaxCount: 50, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge with empty changed state")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); !approx(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !approx(s.Median, 3, 1e-12) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !approx(s.Mean, 3, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Median) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if !approx(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+	if !approx(GeoMean([]float64{1, 4, 16}), 4, 1e-9) {
+		t.Fatal("geomean wrong")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("geomean of non-positive should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(11)
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers = %d, %d", under, over)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d", i, c)
+		}
+	}
+}
+
+func TestHistogramEdge(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(0)                    // first bin
+	h.Add(math.Nextafter(1, 0)) // last bin via rounding guard
+	if h.Counts[0] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCurveAveragesPerX(t *testing.T) {
+	c := NewCurve()
+	c.Add(2, 10)
+	c.Add(2, 20)
+	c.Add(1, 5)
+	pts := c.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].X != 1 || pts[0].Y != 5 {
+		t.Fatalf("first point = %v", pts[0])
+	}
+	if pts[1].X != 2 || pts[1].Y != 15 {
+		t.Fatalf("second point = %v", pts[1])
+	}
+	if c.At(2).N() != 2 {
+		t.Fatal("At(2) accumulator wrong")
+	}
+	if c.At(99) != nil {
+		t.Fatal("At of absent x should be nil")
+	}
+}
+
+func TestBinnedCurve(t *testing.T) {
+	b := NewBinnedCurve(0, 10, 5)
+	b.Add(1, 2)
+	b.Add(1.5, 4)
+	b.Add(9, 7)
+	b.Add(-5, 1)  // clamps to first bin
+	b.Add(100, 9) // clamps to last bin
+	pts := b.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	// First bin [0,2): samples 2, 4, 1 → mean 7/3.
+	if !approx(pts[0].Y, 7.0/3.0, 1e-12) {
+		t.Fatalf("first bin mean = %v", pts[0].Y)
+	}
+	// Last bin [8,10): samples 7, 9 → mean 8.
+	if !approx(pts[1].Y, 8, 1e-12) {
+		t.Fatalf("last bin mean = %v", pts[1].Y)
+	}
+}
+
+func TestBinnedCurvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBinnedCurve(0, 0, 3)
+}
+
+func TestWelfordStdProperty(t *testing.T) {
+	// Scaling all observations by c scales the std by |c|.
+	if err := quick.Check(func(seed uint64, scale int8) bool {
+		c := float64(scale)
+		if c == 0 {
+			c = 2
+		}
+		r := xrand.New(seed)
+		var a, b Welford
+		for i := 0; i < 30; i++ {
+			x := r.NormFloat64()
+			a.Add(x)
+			b.Add(c * x)
+		}
+		return approx(b.Std(), math.Abs(c)*a.Std(), 1e-6*math.Abs(c)+1e-9)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

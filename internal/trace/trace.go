@@ -1,0 +1,146 @@
+// Package trace records and exports per-quantum simulation traces. The CLI
+// tools use it to dump request/allotment/parallelism series as CSV or JSON
+// so results can be plotted outside this repository.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"abg/internal/sched"
+)
+
+// Record is one exported per-quantum sample.
+type Record struct {
+	Quantum       int     `json:"quantum"`
+	Request       float64 `json:"request"`
+	Allotment     int     `json:"allotment"`
+	Steps         int     `json:"steps"`
+	Work          int64   `json:"work"`
+	CPL           float64 `json:"cpl"`
+	Parallelism   float64 `json:"parallelism"`
+	Waste         int64   `json:"waste"`
+	Full          bool    `json:"full"`
+	Deprived      bool    `json:"deprived"`
+	Completed     bool    `json:"completed"`
+	WorkEff       float64 `json:"alpha"`
+	CPLEff        float64 `json:"beta"`
+	LevelsTouched int     `json:"levelsTouched"`
+}
+
+// FromQuanta converts a quantum-stats trace into export records.
+func FromQuanta(quanta []sched.QuantumStats) []Record {
+	out := make([]Record, len(quanta))
+	for i, q := range quanta {
+		out[i] = Record{
+			Quantum:       q.Index,
+			Request:       q.Request,
+			Allotment:     q.Allotment,
+			Steps:         q.Steps,
+			Work:          q.Work,
+			CPL:           q.CPL,
+			Parallelism:   q.AvgParallelism(),
+			Waste:         q.Waste(),
+			Full:          q.Full(),
+			Deprived:      q.Deprived,
+			Completed:     q.Completed,
+			WorkEff:       q.WorkEfficiency(),
+			CPLEff:        q.CPLEfficiency(),
+			LevelsTouched: q.LevelsTouched,
+		}
+	}
+	return out
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{
+	"quantum", "request", "allotment", "steps", "work", "cpl",
+	"parallelism", "waste", "full", "deprived", "completed",
+	"alpha", "beta", "levels_touched",
+}
+
+// WriteCSV writes the records as CSV with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for _, r := range records {
+		row := []string{
+			strconv.Itoa(r.Quantum),
+			f(r.Request),
+			strconv.Itoa(r.Allotment),
+			strconv.Itoa(r.Steps),
+			strconv.FormatInt(r.Work, 10),
+			f(r.CPL),
+			f(r.Parallelism),
+			strconv.FormatInt(r.Waste, 10),
+			strconv.FormatBool(r.Full),
+			strconv.FormatBool(r.Deprived),
+			strconv.FormatBool(r.Completed),
+			f(r.WorkEff),
+			f(r.CPLEff),
+			strconv.Itoa(r.LevelsTouched),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the records as an indented JSON array.
+func WriteJSON(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// Series is a named (x, y) series for experiment output (one plotted curve).
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// NewSeries validates lengths and builds a Series.
+func NewSeries(name string, x, y []float64) (Series, error) {
+	if len(x) != len(y) {
+		return Series{}, fmt.Errorf("trace: series %q has %d x values but %d y values", name, len(x), len(y))
+	}
+	return Series{Name: name, X: x, Y: y}, nil
+}
+
+// WriteSeriesCSV writes one or more series sharing no particular x grid as
+// long-form CSV: series,x,y.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("trace: series %q length mismatch", s.Name)
+		}
+		for i := range s.X {
+			if err := cw.Write([]string{s.Name, f(s.X[i]), f(s.Y[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesJSON writes the series as indented JSON.
+func WriteSeriesJSON(w io.Writer, series []Series) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(series)
+}

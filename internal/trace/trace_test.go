@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"abg/internal/sched"
+)
+
+func sampleQuanta() []sched.QuantumStats {
+	return []sched.QuantumStats{
+		{Index: 1, Request: 1, Allotment: 1, Length: 10, Steps: 10, Work: 10, CPL: 10, LevelsTouched: 10},
+		{Index: 2, Request: 5.5, Allotment: 6, Length: 10, Steps: 4, Work: 20, CPL: 4, Completed: true, Deprived: true, LevelsTouched: 4},
+	}
+}
+
+func TestFromQuanta(t *testing.T) {
+	recs := FromQuanta(sampleQuanta())
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Parallelism != 1 || recs[1].Parallelism != 5 {
+		t.Fatalf("parallelisms: %v, %v", recs[0].Parallelism, recs[1].Parallelism)
+	}
+	if !recs[0].Full || recs[1].Full {
+		t.Fatal("fullness wrong")
+	}
+	if recs[1].Waste != 6*4-20 {
+		t.Fatalf("waste = %d", recs[1].Waste)
+	}
+	if !recs[1].Deprived || !recs[1].Completed {
+		t.Fatal("flags lost")
+	}
+}
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, FromQuanta(sampleQuanta())); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "quantum" || len(rows[0]) != len(csvHeader) {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[2][1] != "5.5" {
+		t.Fatalf("request cell = %q", rows[2][1])
+	}
+	if rows[2][10] != "true" {
+		t.Fatalf("completed cell = %q", rows[2][10])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, FromQuanta(sampleQuanta())); err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Request != 5.5 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestNewSeries(t *testing.T) {
+	if _, err := NewSeries("a", []float64{1, 2}, []float64{3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	s, err := NewSeries("a", []float64{1, 2}, []float64{3, 4})
+	if err != nil || s.Name != "a" {
+		t.Fatalf("series: %+v err=%v", s, err)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Name: "abg", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+		{Name: "agreedy", X: []float64{1}, Y: []float64{0.9}},
+	}
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0] != "abg" || rows[3][0] != "agreedy" {
+		t.Fatalf("series names: %v", rows)
+	}
+	// Broken series is rejected.
+	if err := WriteSeriesCSV(&sb, []Series{{Name: "x", X: []float64{1}}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestWriteSeriesJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSeriesJSON(&sb, []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}); err != nil {
+		t.Fatal(err)
+	}
+	var back []Series
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Y[0] != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}

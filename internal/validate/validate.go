@@ -1,0 +1,297 @@
+// Package validate runs the paper's analytical results against randomized
+// simulation at configurable scale and reports the observed margins — the
+// machine-checkable form of §4–§6. The unit tests cover the same properties
+// at fixed small scale; this package powers cmd/abgvalidate for larger
+// sweeps.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"abg/internal/alloc"
+	"abg/internal/control"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/metrics"
+	"abg/internal/sched"
+	"abg/internal/sim"
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// Options sizes a validation run.
+type Options struct {
+	Seed   uint64
+	Trials int
+	P, L   int
+}
+
+// DefaultOptions returns a medium-scale validation setup.
+func DefaultOptions() Options {
+	return Options{Seed: 2008, Trials: 40, P: 128, L: 200}
+}
+
+func (o *Options) normalize() {
+	if o.Trials < 1 {
+		o.Trials = 1
+	}
+	if o.P < 1 {
+		o.P = 128
+	}
+	if o.L < 1 {
+		o.L = 200
+	}
+}
+
+// Check is the outcome of validating one analytical result.
+type Check struct {
+	// Name identifies the result (e.g. "Lemma 2").
+	Name string
+	// Passed reports whether every sampled instance satisfied the result.
+	Passed bool
+	// Samples counts the individual assertions evaluated.
+	Samples int
+	// Detail summarises the observed margins.
+	Detail string
+}
+
+// String renders the check on one line.
+func (c Check) String() string {
+	status := "PASS"
+	if !c.Passed {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-4s %-22s %6d samples  %s", status, c.Name, c.Samples, c.Detail)
+}
+
+// All runs every check.
+func All(opts Options) []Check {
+	return []Check{
+		Theorem1(opts),
+		Lemma2(opts),
+		Theorem3(opts),
+		Theorem4(opts),
+		Inequality5(opts),
+	}
+}
+
+// Theorem1 validates the controller's transient claims on simulated
+// constant-parallelism jobs: zero overshoot, vanishing steady-state error,
+// measured convergence rate ≈ r.
+func Theorem1(opts Options) Check {
+	opts.normalize()
+	rng := xrand.New(opts.Seed)
+	c := Check{Name: "Theorem 1", Passed: true}
+	maxOver, maxSSE, maxRateErr := 0.0, 0.0, 0.0
+	for trial := 0; trial < opts.Trials; trial++ {
+		width := rng.IntRange(2, opts.P)
+		r := rng.Float64() * 0.8
+		// The error decays geometrically at rate r, so the horizon must be
+		// long enough for the largest r: r^28 < 1e-2 even at r = 0.8.
+		profile := workload.ConstantJob(width, 30, opts.L)
+		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
+			alloc.NewUnconstrained(opts.P), sim.SingleConfig{L: opts.L})
+		if err != nil {
+			return failed(c, err)
+		}
+		m := control.Measure(res.Requests(), float64(width))
+		c.Samples++
+		if m.MaxOvershoot > maxOver {
+			maxOver = m.MaxOvershoot
+		}
+		if sse := m.SteadyStateError / float64(width); sse > maxSSE {
+			maxSSE = sse
+		}
+		if r > 0.05 && !math.IsNaN(m.ConvergenceRate) {
+			if e := math.Abs(m.ConvergenceRate-r) / r; e > maxRateErr {
+				maxRateErr = e
+			}
+		}
+		if m.MaxOvershoot > 1e-9 || m.SteadyStateError/float64(width) > 0.01 {
+			c.Passed = false
+		}
+	}
+	c.Detail = fmt.Sprintf("max overshoot %.2g, max rel. SSE %.2g, max rate error %.1f%%",
+		maxOver, maxSSE, 100*maxRateErr)
+	return c
+}
+
+// Lemma2 validates the request envelope on random fork-join jobs with
+// r < 1/C_L, reporting how much slack the bounds leave.
+func Lemma2(opts Options) Check {
+	opts.normalize()
+	rng := xrand.New(opts.Seed + 1)
+	c := Check{Name: "Lemma 2", Passed: true}
+	minLoMargin, minHiMargin := math.Inf(1), math.Inf(1)
+	for trial := 0; trial < opts.Trials; trial++ {
+		w := rng.IntRange(2, 6)
+		r := rng.FloatRange(0, 0.12)
+		profile := workload.GenJob(rng, workload.ScaledJobParams(w, opts.L, 2))
+		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
+			alloc.NewUnconstrained(opts.P*4), sim.SingleConfig{L: opts.L})
+		if err != nil {
+			return failed(c, err)
+		}
+		cl := metrics.TransitionFactorFromQuanta(res.Quanta)
+		if r >= 1/cl {
+			continue
+		}
+		lo, hi := metrics.Lemma2Bounds(cl, r)
+		for _, q := range res.Quanta {
+			if !q.Full() {
+				continue
+			}
+			a := q.AvgParallelism()
+			c.Samples++
+			if m := q.Request - lo*a; m < minLoMargin {
+				minLoMargin = m
+			}
+			if m := hi*a - q.Request; m < minHiMargin {
+				minHiMargin = m
+			}
+			if q.Request < lo*a-1e-9 || q.Request > hi*a+1e-9 {
+				c.Passed = false
+			}
+		}
+	}
+	c.Detail = fmt.Sprintf("tightest lower margin %.3g, tightest upper margin %.3g (processors)",
+		minLoMargin, minHiMargin)
+	return c
+}
+
+// Theorem3 validates the trimmed-availability runtime bound on gradual
+// parallelism ramps under a starve-and-flood adversary, counting how many
+// trials produced a finite (non-vacuous) bound.
+func Theorem3(opts Options) Check {
+	opts.normalize()
+	rng := xrand.New(opts.Seed + 2)
+	c := Check{Name: "Theorem 3", Passed: true}
+	nonVacuous := 0
+	minMargin := math.Inf(1) // bound/runtime ratio
+	for trial := 0; trial < opts.Trials; trial++ {
+		r := rng.FloatRange(0, 0.12)
+		widths := []int{2}
+		for widths[len(widths)-1] < opts.P {
+			next := widths[len(widths)-1]*3/2 + 1
+			if next > opts.P {
+				next = opts.P
+			}
+			widths = append(widths, next)
+		}
+		profile := workload.StepWidths(widths, rng.IntRange(opts.L, 3*opts.L))
+		flood := rng.IntRange(5, 9)
+		availFn := func(q int) int {
+			if q%flood == 0 {
+				return opts.P
+			}
+			return 2
+		}
+		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
+			alloc.NewAvailabilityTrace(opts.P, availFn, "adversary"), sim.SingleConfig{L: opts.L})
+		if err != nil {
+			return failed(c, err)
+		}
+		cl := metrics.TransitionFactorFromQuanta(res.Quanta)
+		trimTerm := metrics.Theorem3TrimTerm(res.CriticalPath, cl, r)
+		avail := make([]int, res.NumQuanta)
+		for q := 1; q <= res.NumQuanta; q++ {
+			v := availFn(q)
+			if v > opts.P {
+				v = opts.P
+			}
+			avail[q-1] = v
+		}
+		pTrim := metrics.TrimmedAvailability(avail, opts.L, trimTerm+float64(opts.L))
+		bound := metrics.Theorem3RuntimeBound(res.Work, res.CriticalPath, cl, r, opts.L, pTrim)
+		c.Samples++
+		if pTrim > 0 {
+			nonVacuous++
+			if m := bound / float64(res.Runtime); m < minMargin {
+				minMargin = m
+			}
+		}
+		if float64(res.Runtime) > bound+1e-6 {
+			c.Passed = false
+		}
+	}
+	if nonVacuous == 0 {
+		c.Passed = false
+	}
+	c.Detail = fmt.Sprintf("%d/%d non-vacuous, tightest bound/runtime ratio %.2f",
+		nonVacuous, c.Samples, minMargin)
+	return c
+}
+
+// Theorem4 validates the waste bound on random fork-join jobs.
+func Theorem4(opts Options) Check {
+	opts.normalize()
+	rng := xrand.New(opts.Seed + 3)
+	c := Check{Name: "Theorem 4", Passed: true}
+	minMargin := math.Inf(1)
+	for trial := 0; trial < opts.Trials; trial++ {
+		w := rng.IntRange(2, 6)
+		r := rng.FloatRange(0, 0.12)
+		profile := workload.GenJob(rng, workload.ScaledJobParams(w, opts.L, 2))
+		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
+			alloc.NewUnconstrained(opts.P), sim.SingleConfig{L: opts.L})
+		if err != nil {
+			return failed(c, err)
+		}
+		cl := metrics.TransitionFactorFromQuanta(res.Quanta)
+		if r >= 1/cl {
+			continue
+		}
+		bound := metrics.Theorem4WasteBound(res.Work, cl, r, opts.P, opts.L)
+		total := float64(res.Waste + res.BoundaryWaste)
+		c.Samples++
+		if total > 0 {
+			if m := bound / total; m < minMargin {
+				minMargin = m
+			}
+		}
+		if total > bound+1e-6 {
+			c.Passed = false
+		}
+	}
+	c.Detail = fmt.Sprintf("tightest bound/waste ratio %.2f", minMargin)
+	return c
+}
+
+// Inequality5 validates α(q)+β(q) ≥ 1 on the fork-join family (constant
+// equal-width chain phases), reporting the smallest observed sum.
+func Inequality5(opts Options) Check {
+	opts.normalize()
+	rng := xrand.New(opts.Seed + 4)
+	c := Check{Name: "Inequality 5", Passed: true}
+	minSum := math.Inf(1)
+	for trial := 0; trial < opts.Trials; trial++ {
+		w := rng.IntRange(1, 32)
+		h := rng.IntRange(2, 4*opts.L/10)
+		profile := job.Constant(w, h)
+		run := job.NewRun(profile)
+		a := rng.IntRange(1, opts.P/2)
+		for !run.Done() {
+			st := sched.RunQuantum(run, sched.BGreedy(), a, opts.L/10)
+			if !st.Full() {
+				continue
+			}
+			sum := st.WorkEfficiency() + st.CPLEfficiency()
+			c.Samples++
+			if sum < minSum {
+				minSum = sum
+			}
+			if sum < 1-1e-9 {
+				c.Passed = false
+			}
+		}
+	}
+	c.Detail = fmt.Sprintf("min α+β = %.4f", minSum)
+	return c
+}
+
+func failed(c Check, err error) Check {
+	c.Passed = false
+	c.Detail = "error: " + err.Error()
+	return c
+}

@@ -1,0 +1,55 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallOpts() Options {
+	return Options{Seed: 11, Trials: 6, P: 64, L: 80}
+}
+
+func TestAllChecksPass(t *testing.T) {
+	for _, c := range All(smallOpts()) {
+		if !c.Passed {
+			t.Errorf("%s failed: %s", c.Name, c.Detail)
+		}
+		if c.Samples == 0 {
+			t.Errorf("%s evaluated no samples", c.Name)
+		}
+		if !strings.Contains(c.String(), c.Name) {
+			t.Errorf("%s: String broken: %q", c.Name, c.String())
+		}
+	}
+}
+
+func TestCheckStringStatus(t *testing.T) {
+	pass := Check{Name: "x", Passed: true}
+	fail := Check{Name: "x"}
+	if !strings.HasPrefix(pass.String(), "PASS") || !strings.HasPrefix(fail.String(), "FAIL") {
+		t.Fatal("status rendering broken")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}
+	o.normalize()
+	if o.Trials < 1 || o.P < 1 || o.L < 1 {
+		t.Fatalf("normalize failed: %+v", o)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Trials < 10 || o.P != 128 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Lemma2(smallOpts())
+	b := Lemma2(smallOpts())
+	if a.Detail != b.Detail || a.Samples != b.Samples {
+		t.Fatal("validation run is not deterministic")
+	}
+}

@@ -1,0 +1,24 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"abg/internal/workload"
+	"abg/internal/xrand"
+)
+
+// ExampleGenJob draws a reproducible fork-join job with a target transition
+// factor: the parallel-phase width sets how abruptly the parallelism swings
+// between 1 (serial phases) and the width.
+func ExampleGenJob() {
+	rng := xrand.New(2008)
+	p := workload.GenJob(rng, workload.DefaultJobParams(16, 1000))
+	fmt.Printf("levels: %d\n", p.CriticalPathLen())
+	fmt.Printf("max width: %d\n", p.MaxWidth())
+	fmt.Printf("same seed, same job: %v\n",
+		workload.GenJob(xrand.New(2008), workload.DefaultJobParams(16, 1000)).Work() == p.Work())
+	// Output:
+	// levels: 26579
+	// max width: 16
+	// same seed, same job: true
+}

@@ -1,0 +1,46 @@
+package wsteal
+
+import (
+	"testing"
+
+	"abg/internal/dag"
+	"abg/internal/job"
+	"abg/internal/xrand"
+)
+
+// TestTaskConservationFuzz drives random dags withrandom per-step allotments and
+// checks that no ready task is ever lost and the job always finishes.
+func TestTaskConservationFuzz(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		widths := make([]int, rng.IntRange(2, 10))
+		for i := range widths {
+			widths[i] = rng.IntRange(1, 12)
+		}
+		g := dag.LayeredRandom(rng, widths, 0.3)
+		r := NewRun(g, uint64(trial))
+		var buf []job.LevelCount
+		steps := 0
+		zeroRun := 0
+		for !r.Done() {
+			p := rng.IntRange(1, 10)
+			n, _ := r.Step(p, job.BreadthFirst, buf[:0])
+			if n == 0 {
+				zeroRun++
+				if zeroRun > 1000 {
+					t.Fatalf("trial %d: livelock (p=%d, queued=%d, remaining=%d)",
+						trial, p, r.queuedTasks(), r.Remaining())
+				}
+			} else {
+				zeroRun = 0
+			}
+			if r.queuedTasks() == 0 && !r.Done() {
+				t.Fatalf("trial %d: all deques empty with %d tasks remaining", trial, r.Remaining())
+			}
+			steps++
+			if steps > 1<<21 {
+				t.Fatal("runaway")
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package wsteal
+
+// queuedTasks returns the number of ready tasks currently sitting in worker
+// deques and orphaned deques — test-only visibility for the conservation
+// invariant: queuedTasks must equal the number of ready, unexecuted nodes.
+func (r *Run) queuedTasks() int {
+	n := 0
+	for _, d := range r.deques {
+		n += len(d)
+	}
+	for _, d := range r.orphans {
+		n += len(d)
+	}
+	for _, a := range r.assigned {
+		if a >= 0 {
+			n++
+		}
+	}
+	return n
+}

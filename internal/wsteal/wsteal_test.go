@@ -1,0 +1,294 @@
+package wsteal
+
+import (
+	"testing"
+
+	"abg/internal/alloc"
+	"abg/internal/dag"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+	"abg/internal/sim"
+	"abg/internal/xrand"
+)
+
+func drive(t *testing.T, r *Run, p int) (steps int, total int64) {
+	t.Helper()
+	var buf []job.LevelCount
+	for !r.Done() {
+		var n int
+		buf = buf[:0]
+		n, buf = r.Step(p, job.BreadthFirst, buf)
+		total += int64(n)
+		steps++
+		if steps > 1<<22 {
+			t.Fatal("runaway")
+		}
+	}
+	return
+}
+
+func TestCompletesChain(t *testing.T) {
+	// One worker, no thieves: exactly one task per step.
+	g := dag.Chain(10)
+	r := NewRun(g, 1)
+	steps, total := drive(t, r, 1)
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	if steps != 10 {
+		t.Fatalf("steps = %d", steps)
+	}
+	if !r.Done() || r.Remaining() != 0 {
+		t.Fatal("not done")
+	}
+	// With extra workers, steal latency may stretch the chain, but never
+	// beyond one steal hop per task.
+	r2 := NewRun(g, 1)
+	steps2, _ := drive(t, r2, 4)
+	if steps2 > 20 {
+		t.Fatalf("steps with thieves = %d", steps2)
+	}
+}
+
+func TestCompletesRandomDags(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 15; trial++ {
+		widths := make([]int, rng.IntRange(2, 8))
+		for i := range widths {
+			widths[i] = rng.IntRange(1, 10)
+		}
+		g := dag.LayeredRandom(rng, widths, 0.3)
+		for _, p := range []int{1, 2, 5, 16} {
+			r := NewRun(g, uint64(trial))
+			_, total := drive(t, r, p)
+			if total != g.Work() {
+				t.Fatalf("p=%d: total %d != %d", p, total, g.Work())
+			}
+		}
+	}
+}
+
+func TestSingleWorkerNeverSteals(t *testing.T) {
+	g := dag.IndependentChains(4, 20)
+	r := NewRun(g, 9)
+	drive(t, r, 1)
+	if r.StealAttempts() != 0 {
+		t.Fatalf("steals with one worker: %d", r.StealAttempts())
+	}
+}
+
+func TestStealsHappenAndSpreadWork(t *testing.T) {
+	// Wide dag, all sources on worker 0: other workers must steal to help.
+	g := dag.IndependentChains(16, 50)
+	r := NewRun(g, 5)
+	steps, _ := drive(t, r, 8)
+	if r.StealAttempts() == 0 {
+		t.Fatal("no steals on a wide dag")
+	}
+	// With 8 workers on a 16-wide dag, runtime must beat serial by a lot
+	// despite steal overhead.
+	if int64(steps) > g.Work()/4 {
+		t.Fatalf("steps %d show no meaningful parallelism (work %d)", steps, g.Work())
+	}
+}
+
+func TestStealOverheadCountsAsWaste(t *testing.T) {
+	// Work-stealing completes the same work with extra idle (steal) cycles
+	// compared to the centralized B-Greedy executor.
+	g := dag.IndependentChains(8, 100)
+	ws := NewRun(g, 11)
+	wsSteps, _ := drive(t, ws, 8)
+	central := dag.NewRun(g)
+	var buf []job.LevelCount
+	cSteps := 0
+	for !central.Done() {
+		buf = buf[:0]
+		_, buf = central.Step(8, job.BreadthFirst, buf)
+		cSteps++
+	}
+	if wsSteps < cSteps {
+		t.Fatalf("work stealing (%d steps) beat centralized greedy (%d)", wsSteps, cSteps)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := dag.IndependentChains(6, 40)
+	a := NewRun(g, 42)
+	b := NewRun(g, 42)
+	var bufA, bufB []job.LevelCount
+	for !a.Done() || !b.Done() {
+		na, _ := a.Step(4, job.BreadthFirst, bufA[:0])
+		nb, _ := b.Step(4, job.BreadthFirst, bufB[:0])
+		if na != nb {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.StealAttempts() != b.StealAttempts() {
+		t.Fatal("steal counts diverged")
+	}
+}
+
+func TestMuggingOnShrink(t *testing.T) {
+	g := dag.IndependentChains(16, 60)
+	r := NewRun(g, 7)
+	var buf []job.LevelCount
+	// Warm up with 8 workers so several deques are populated.
+	for i := 0; i < 30 && !r.Done(); i++ {
+		_, buf = r.Step(8, job.BreadthFirst, buf[:0])
+	}
+	// Shrink to 2: abandoned non-empty deques must be mugged, not lost.
+	for !r.Done() {
+		_, buf = r.Step(2, job.BreadthFirst, buf[:0])
+	}
+	if r.Mugs() == 0 {
+		t.Fatal("no mugging recorded after allotment shrink")
+	}
+}
+
+func TestGrowShrinkOscillation(t *testing.T) {
+	g := dag.IndependentChains(12, 80)
+	r := NewRun(g, 13)
+	var buf []job.LevelCount
+	p := 1
+	steps := 0
+	for !r.Done() {
+		_, buf = r.Step(p, job.BreadthFirst, buf[:0])
+		steps++
+		if steps%10 == 0 {
+			if p == 1 {
+				p = 12
+			} else {
+				p = 1
+			}
+		}
+		if steps > 1<<20 {
+			t.Fatal("runaway")
+		}
+	}
+}
+
+func TestZeroAndDoneGuards(t *testing.T) {
+	g := dag.Chain(2)
+	r := NewRun(g, 1)
+	if n, _ := r.Step(0, job.BreadthFirst, nil); n != 0 {
+		t.Fatal("p=0 should do nothing")
+	}
+	drive(t, r, 2)
+	if n, _ := r.Step(4, job.BreadthFirst, nil); n != 0 {
+		t.Fatal("finished instance should do nothing")
+	}
+}
+
+func TestLevelAccounting(t *testing.T) {
+	g := dag.IndependentChains(5, 20)
+	r := NewRun(g, 17)
+	perLevel := make([]int, g.CriticalPathLen())
+	var buf []job.LevelCount
+	for !r.Done() {
+		var n int
+		buf = buf[:0]
+		n, buf = r.Step(3, job.BreadthFirst, buf)
+		sum := 0
+		for _, lc := range buf {
+			perLevel[lc.Level] += lc.Count
+			sum += lc.Count
+		}
+		if sum != n {
+			t.Fatalf("byLevel sum %d != completed %d", sum, n)
+		}
+	}
+	for l := range perLevel {
+		if perLevel[l] != g.LevelWidth(l) {
+			t.Fatalf("level %d: %d completions, width %d", l, perLevel[l], g.LevelWidth(l))
+		}
+	}
+}
+
+func TestManyLevelsPerStepSpillPath(t *testing.T) {
+	// More than 8 distinct levels touched in one step exercises the spill
+	// path of the per-step level counter. A dag of many independent chains
+	// at staggered depths achieves this under stealing.
+	g := dag.New()
+	// 12 chains of different lengths, no common source.
+	for c := 0; c < 12; c++ {
+		var prev dag.NodeID = -1
+		for h := 0; h <= c; h++ {
+			id := g.AddNode()
+			if prev >= 0 {
+				g.MustEdge(prev, id)
+			}
+			prev = id
+		}
+	}
+	g.MustFinalize()
+	r := NewRun(g, 23)
+	perLevel := make([]int, g.CriticalPathLen())
+	var buf []job.LevelCount
+	for !r.Done() {
+		buf = buf[:0]
+		_, buf = r.Step(12, job.BreadthFirst, buf)
+		for _, lc := range buf {
+			perLevel[lc.Level] += lc.Count
+		}
+	}
+	for l := range perLevel {
+		if perLevel[l] != g.LevelWidth(l) {
+			t.Fatalf("level %d: %d vs width %d", l, perLevel[l], g.LevelWidth(l))
+		}
+	}
+}
+
+// TestWithSimEngine runs the work-stealing executor under the full two-level
+// engine with the A-Greedy desire policy — an A-Steal-like scheduler.
+func TestWithSimEngine(t *testing.T) {
+	g := dag.ForkJoin([]dag.Phase{
+		{SerialLen: 10, Width: 12, Height: 60},
+		{SerialLen: 10, Width: 4, Height: 60},
+		{SerialLen: 5},
+	})
+	res, err := sim.RunSingle(NewRun(g, 31), feedback.DefaultAGreedy(), sched.Greedy(),
+		alloc.NewUnconstrained(32), sim.SingleConfig{L: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work != g.Work() {
+		t.Fatal("work mismatch")
+	}
+	if res.Waste <= 0 {
+		t.Fatal("steal cycles should register as waste")
+	}
+	if res.Runtime < int64(g.CriticalPathLen()) {
+		t.Fatal("runtime below critical path")
+	}
+}
+
+func BenchmarkStepWideDag(b *testing.B) {
+	g := dag.IndependentChains(64, 256)
+	r := NewRun(g, 1)
+	var buf []job.LevelCount
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Done() {
+			b.StopTimer()
+			r = NewRun(g, 1)
+			b.StartTimer()
+		}
+		buf = buf[:0]
+		_, buf = r.Step(32, job.BreadthFirst, buf)
+	}
+}
+
+// TestSerialChainLargeAllotmentProgress is the regression test for the
+// stolen-task ping-pong pathology: on a pure chain with a huge allotment,
+// a stolen task must be private to its thief and execute the next step, so
+// the chain advances at least one task every two steps.
+func TestSerialChainLargeAllotmentProgress(t *testing.T) {
+	const n = 400
+	g := dag.Chain(n)
+	r := NewRun(g, 3)
+	steps, _ := drive(t, r, 128)
+	if steps > 2*n+10 {
+		t.Fatalf("chain of %d tasks took %d steps with 128 workers (ping-pong bug)", n, steps)
+	}
+}
