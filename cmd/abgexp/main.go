@@ -22,6 +22,7 @@ import (
 
 	"abg/internal/chart"
 	"abg/internal/experiments"
+	"abg/internal/obs"
 	"abg/internal/stats"
 	"abg/internal/trace"
 )
@@ -33,8 +34,22 @@ func main() {
 		seed      = flag.Uint64("seed", 2008, "experiment seed")
 		csvPath   = flag.String("csv", "", "optional path to write the main series as CSV")
 		showChart = flag.Bool("chart", false, "render the main series as an ASCII chart")
+		logSpec   = flag.String("log", "", `log levels, e.g. "info" or "info,experiments=debug" (default warn)`)
+		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. :6060) during the run")
+		metricsOn = flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
 	)
 	flag.Parse()
+	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
+		fatalf("%v", err)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[debug server on http://%s]\n", srv.Addr())
+	}
 
 	cfg := experiments.Defaults()
 	cfg.Seed = *seed
@@ -206,6 +221,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "[series written to %s]\n", *csvPath)
+	}
+	if *metricsOn {
+		fmt.Fprintln(os.Stderr)
+		if err := obs.Default.WriteSnapshot(os.Stderr); err != nil {
+			fatalf("%v", err)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"abg/internal/obs"
 	"abg/internal/report"
 )
 
@@ -23,8 +24,13 @@ func main() {
 		seed     = flag.Uint64("seed", 2008, "experiment seed")
 		sections = flag.String("sections", "", "comma-separated subset (default: all): "+
 			strings.Join(report.KnownSections(), ","))
+		logSpec = flag.String("log", "", `log levels, e.g. "info" or "info,experiments=debug" (default warn)`)
 	)
 	flag.Parse()
+	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "abgreport: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := report.Options{
 		Seed:  *seed,

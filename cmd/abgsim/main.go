@@ -1,5 +1,8 @@
-// Command abgsim simulates a single malleable job under an adaptive
-// two-level scheduler and prints the per-quantum trace and summary metrics.
+// Command abgsim simulates malleable jobs under an adaptive two-level
+// scheduler and prints per-quantum traces and summary metrics. With -jobs N
+// it space-shares N jobs under dynamic equi-partitioning; the run can be
+// watched live (-debug-addr serves expvar + pprof, -events logs every
+// instrumentation event) and exported as a Perfetto timeline (-perfetto).
 //
 // Examples:
 //
@@ -7,6 +10,8 @@
 //	abgsim -scheduler agreedy -cl 20             # same under A-Greedy
 //	abgsim -constant 12 -quanta 8                # Figure 4's constant job
 //	abgsim -cl 50 -avail 16                      # capped availability
+//	abgsim -jobs 4 -release 2000 -perfetto t.json  # job set → ui.perfetto.dev
+//	abgsim -cl 80 -debug-addr :6060 -repeat 100  # live metrics + profiling
 package main
 
 import (
@@ -14,8 +19,10 @@ import (
 	"fmt"
 	"os"
 
+	"abg/internal/alloc"
 	"abg/internal/core"
 	"abg/internal/job"
+	"abg/internal/obs"
 	"abg/internal/sim"
 	"abg/internal/table"
 	"abg/internal/workload"
@@ -34,10 +41,23 @@ func main() {
 		constant  = flag.Int("constant", 0, "if >0, run a constant-parallelism job of this width instead")
 		quanta    = flag.Int("quanta", 10, "approximate length of the constant job in quanta")
 		seed      = flag.Uint64("seed", 2008, "workload seed")
-		avail     = flag.Int("avail", 0, "if >0, cap per-quantum availability at this many processors")
+		avail     = flag.Int("avail", 0, "if >0, cap per-quantum availability at this many processors (single-job only)")
 		showTrace = flag.Bool("trace", true, "print the per-quantum trace")
+		jobsN     = flag.Int("jobs", 1, "number of jobs; >1 space-shares them under dynamic equi-partitioning")
+		release   = flag.Int64("release", 0, "release spacing in steps between successive jobs (with -jobs)")
+		logSpec   = flag.String("log", "", `log levels: "info" or "info,sim=debug,events=debug" (default warn)`)
+		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. :6060) during the run")
+		perfetto  = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON timeline to this file")
+		events    = flag.Bool("events", false, "log instrumentation events (per-quantum detail needs -log events=debug)")
+		metricsOn = flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
+		repeat    = flag.Int("repeat", 1, "run the simulation this many times (profiling aid with -debug-addr)")
 	)
 	flag.Parse()
+
+	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	machine := core.Machine{P: *p, L: *l}
 	var scheduler core.Scheduler
@@ -51,33 +71,84 @@ func main() {
 		os.Exit(2)
 	}
 
-	var profile *job.Profile
-	if *constant > 0 {
-		profile = workload.ConstantJob(*constant, *quanta, *l)
+	// The bus stays subscriber-free (and therefore free) unless some form of
+	// observability was asked for.
+	bus := obs.NewBus()
+	if *debugAddr != "" || *metricsOn {
+		bus.Subscribe(obs.NewMetricsSubscriber(obs.Default))
+	}
+	if *events {
+		bus.Subscribe(obs.NewLogSubscriber(nil))
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[debug server on http://%s]\n", srv.Addr())
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	profileAt := func(i int) *job.Profile {
+		if *constant > 0 {
+			return workload.ConstantJob(*constant, *quanta, *l)
+		}
+		return workload.GenJob(xrand.New(*seed+uint64(i)), workload.DefaultJobParams(*cl, *l))
+	}
+
+	if *jobsN > 1 {
+		runJobSet(machine, scheduler, bus, profileAt, *jobsN, *release, *perfetto, *showTrace, *repeat)
 	} else {
-		profile = workload.GenJob(xrand.New(*seed), workload.DefaultJobParams(*cl, *l))
+		runSingleJob(machine, scheduler, bus, profileAt(0), *avail, *perfetto, *showTrace, *repeat)
+	}
+
+	if *metricsOn {
+		fmt.Fprintln(os.Stderr)
+		if err := obs.Default.WriteSnapshot(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+		}
+	}
+}
+
+// runSingleJob runs one job alone on the machine repeat times and reports
+// the final run.
+func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
+	profile *job.Profile, avail int, perfetto string, showTrace bool, repeat int) {
+
+	run := func() (sim.SingleResult, error) {
+		allocator := alloc.Single(alloc.NewUnconstrained(machine.P))
+		if avail > 0 {
+			cap := avail
+			allocator = alloc.NewAvailabilityTrace(machine.P, func(int) int { return cap }, "capped")
+		}
+		// ObserveSingle adds allocator-level EvAllocDecision events (the
+		// engine itself only emits the per-job view).
+		return sim.RunSingle(job.NewRun(profile), scheduler.NewPolicy(), scheduler.TaskScheduler(),
+			alloc.ObserveSingle(allocator, bus),
+			sim.SingleConfig{L: machine.L, KeepTrace: true, Obs: bus})
 	}
 
 	var (
 		res sim.SingleResult
 		err error
 	)
-	if *avail > 0 {
-		cap := *avail
-		res, err = core.RunJobConstrained(machine, scheduler, profile, func(int) int { return cap })
-	} else {
-		res, err = core.RunJob(machine, scheduler, profile)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
-		os.Exit(1)
+	for i := 0; i < repeat; i++ {
+		res, err = run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
-	fmt.Printf("scheduler: %s   machine: P=%d L=%d\n", scheduler.Name(), *p, *l)
+	fmt.Printf("scheduler: %s   machine: P=%d L=%d\n", scheduler.Name(), machine.P, machine.L)
 	fmt.Printf("job: T1=%d T∞=%d A=%.2f\n\n", res.Work, res.CriticalPath,
 		float64(res.Work)/float64(res.CriticalPath))
 
-	if *showTrace {
+	if showTrace {
 		tb := table.New("q", "request", "allot", "T1(q)", "T∞(q)", "A(q)", "waste", "full")
 		for _, q := range res.Quanta {
 			tb.AddRowf(q.Index, q.Request, q.Allotment, q.Work, q.CPL, q.AvgParallelism(),
@@ -102,4 +173,81 @@ func main() {
 	tb.AddRowf("request overshoot", rep.Requests.MaxOvershoot)
 	tb.AddRowf("request oscillations", rep.Oscillations)
 	tb.Render(os.Stdout)
+
+	if perfetto != "" {
+		var tl obs.Timeline
+		tl.AddJob("job 0", res.Quanta)
+		writePerfetto(perfetto, tl)
+	}
+}
+
+// runJobSet space-shares n jobs released spacing steps apart and reports the
+// final run of the set.
+func runJobSet(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
+	profileAt func(int) *job.Profile, n int, spacing int64,
+	perfetto string, showTrace bool, repeat int) {
+
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{
+			Name:    fmt.Sprintf("job%d", i),
+			Release: int64(i) * spacing,
+			Profile: profileAt(i),
+		}
+	}
+
+	var (
+		res sim.MultiResult
+		err error
+	)
+	for i := 0; i < repeat; i++ {
+		res, err = core.RunJobSetObserved(machine, scheduler, subs, alloc.DynamicEquiPartition{}, bus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("scheduler: %s   machine: P=%d L=%d   jobs: %d (release spacing %d)\n\n",
+		scheduler.Name(), machine.P, machine.L, n, spacing)
+
+	if showTrace {
+		tb := table.New("job", "release", "completion", "response", "quanta", "T1", "waste")
+		for _, j := range res.Jobs {
+			tb.AddRowf(j.Name, j.Release, j.Completion, j.Response, j.NumQuanta, j.Work, j.Waste)
+		}
+		tb.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	tb := table.New("metric", "value")
+	tb.AddRowf("makespan (steps)", res.Makespan)
+	tb.AddRowf("mean response (steps)", res.MeanResponse())
+	tb.AddRowf("total waste", res.TotalWaste)
+	tb.AddRowf("quanta elapsed", res.QuantaElapsed)
+	tb.Render(os.Stdout)
+
+	if perfetto != "" {
+		var tl obs.Timeline
+		for _, j := range res.Jobs {
+			tl.AddJob(j.Name, j.Quanta)
+		}
+		writePerfetto(perfetto, tl)
+	}
+}
+
+// writePerfetto exports the timeline as Chrome trace-event JSON, loadable in
+// ui.perfetto.dev or chrome://tracing.
+func writePerfetto(path string, tl obs.Timeline) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tl.WriteTraceEvents(f); err != nil {
+		fmt.Fprintf(os.Stderr, "abgsim: perfetto export: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[perfetto timeline written to %s]\n", path)
 }

@@ -1,37 +1,70 @@
 // Command abgtrace simulates one job and dumps its per-quantum trace as CSV
-// (default) or JSON, for plotting outside this repository.
+// (default), JSON, or a Perfetto/Chrome trace-event timeline, for plotting
+// and inspection outside this repository.
 //
 //	abgtrace -scheduler abg -cl 20 > trace.csv
 //	abgtrace -scheduler agreedy -constant 12 -format json > trace.json
+//	abgtrace -cl 50 -format perfetto > timeline.json   # open in ui.perfetto.dev
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"abg/internal/core"
 	"abg/internal/job"
+	"abg/internal/obs"
 	"abg/internal/trace"
 	"abg/internal/workload"
 	"abg/internal/xrand"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the flag-validation and
+// output paths are testable. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abgtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		schedName = flag.String("scheduler", "abg", "scheduler: abg | agreedy")
-		r         = flag.Float64("r", 0.2, "ABG convergence rate")
-		rho       = flag.Float64("rho", 2, "A-Greedy multiplicative factor")
-		delta     = flag.Float64("delta", 0.8, "A-Greedy utilization threshold")
-		p         = flag.Int("P", 128, "machine size")
-		l         = flag.Int("L", 1000, "quantum length")
-		cl        = flag.Int("cl", 20, "transition factor of the random fork-join job")
-		constant  = flag.Int("constant", 0, "if >0, constant-parallelism job of this width")
-		quanta    = flag.Int("quanta", 10, "constant job length in quanta")
-		seed      = flag.Uint64("seed", 2008, "workload seed")
-		format    = flag.String("format", "csv", "output format: csv | json")
+		schedName = fs.String("scheduler", "abg", "scheduler: abg | agreedy")
+		r         = fs.Float64("r", 0.2, "ABG convergence rate")
+		rho       = fs.Float64("rho", 2, "A-Greedy multiplicative factor")
+		delta     = fs.Float64("delta", 0.8, "A-Greedy utilization threshold")
+		p         = fs.Int("P", 128, "machine size")
+		l         = fs.Int("L", 1000, "quantum length")
+		cl        = fs.Int("cl", 20, "transition factor of the random fork-join job")
+		constant  = fs.Int("constant", 0, "if >0, constant-parallelism job of this width")
+		quanta    = fs.Int("quanta", 10, "constant job length in quanta")
+		seed      = fs.Uint64("seed", 2008, "workload seed")
+		format    = fs.String("format", "csv", "output format: csv | json | perfetto")
+		logSpec   = fs.String("log", "", `log levels, e.g. "info" or "info,sim=debug" (default warn)`)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
+		fmt.Fprintf(stderr, "abgtrace: %v\n", err)
+		return 2
+	}
+
+	// -constant switches to a synthetic constant-width job, making -cl
+	// meaningless; explicitly setting both is almost certainly a mistake.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["constant"] && *constant > 0 && explicit["cl"] {
+		fmt.Fprintln(stderr, "abgtrace: -constant and -cl are mutually exclusive "+
+			"(-constant runs a fixed-width job; -cl shapes the random fork-join job)")
+		return 2
+	}
+	if *quanta <= 0 {
+		fmt.Fprintf(stderr, "abgtrace: -quanta must be positive, got %d\n", *quanta)
+		return 2
+	}
 
 	var scheduler core.Scheduler
 	switch *schedName {
@@ -40,8 +73,8 @@ func main() {
 	case "agreedy":
 		scheduler = core.NewAGreedy(*rho, *delta)
 	default:
-		fmt.Fprintf(os.Stderr, "abgtrace: unknown scheduler %q\n", *schedName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "abgtrace: unknown scheduler %q\n", *schedName)
+		return 2
 	}
 	var profile *job.Profile
 	if *constant > 0 {
@@ -51,21 +84,25 @@ func main() {
 	}
 	res, err := core.RunJob(core.Machine{P: *p, L: *l}, scheduler, profile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "abgtrace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "abgtrace: %v\n", err)
+		return 1
 	}
-	records := trace.FromQuanta(res.Quanta)
 	switch *format {
 	case "csv":
-		err = trace.WriteCSV(os.Stdout, records)
+		err = trace.WriteCSV(stdout, trace.FromQuanta(res.Quanta))
 	case "json":
-		err = trace.WriteJSON(os.Stdout, records)
+		err = trace.WriteJSON(stdout, trace.FromQuanta(res.Quanta))
+	case "perfetto":
+		var tl obs.Timeline
+		tl.AddJob("job 0", res.Quanta)
+		err = tl.WriteTraceEvents(stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "abgtrace: unknown format %q\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "abgtrace: unknown format %q (want csv|json|perfetto)\n", *format)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "abgtrace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "abgtrace: %v\n", err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exec runs the command with args and returns (exit code, stdout, stderr).
+func exec(args ...string) (int, string, string) {
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestConstantAndCLConflict(t *testing.T) {
+	code, _, stderr := exec("-constant", "12", "-cl", "20")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("stderr lacks conflict diagnosis:\n%s", stderr)
+	}
+}
+
+func TestConstantZeroDoesNotConflict(t *testing.T) {
+	// -constant 0 keeps the random job, so an explicit -cl is fine.
+	code, stdout, stderr := exec("-constant", "0", "-cl", "5", "-L", "100", "-P", "16")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.HasPrefix(stdout, "quantum,") {
+		t.Fatalf("no CSV header in output:\n%.120s", stdout)
+	}
+}
+
+func TestQuantaMustBePositive(t *testing.T) {
+	for _, q := range []string{"0", "-3"} {
+		code, _, stderr := exec("-constant", "8", "-quanta", q)
+		if code != 2 {
+			t.Fatalf("-quanta %s: exit code %d, want 2", q, code)
+		}
+		if !strings.Contains(stderr, "-quanta must be positive") {
+			t.Fatalf("-quanta %s: stderr lacks diagnosis:\n%s", q, stderr)
+		}
+	}
+}
+
+func TestUnknownSchedulerAndFormat(t *testing.T) {
+	if code, _, stderr := exec("-scheduler", "lifo"); code != 2 ||
+		!strings.Contains(stderr, "unknown scheduler") {
+		t.Fatalf("bad scheduler: code=%d stderr=%s", code, stderr)
+	}
+	if code, _, stderr := exec("-format", "xml", "-constant", "4", "-quanta", "2", "-L", "100"); code != 2 ||
+		!strings.Contains(stderr, "unknown format") {
+		t.Fatalf("bad format: code=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestBadFlagAndBadLogSpec(t *testing.T) {
+	if code, _, _ := exec("-no-such-flag"); code != 2 {
+		t.Fatalf("unknown flag accepted")
+	}
+	if code, _, stderr := exec("-log", "verbose"); code != 2 ||
+		!strings.Contains(stderr, "unknown log level") {
+		t.Fatalf("bad log spec: code=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestCSVAndJSONOutputs(t *testing.T) {
+	code, csvOut, stderr := exec("-constant", "6", "-quanta", "3", "-L", "200", "-P", "32")
+	if code != 0 {
+		t.Fatalf("csv run failed: %s", stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv output too short:\n%s", csvOut)
+	}
+
+	code, jsonOut, stderr := exec("-constant", "6", "-quanta", "3", "-L", "200", "-P", "32",
+		"-format", "json")
+	if code != 0 {
+		t.Fatalf("json run failed: %s", stderr)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(jsonOut), &records); err != nil {
+		t.Fatalf("json output invalid: %v", err)
+	}
+	if len(records) != len(lines)-1 {
+		t.Fatalf("json has %d records, csv %d rows", len(records), len(lines)-1)
+	}
+}
+
+func TestPerfettoOutput(t *testing.T) {
+	code, out, stderr := exec("-constant", "6", "-quanta", "3", "-L", "200", "-P", "32",
+		"-format", "perfetto")
+	if code != 0 {
+		t.Fatalf("perfetto run failed: %s", stderr)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("perfetto output invalid: %v", err)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Fatal("perfetto output has no trace events")
+	}
+}

@@ -13,17 +13,23 @@ import (
 	"os"
 	"time"
 
+	"abg/internal/obs"
 	"abg/internal/validate"
 )
 
 func main() {
 	var (
-		trials = flag.Int("trials", 40, "randomized trials per check")
-		seed   = flag.Uint64("seed", 2008, "base seed")
-		p      = flag.Int("P", 128, "machine size")
-		l      = flag.Int("L", 200, "quantum length")
+		trials  = flag.Int("trials", 40, "randomized trials per check")
+		seed    = flag.Uint64("seed", 2008, "base seed")
+		p       = flag.Int("P", 128, "machine size")
+		l       = flag.Int("L", 200, "quantum length")
+		logSpec = flag.String("log", "", `log levels, e.g. "info" or "info,validate=debug" (default warn)`)
 	)
 	flag.Parse()
+	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "abgvalidate: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := validate.Options{Seed: *seed, Trials: *trials, P: *p, L: *l}
 	start := time.Now()

@@ -1,0 +1,68 @@
+package alloc
+
+import "abg/internal/obs"
+
+// ObservedSingle wraps a Single allocator and emits one EvAllocDecision per
+// grant, labelled with the inner allocator's name — allocator-level
+// visibility independent of which engine drives it (the engines themselves
+// only see the grant, not the allocator's identity).
+type ObservedSingle struct {
+	Inner Single
+	Bus   *obs.Bus
+}
+
+// ObserveSingle wraps inner so every grant is published on bus. A nil bus
+// returns inner unchanged (no wrapping cost when observability is off).
+func ObserveSingle(inner Single, bus *obs.Bus) Single {
+	if bus == nil {
+		return inner
+	}
+	return ObservedSingle{Inner: inner, Bus: bus}
+}
+
+// Grant implements Single.
+func (o ObservedSingle) Grant(q int, request int) int {
+	a := o.Inner.Grant(q, request)
+	if o.Bus.Active() {
+		o.Bus.Emit(obs.Event{Kind: obs.EvAllocDecision, Quantum: q, Job: -1,
+			Name: o.Inner.Name(), IntRequest: request, Allotment: a})
+	}
+	return a
+}
+
+// Name implements Single.
+func (o ObservedSingle) Name() string { return o.Inner.Name() }
+
+// ObservedMulti wraps a Multi allocator and emits one EvAllocDecision per
+// allocation round with the summed requests and grants.
+type ObservedMulti struct {
+	Inner Multi
+	Bus   *obs.Bus
+}
+
+// ObserveMulti wraps inner so every allocation round is published on bus.
+// A nil bus returns inner unchanged.
+func ObserveMulti(inner Multi, bus *obs.Bus) Multi {
+	if bus == nil {
+		return inner
+	}
+	return ObservedMulti{Inner: inner, Bus: bus}
+}
+
+// Allot implements Multi.
+func (o ObservedMulti) Allot(requests []int, p int) []int {
+	out := o.Inner.Allot(requests, p)
+	if o.Bus.Active() {
+		totalReq, totalAllot := 0, 0
+		for i := range requests {
+			totalReq += requests[i]
+			totalAllot += out[i]
+		}
+		o.Bus.Emit(obs.Event{Kind: obs.EvAllocDecision, Job: -1,
+			Name: o.Inner.Name(), P: p, IntRequest: totalReq, Allotment: totalAllot})
+	}
+	return out
+}
+
+// Name implements Multi.
+func (o ObservedMulti) Name() string { return o.Inner.Name() }

@@ -21,6 +21,7 @@ import (
 	"abg/internal/feedback"
 	"abg/internal/job"
 	"abg/internal/metrics"
+	"abg/internal/obs"
 	"abg/internal/sched"
 	"abg/internal/sim"
 )
@@ -92,7 +93,7 @@ func RunJob(m Machine, s Scheduler, p *job.Profile) (sim.SingleResult, error) {
 		return sim.SingleResult{}, err
 	}
 	return sim.RunSingle(job.NewRun(p), s.NewPolicy(), s.ofSched,
-		alloc.NewUnconstrained(m.P), sim.SingleConfig{L: m.L})
+		alloc.NewUnconstrained(m.P), sim.SingleConfig{L: m.L, KeepTrace: true})
 }
 
 // RunDag is RunJob for an explicit dag job.
@@ -101,7 +102,7 @@ func RunDag(m Machine, s Scheduler, g *dag.Graph) (sim.SingleResult, error) {
 		return sim.SingleResult{}, err
 	}
 	return sim.RunSingle(dag.NewRun(g), s.NewPolicy(), s.ofSched,
-		alloc.NewUnconstrained(m.P), sim.SingleConfig{L: m.L})
+		alloc.NewUnconstrained(m.P), sim.SingleConfig{L: m.L, KeepTrace: true})
 }
 
 // RunJobConstrained simulates one profile job under an arbitrary
@@ -112,7 +113,7 @@ func RunJobConstrained(m Machine, s Scheduler, p *job.Profile, avail func(q int)
 		return sim.SingleResult{}, err
 	}
 	return sim.RunSingle(job.NewRun(p), s.NewPolicy(), s.ofSched,
-		alloc.NewAvailabilityTrace(m.P, avail, "constrained"), sim.SingleConfig{L: m.L})
+		alloc.NewAvailabilityTrace(m.P, avail, "constrained"), sim.SingleConfig{L: m.L, KeepTrace: true})
 }
 
 // Submission is one job of a multiprogrammed job set.
@@ -151,6 +152,45 @@ func RunJobSetWith(m Machine, s Scheduler, subs []Submission, allocator alloc.Mu
 		}
 	}
 	return sim.RunMulti(specs, sim.MultiConfig{P: m.P, L: m.L, Allocator: allocator})
+}
+
+// RunJobObserved is RunJob with a live instrumentation bus attached: every
+// quantum's request, allotment, measured statistics and deprivation
+// transitions are emitted on bus as the run executes (see abg/internal/obs).
+func RunJobObserved(m Machine, s Scheduler, p *job.Profile, bus *obs.Bus) (sim.SingleResult, error) {
+	if err := m.Validate(); err != nil {
+		return sim.SingleResult{}, err
+	}
+	return sim.RunSingle(job.NewRun(p), s.NewPolicy(), s.ofSched,
+		alloc.NewUnconstrained(m.P),
+		sim.SingleConfig{L: m.L, KeepTrace: true, Obs: bus})
+}
+
+// RunJobSetObserved is RunJobSetWith with a live instrumentation bus and
+// per-job traces retained, so the run can both be watched in flight and
+// exported as a Perfetto timeline afterwards (obs.Timeline).
+func RunJobSetObserved(m Machine, s Scheduler, subs []Submission,
+	allocator alloc.Multi, bus *obs.Bus) (sim.MultiResult, error) {
+
+	if err := m.Validate(); err != nil {
+		return sim.MultiResult{}, err
+	}
+	specs := make([]sim.JobSpec, len(subs))
+	for i, sub := range subs {
+		if sub.Profile == nil {
+			return sim.MultiResult{}, fmt.Errorf("core: submission %d has no profile", i)
+		}
+		specs[i] = sim.JobSpec{
+			Name:    sub.Name,
+			Release: sub.Release,
+			Inst:    job.NewRun(sub.Profile),
+			Policy:  s.NewPolicy(),
+			Sched:   s.ofSched,
+		}
+	}
+	return sim.RunMulti(specs, sim.MultiConfig{
+		P: m.P, L: m.L, Allocator: allocator, KeepTrace: true, Obs: bus,
+	})
 }
 
 // Report is the post-hoc analysis of a single-job run: the algorithmic

@@ -54,7 +54,7 @@ func GainAblation(cfg Config, low, high, hold, cycles int) (GainAblationResult, 
 	maxPar := float64(high)
 	for _, c := range contenders {
 		out, err := sim.RunSingle(job.NewRun(profile), c.pol, cfg.abgScheduler(),
-			allocator, sim.SingleConfig{L: cfg.L})
+			allocator, sim.SingleConfig{L: cfg.L, KeepTrace: true})
 		if err != nil {
 			return res, err
 		}
@@ -111,7 +111,7 @@ func OrderAblation(cfg Config, cls []int, jobsPerCL, shrink int) (OrderAblationR
 		var rt, ws stats.Welford
 		for _, p := range profiles {
 			out, err := sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), sc,
-				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+				allocator, sim.SingleConfig{L: cfg.L})
 			if err != nil {
 				return res, err
 			}
@@ -163,7 +163,7 @@ func QuantumLengthAblation(cfg Config, ls []int, cls []int, jobsPerCL, shrink in
 		var rt, ws, nq stats.Welford
 		for _, p := range profiles {
 			out, err := sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),
-				allocator, sim.SingleConfig{L: l, DropTrace: true})
+				allocator, sim.SingleConfig{L: l})
 			if err != nil {
 				return res, err
 			}

@@ -49,11 +49,11 @@ func AdaptiveQuantum(cfg Config, cls []int, jobsPerCL, shrink, lMin, lMax int) (
 	modes := []mode{
 		{fmt.Sprintf("fixed L=%d", lMin), func(p *job.Profile) (sim.SingleResult, error) {
 			return sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),
-				allocator, sim.SingleConfig{L: lMin, DropTrace: true})
+				allocator, sim.SingleConfig{L: lMin})
 		}},
 		{fmt.Sprintf("fixed L=%d", lMax), func(p *job.Profile) (sim.SingleResult, error) {
 			return sim.RunSingle(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),
-				allocator, sim.SingleConfig{L: lMax, DropTrace: true})
+				allocator, sim.SingleConfig{L: lMax})
 		}},
 		{fmt.Sprintf("adaptive [%d,%d]", lMin, lMax), func(p *job.Profile) (sim.SingleResult, error) {
 			return sim.RunSingleAdaptiveL(job.NewRun(p), cfg.abgPolicy(), cfg.abgScheduler(),

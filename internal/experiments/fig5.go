@@ -108,12 +108,17 @@ func Fig5(cfg Fig5Config) (Fig5Result, error) {
 				r   sim.SingleResult
 				err error
 			)
+			sweepActive.Add(1)
+			defer sweepActive.Add(-1)
 			if pol == "abg" {
 				r, err = sim.RunSingle(job.NewRun(profile), cfg.abgPolicy(),
-					cfg.abgScheduler(), allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+					cfg.abgScheduler(), allocator, sim.SingleConfig{L: cfg.L})
 			} else {
 				r, err = sim.RunSingle(job.NewRun(profile), cfg.agreedyPolicy(),
-					cfg.agreedyScheduler(), allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+					cfg.agreedyScheduler(), allocator, sim.SingleConfig{L: cfg.L})
+			}
+			if err == nil {
+				recordSingle(r.NumQuanta, r.Runtime, r.Waste)
 			}
 			return Fig5Run{CL: tk.cl, Runtime: r.NormalizedRuntime(), Waste: r.NormalizedWaste()}, err
 		}

@@ -199,9 +199,15 @@ func (cfg Fig6Config) runSet(seed uint64, targetLoad float64) (Fig6Set, error) {
 			}
 			specs[i] = spec
 		}
-		return sim.RunMulti(specs, sim.MultiConfig{
+		sweepSetActive.Add(1)
+		defer sweepSetActive.Add(-1)
+		res, err := sim.RunMulti(specs, sim.MultiConfig{
 			P: cfg.P, L: cfg.L, Allocator: alloc.DynamicEquiPartition{},
 		})
+		if err == nil {
+			recordSet(len(specs), res.QuantaElapsed, res.Makespan, res.TotalWaste)
+		}
+		return res, err
 	}
 	abgRes, err := run(true)
 	if err != nil {

@@ -82,9 +82,13 @@ func Mixed(cfg Config, numSets int, targetLoad float64, shrink int) (MixedResult
 				}
 				specs[i] = spec
 			}
-			return sim.RunMulti(specs, sim.MultiConfig{
+			res, err := sim.RunMulti(specs, sim.MultiConfig{
 				P: cfg.P, L: cfg.L, Allocator: alloc.DynamicEquiPartition{},
 			})
+			if err == nil {
+				recordSet(len(specs), res.QuantaElapsed, res.Makespan, res.TotalWaste)
+			}
+			return res, err
 		}
 		allABG, err := run("abg")
 		if err != nil {

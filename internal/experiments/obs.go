@@ -1,0 +1,34 @@
+package experiments
+
+import "abg/internal/obs"
+
+// Sweep-level progress counters on the process-wide registry, visible live
+// over expvar / the -debug-addr endpoint while a long sweep runs. All are
+// atomic, so the parallel runners update them from every CPU.
+var (
+	sweepSims      = obs.Default.Counter("experiments_sims_total")
+	sweepQuanta    = obs.Default.Counter("experiments_quanta_total")
+	sweepJobSets   = obs.Default.Counter("experiments_job_sets_total")
+	sweepJobs      = obs.Default.Counter("experiments_jobs_total")
+	sweepSteps     = obs.Default.Counter("experiments_steps_total")
+	sweepWaste     = obs.Default.Counter("experiments_wasted_cycles_total")
+	sweepActive    = obs.Default.Gauge("experiments_sims_active")
+	sweepSetActive = obs.Default.Gauge("experiments_job_sets_active")
+)
+
+// recordSingle accounts one finished single-job simulation.
+func recordSingle(numQuanta int, runtime, waste int64) {
+	sweepSims.Inc()
+	sweepQuanta.Add(int64(numQuanta))
+	sweepSteps.Add(runtime)
+	sweepWaste.Add(waste)
+}
+
+// recordSet accounts one finished multiprogrammed run.
+func recordSet(jobs, quantaElapsed int, makespan, waste int64) {
+	sweepJobSets.Inc()
+	sweepJobs.Add(int64(jobs))
+	sweepQuanta.Add(int64(quantaElapsed))
+	sweepSteps.Add(makespan)
+	sweepWaste.Add(waste)
+}

@@ -78,7 +78,7 @@ func RateStudy(cfg Config, widths []int, jobsPerWidth, shrink int) (RateStudyRes
 		outs, err := parallel.Map(len(profiles), func(i int) (out, error) {
 			pol := cont.factory()
 			r, err := sim.RunSingle(job.NewRun(profiles[i]), pol, cfg.abgScheduler(),
-				allocator, sim.SingleConfig{L: cfg.L})
+				allocator, sim.SingleConfig{L: cfg.L, KeepTrace: true})
 			if err != nil {
 				return out{}, err
 			}

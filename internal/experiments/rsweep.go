@@ -75,10 +75,11 @@ func RSweep(cfg RSweepConfig) (RSweepResult, error) {
 		var rt, ws stats.Welford
 		for _, p := range profiles {
 			out, err := sim.RunSingle(job.NewRun(p), feedback.NewAControl(r), cfg.abgScheduler(),
-				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+				allocator, sim.SingleConfig{L: cfg.L})
 			if err != nil {
 				return res, err
 			}
+			recordSingle(out.NumQuanta, out.Runtime, out.Waste)
 			rt.Add(out.NormalizedRuntime())
 			ws.Add(out.NormalizedWaste())
 		}

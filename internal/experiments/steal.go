@@ -68,24 +68,24 @@ func Steal(cfg Config, widths []int, jobsPerWidth, shrink int) (StealResult, err
 	contenders := []contender{
 		{"ABG (B-Greedy central)", func(c jobCase) (sim.SingleResult, int64, error) {
 			r, err := sim.RunSingle(dag.NewRun(c.g), cfg.abgPolicy(), cfg.abgScheduler(),
-				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+				allocator, sim.SingleConfig{L: cfg.L})
 			return r, 0, err
 		}},
 		{"A-Greedy (central)", func(c jobCase) (sim.SingleResult, int64, error) {
 			r, err := sim.RunSingle(dag.NewRun(c.g), cfg.agreedyPolicy(), cfg.agreedyScheduler(),
-				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+				allocator, sim.SingleConfig{L: cfg.L})
 			return r, 0, err
 		}},
 		{"A-Steal (WS + desire)", func(c jobCase) (sim.SingleResult, int64, error) {
 			ws := wsteal.NewRun(c.g, c.seed)
 			r, err := sim.RunSingle(ws, cfg.agreedyPolicy(), cfg.agreedyScheduler(),
-				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+				allocator, sim.SingleConfig{L: cfg.L})
 			return r, ws.StealAttempts() + ws.Mugs(), err
 		}},
 		{"WS + A-Control", func(c jobCase) (sim.SingleResult, int64, error) {
 			ws := wsteal.NewRun(c.g, c.seed)
 			r, err := sim.RunSingle(ws, cfg.abgPolicy(), cfg.agreedyScheduler(),
-				allocator, sim.SingleConfig{L: cfg.L, DropTrace: true})
+				allocator, sim.SingleConfig{L: cfg.L})
 			return r, ws.StealAttempts() + ws.Mugs(), err
 		}},
 	}

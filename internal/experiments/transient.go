@@ -47,12 +47,12 @@ func Transient(cfg Config, width, quanta int) (TransientResult, error) {
 	allocator := alloc.NewUnconstrained(cfg.P)
 
 	abg, err := sim.RunSingle(job.NewRun(profile), cfg.abgPolicy(), cfg.abgScheduler(),
-		allocator, sim.SingleConfig{L: cfg.L})
+		allocator, sim.SingleConfig{L: cfg.L, KeepTrace: true})
 	if err != nil {
 		return res, fmt.Errorf("experiments: transient ABG run: %w", err)
 	}
 	ag, err := sim.RunSingle(job.NewRun(profile), cfg.agreedyPolicy(), cfg.agreedyScheduler(),
-		allocator, sim.SingleConfig{L: cfg.L})
+		allocator, sim.SingleConfig{L: cfg.L, KeepTrace: true})
 	if err != nil {
 		return res, fmt.Errorf("experiments: transient A-Greedy run: %w", err)
 	}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewDebugMux builds the debug HTTP mux served behind the CLIs'
+// -debug-addr flag:
+//
+//	/debug/vars     expvar JSON (includes the registry once published)
+//	/debug/metrics  the registry's plain-text snapshot
+//	/debug/pprof/*  the standard pprof handlers
+//
+// reg may be nil, in which case /debug/metrics serves the Default registry.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteSnapshot(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "abg debug server: /debug/vars /debug/metrics /debug/pprof/")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP server.
+type DebugServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.addr }
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// StartDebugServer publishes reg over expvar and serves the debug mux on
+// addr in a background goroutine. It returns once the listener is bound, so
+// metrics are reachable for the whole lifetime of the run that follows.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default
+	}
+	reg.PublishExpvar("abg")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Component("obs").Error("debug server failed", "err", err)
+		}
+	}()
+	return &DebugServer{srv: srv, addr: ln.Addr()}, nil
+}

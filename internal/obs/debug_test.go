@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_test_counter").Add(11)
+	srv, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/vars"); !strings.Contains(body, "debug_test_counter") {
+		t.Fatalf("/debug/vars missing registry:\n%s", body)
+	}
+	if body := get("/debug/metrics"); !strings.Contains(body, "counter debug_test_counter 11") {
+		t.Fatalf("/debug/metrics wrong:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	if body := get("/"); !strings.Contains(body, "abg debug server") {
+		t.Fatalf("index page wrong:\n%s", body)
+	}
+}
+
+func TestStartDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebugServer("127.0.0.1:-1", nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	if b.Active() {
+		t.Fatal("nil bus reports active")
+	}
+	b.Emit(Event{Kind: EvRequest}) // must not panic
+}
+
+func TestEmptyBusInactive(t *testing.T) {
+	b := NewBus()
+	if b.Active() {
+		t.Fatal("empty bus reports active")
+	}
+	b.Emit(Event{Kind: EvRequest}) // no subscribers: no-op
+}
+
+func TestSubscribeFanOutAndUnsubscribe(t *testing.T) {
+	b := NewBus()
+	var first, second []Kind
+	u1 := b.Subscribe(SubscriberFunc(func(e Event) { first = append(first, e.Kind) }))
+	u2 := b.Subscribe(SubscriberFunc(func(e Event) { second = append(second, e.Kind) }))
+	if !b.Active() {
+		t.Fatal("bus with subscribers reports inactive")
+	}
+	b.Emit(Event{Kind: EvJobAdmitted})
+	b.Emit(Event{Kind: EvQuantumEnd})
+	u1()
+	b.Emit(Event{Kind: EvJobCompleted})
+	u1() // double-unsubscribe is a no-op
+	if len(first) != 2 || len(second) != 3 {
+		t.Fatalf("fan-out counts: first=%d second=%d", len(first), len(second))
+	}
+	if second[2] != EvJobCompleted {
+		t.Fatalf("event order: %v", second)
+	}
+	u2()
+	if b.Active() {
+		t.Fatal("bus active after all unsubscribed")
+	}
+}
+
+func TestBusConcurrentEmit(t *testing.T) {
+	b := NewBus()
+	rec := &Recorder{}
+	defer b.Subscribe(rec)()
+	const emitters, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Emit(Event{Kind: EvQuantumEnd, Job: g, Quantum: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(rec.Events()); got != emitters*each {
+		t.Fatalf("recorded %d events, want %d", got, emitters*each)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{EvJobAdmitted, EvRequest, EvAllotment, EvQuantumEnd,
+		EvDeprived, EvSatisfied, EvJobCompleted, EvAllocDecision}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatalf("unknown kind name: %q", Kind(99).String())
+	}
+}
+
+func BenchmarkBusEmitNoSubscribers(b *testing.B) {
+	bus := NewBus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bus.Active() {
+			bus.Emit(Event{Kind: EvQuantumEnd, Quantum: i})
+		}
+	}
+}
+
+func BenchmarkBusEmitNilBus(b *testing.B) {
+	var bus *Bus
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bus.Active() {
+			bus.Emit(Event{Kind: EvQuantumEnd, Quantum: i})
+		}
+	}
+}
+
+func BenchmarkBusEmitOneSubscriber(b *testing.B) {
+	bus := NewBus()
+	var count int64
+	defer bus.Subscribe(SubscriberFunc(func(Event) { count++ }))()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bus.Active() {
+			bus.Emit(Event{Kind: EvQuantumEnd, Quantum: i})
+		}
+	}
+}
+
+func TestEmitNoSubscribersDoesNotAllocate(t *testing.T) {
+	bus := NewBus()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if bus.Active() {
+			bus.Emit(Event{Kind: EvQuantumEnd})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emission allocates %v per op", allocs)
+	}
+}

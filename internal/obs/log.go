@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// ComponentKey is the attribute under which loggers carry their component
+// name; the per-component level filter keys off it.
+const ComponentKey = "component"
+
+// LevelSpec is a default log level plus per-component overrides, parsed
+// from the CLIs' -log flag.
+type LevelSpec struct {
+	Default   slog.Level
+	Component map[string]slog.Level
+}
+
+// For returns the effective level for a component ("" = no component).
+func (s LevelSpec) For(component string) slog.Level {
+	if component != "" {
+		if lvl, ok := s.Component[component]; ok {
+			return lvl
+		}
+	}
+	return s.Default
+}
+
+// minimum returns the lowest level any component can log at — the bus-wide
+// Enabled floor.
+func (s LevelSpec) minimum() slog.Level {
+	min := s.Default
+	for _, lvl := range s.Component {
+		if lvl < min {
+			min = lvl
+		}
+	}
+	return min
+}
+
+// ParseLevel parses one level name (debug|info|warn|error, any case).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// ParseLevels parses a -log flag value: a default level optionally followed
+// by comma-separated component overrides, e.g.
+//
+//	"warn"
+//	"info,sim=debug,alloc=error"
+//	"sim=debug"             (default stays warn)
+//
+// An empty spec yields the warn default with no overrides.
+func ParseLevels(spec string) (LevelSpec, error) {
+	out := LevelSpec{Default: slog.LevelWarn}
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, lvlStr, found := strings.Cut(part, "=")
+		if !found {
+			if i != 0 {
+				return out, fmt.Errorf("obs: default level %q must come first in %q", part, spec)
+			}
+			lvl, err := ParseLevel(part)
+			if err != nil {
+				return out, err
+			}
+			out.Default = lvl
+			continue
+		}
+		lvl, err := ParseLevel(lvlStr)
+		if err != nil {
+			return out, fmt.Errorf("obs: component %q: %w", name, err)
+		}
+		if out.Component == nil {
+			out.Component = make(map[string]slog.Level)
+		}
+		out.Component[strings.TrimSpace(name)] = lvl
+	}
+	return out, nil
+}
+
+// componentHandler filters records by the level of the component they carry
+// (the ComponentKey attribute), wrapping an inner slog.Handler.
+type componentHandler struct {
+	inner     slog.Handler
+	levels    LevelSpec
+	component string // bound via WithAttrs, "" until then
+}
+
+// Enabled implements slog.Handler. When the component is not yet known the
+// floor across all components applies, so component loggers built later via
+// With(ComponentKey, …) are not pre-filtered away.
+func (h *componentHandler) Enabled(_ context.Context, lvl slog.Level) bool {
+	if h.component != "" {
+		return lvl >= h.levels.For(h.component)
+	}
+	return lvl >= h.levels.minimum()
+}
+
+// Handle implements slog.Handler.
+func (h *componentHandler) Handle(ctx context.Context, r slog.Record) error {
+	component := h.component
+	if component == "" {
+		r.Attrs(func(a slog.Attr) bool {
+			if a.Key == ComponentKey {
+				component = a.Value.String()
+				return false
+			}
+			return true
+		})
+	}
+	if r.Level < h.levels.For(component) {
+		return nil
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler, binding the component when the
+// attribute passes through.
+func (h *componentHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	next := *h
+	next.inner = h.inner.WithAttrs(attrs)
+	for _, a := range attrs {
+		if a.Key == ComponentKey {
+			next.component = a.Value.String()
+		}
+	}
+	return &next
+}
+
+// WithGroup implements slog.Handler.
+func (h *componentHandler) WithGroup(name string) slog.Handler {
+	next := *h
+	next.inner = h.inner.WithGroup(name)
+	return &next
+}
+
+// NewLogger builds a text logger on w honouring the -log spec.
+func NewLogger(w io.Writer, spec string) (*slog.Logger, error) {
+	levels, err := ParseLevels(spec)
+	if err != nil {
+		return nil, err
+	}
+	inner := slog.NewTextHandler(w, &slog.HandlerOptions{Level: levels.minimum()})
+	return slog.New(&componentHandler{inner: inner, levels: levels}), nil
+}
+
+// SetupDefaultLogger configures the process-wide slog default from a -log
+// flag value, writing to stderr. Every cmd/ binary calls this first.
+func SetupDefaultLogger(spec string) error {
+	logger, err := NewLogger(os.Stderr, spec)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	return nil
+}
+
+// Component returns the default logger scoped to a component, e.g.
+// obs.Component("sim").
+func Component(name string) *slog.Logger {
+	return slog.Default().With(slog.String(ComponentKey, name))
+}
+
+// LogSubscriber bridges the event bus onto a slog logger: quantum-rate
+// events log at Debug, job lifecycle at Info. Attach it with
+// bus.Subscribe(obs.NewLogSubscriber(logger)) — typically behind a CLI's
+// -events flag, since a million-quantum run emits a million lines at Debug.
+type LogSubscriber struct {
+	log *slog.Logger
+}
+
+// NewLogSubscriber returns a LogSubscriber on the given logger (the default
+// logger when nil).
+func NewLogSubscriber(log *slog.Logger) LogSubscriber {
+	if log == nil {
+		log = slog.Default()
+	}
+	return LogSubscriber{log: log.With(slog.String(ComponentKey, "events"))}
+}
+
+// OnEvent implements Subscriber.
+func (s LogSubscriber) OnEvent(e Event) {
+	lvl := slog.LevelDebug
+	switch e.Kind {
+	case EvJobAdmitted, EvJobCompleted:
+		lvl = slog.LevelInfo
+	}
+	if !s.log.Enabled(context.Background(), lvl) {
+		return
+	}
+	attrs := []any{
+		slog.Int64("t", e.Time),
+		slog.Int("q", e.Quantum),
+		slog.Int("job", e.Job),
+	}
+	if e.Name != "" {
+		attrs = append(attrs, slog.String("name", e.Name))
+	}
+	switch e.Kind {
+	case EvRequest:
+		attrs = append(attrs, slog.Float64("d", e.Request), slog.Int("req", e.IntRequest))
+	case EvAllotment:
+		attrs = append(attrs, slog.Int("req", e.IntRequest), slog.Int("a", e.Allotment),
+			slog.Bool("deprived", e.Deprived))
+	case EvQuantumEnd:
+		attrs = append(attrs, slog.Int("a", e.Allotment), slog.Int("steps", e.Steps),
+			slog.Int64("work", e.Work), slog.Int64("waste", e.Waste),
+			slog.Float64("A", e.Parallelism), slog.Bool("completed", e.Completed))
+	case EvJobAdmitted:
+		attrs = append(attrs, slog.Int64("work", e.Work), slog.Float64("A", e.Parallelism))
+	case EvJobCompleted:
+		attrs = append(attrs, slog.Int64("work", e.Work))
+	case EvAllocDecision:
+		attrs = append(attrs, slog.Int("P", e.P), slog.Int("requested", e.IntRequest),
+			slog.Int("granted", e.Allotment))
+	}
+	s.log.Log(context.Background(), lvl, e.Kind.String(), attrs...)
+}

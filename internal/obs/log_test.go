@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevels(t *testing.T) {
+	spec, err := ParseLevels("info,sim=debug,alloc=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Default != slog.LevelInfo {
+		t.Fatalf("default = %v", spec.Default)
+	}
+	if spec.For("sim") != slog.LevelDebug || spec.For("alloc") != slog.LevelError {
+		t.Fatalf("components = %v", spec.Component)
+	}
+	if spec.For("other") != slog.LevelInfo {
+		t.Fatalf("unknown component level = %v", spec.For("other"))
+	}
+	if spec.minimum() != slog.LevelDebug {
+		t.Fatalf("minimum = %v", spec.minimum())
+	}
+}
+
+func TestParseLevelsDefaults(t *testing.T) {
+	spec, err := ParseLevels("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Default != slog.LevelWarn {
+		t.Fatalf("empty spec default = %v", spec.Default)
+	}
+	// Component-only spec keeps the warn default.
+	spec, err = ParseLevels("sim=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Default != slog.LevelWarn || spec.For("sim") != slog.LevelDebug {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestParseLevelsErrors(t *testing.T) {
+	for _, bad := range []string{"loud", "sim=verbose", "info,debug"} {
+		if _, err := ParseLevels(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestComponentFiltering(t *testing.T) {
+	var sb strings.Builder
+	logger, err := NewLogger(&sb, "warn,sim=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simLog := logger.With(slog.String(ComponentKey, "sim"))
+	allocLog := logger.With(slog.String(ComponentKey, "alloc"))
+
+	simLog.Debug("sim detail")    // passes: sim=debug
+	allocLog.Debug("alloc noise") // filtered: default warn
+	allocLog.Warn("alloc warn")   // passes
+	logger.Info("plain info")     // filtered: default warn
+
+	out := sb.String()
+	if !strings.Contains(out, "sim detail") {
+		t.Fatalf("sim debug line filtered:\n%s", out)
+	}
+	if strings.Contains(out, "alloc noise") || strings.Contains(out, "plain info") {
+		t.Fatalf("filtered lines leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "alloc warn") {
+		t.Fatalf("alloc warn missing:\n%s", out)
+	}
+}
+
+func TestComponentFilteringInlineAttr(t *testing.T) {
+	var sb strings.Builder
+	logger, err := NewLogger(&sb, "error,sim=info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Component passed per-record rather than via With.
+	logger.Info("inline", ComponentKey, "sim")
+	logger.Info("dropped", ComponentKey, "alloc")
+	out := sb.String()
+	if !strings.Contains(out, "inline") || strings.Contains(out, "dropped") {
+		t.Fatalf("inline component filtering wrong:\n%s", out)
+	}
+}
+
+func TestLogSubscriber(t *testing.T) {
+	var sb strings.Builder
+	logger, err := NewLogger(&sb, "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NewLogSubscriber(logger)
+	sub.OnEvent(Event{Kind: EvJobAdmitted, Job: 2, Name: "j2", Work: 100, Parallelism: 4})
+	sub.OnEvent(Event{Kind: EvQuantumEnd, Quantum: 3, Steps: 10, Work: 40, Parallelism: 4})
+	sub.OnEvent(Event{Kind: EvAllocDecision, Name: "deq", P: 16, IntRequest: 20, Allotment: 16})
+	out := sb.String()
+	for _, want := range []string{"job_admitted", "quantum_end", "alloc_decision", "name=j2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogSubscriberRespectsLevel(t *testing.T) {
+	var sb strings.Builder
+	logger, err := NewLogger(&sb, "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NewLogSubscriber(logger)
+	sub.OnEvent(Event{Kind: EvQuantumEnd}) // debug: filtered
+	sub.OnEvent(Event{Kind: EvJobCompleted, Response: 5})
+	out := sb.String()
+	if strings.Contains(out, "quantum_end") {
+		t.Fatalf("debug event leaked at info level:\n%s", out)
+	}
+	if !strings.Contains(out, "job_completed") {
+		t.Fatalf("info event missing:\n%s", out)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("hits") != c {
+		t.Fatal("counter lookup is not idempotent")
+	}
+	g := r.Gauge("active")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+5+50+500+5000; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// ≤1: 0.5 and 1.0; ≤10: 5; ≤100: 50; overflow: 500 and 5000.
+	want := []int64{2, 1, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, counts[i], want[i], counts)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("x", LinearBuckets(1, 1, 8))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 10))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got, want := h.Sum(), 8.0*1000*4.5; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got := LinearBuckets(0, 10, 3); got[0] != 0 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("linear buckets: %v", got)
+	}
+	if got := ExponentialBuckets(1, 2, 4); got[3] != 8 {
+		t.Fatalf("exponential buckets: %v", got)
+	}
+}
+
+func TestSnapshotAndWriteSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sims").Add(7)
+	r.Gauge("active").Set(2)
+	r.Histogram("waste", []float64{10, 100}).Observe(42)
+
+	snap := r.Snapshot()
+	if snap["sims"] != int64(7) || snap["active"] != int64(2) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	hv, ok := snap["waste"].(map[string]any)
+	if !ok || hv["count"] != int64(1) {
+		t.Fatalf("histogram snapshot = %v", snap["waste"])
+	}
+
+	var sb strings.Builder
+	if err := r.WriteSnapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"counter sims 7", "gauge active 2", "histogram waste count=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("snapshot text missing %q:\n%s", want, text)
+		}
+	}
+	// Sorted output: counter < gauge < histogram lines.
+	if strings.Index(text, "counter") > strings.Index(text, "gauge") {
+		t.Fatalf("snapshot not sorted:\n%s", text)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("published_counter").Add(3)
+	r.PublishExpvar("abg_test_metrics")
+	r.PublishExpvar("abg_test_metrics") // second publish must not panic
+	v := expvar.Get("abg_test_metrics")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if decoded["published_counter"] != float64(3) {
+		t.Fatalf("expvar snapshot = %v", decoded)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Reset()
+	if r.Counter("c").Value() != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}

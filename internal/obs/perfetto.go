@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"abg/internal/sched"
+)
+
+// Timeline is a multi-job run prepared for Perfetto/Chrome trace-event
+// export: one process (track group) per job, every executed quantum as a
+// duration slice, deprived quanta highlighted on their own track, and the
+// request/allotment series as counter tracks. One simulation step maps to
+// one microsecond of trace time, so Perfetto's ruler reads directly in
+// kilo-steps.
+//
+// Load the output at https://ui.perfetto.dev (or chrome://tracing): the
+// JSON is the Chrome trace-event format, `{"traceEvents": [...]}`.
+type Timeline struct {
+	Jobs []TimelineJob
+}
+
+// TimelineJob is one job's track data: its name and per-quantum trace
+// (QuantumStats with the engine-stamped Start step).
+type TimelineJob struct {
+	Name   string
+	Quanta []sched.QuantumStats
+}
+
+// AddJob appends a job track built from a recorded per-quantum trace (run
+// with KeepTrace). Jobs are rendered in insertion order.
+func (t *Timeline) AddJob(name string, quanta []sched.QuantumStats) {
+	t.Jobs = append(t.Jobs, TimelineJob{Name: name, Quanta: quanta})
+}
+
+// traceEvent is one Chrome trace-event entry.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level trace-event JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Track ids within each job's process group.
+const (
+	tidQuanta   = 1 // every executed quantum
+	tidDeprived = 2 // only the quanta on which a(q) < request
+)
+
+// WriteTraceEvents renders the timeline as Chrome trace-event JSON.
+func (t Timeline) WriteTraceEvents(w io.Writer) error {
+	if len(t.Jobs) == 0 {
+		return fmt.Errorf("obs: empty timeline (run with KeepTrace to record quanta)")
+	}
+	var out traceFile
+	out.DisplayTimeUnit = "ms"
+	for ji, tj := range t.Jobs {
+		pid := ji + 1
+		name := tj.Name
+		if name == "" {
+			name = fmt.Sprintf("job %d", ji)
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			traceEvent{Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": name}},
+			traceEvent{Name: "process_sort_index", Ph: "M", Pid: pid,
+				Args: map[string]any{"sort_index": ji}},
+			traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidQuanta,
+				Args: map[string]any{"name": "quanta"}},
+			traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidDeprived,
+				Args: map[string]any{"name": "deprived"}},
+		)
+		for _, q := range tj.Quanta {
+			dur := int64(q.Steps)
+			if dur == 0 {
+				continue
+			}
+			args := map[string]any{
+				"request":     q.Request,
+				"allotment":   q.Allotment,
+				"work":        q.Work,
+				"parallelism": q.AvgParallelism(),
+				"waste":       q.Waste(),
+				"deprived":    q.Deprived,
+			}
+			cat := "quantum"
+			if q.Deprived {
+				cat = "quantum,deprived"
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: fmt.Sprintf("q%d a=%d", q.Index, q.Allotment),
+				Cat:  cat, Ph: "X", Ts: q.Start, Dur: dur,
+				Pid: pid, Tid: tidQuanta, Args: args,
+			})
+			if q.Deprived {
+				out.TraceEvents = append(out.TraceEvents, traceEvent{
+					Name: "deprived", Cat: "deprived",
+					Ph: "X", Ts: q.Start, Dur: dur,
+					Pid: pid, Tid: tidDeprived,
+					Args: map[string]any{"request": q.Request, "allotment": q.Allotment},
+				})
+			}
+			// Counter tracks: step functions sampled at each quantum start
+			// and closed out at the quantum end so the last value does not
+			// bleed past completion.
+			out.TraceEvents = append(out.TraceEvents,
+				traceEvent{Name: "allotment", Ph: "C", Ts: q.Start, Pid: pid,
+					Args: map[string]any{"processors": q.Allotment}},
+				traceEvent{Name: "request", Ph: "C", Ts: q.Start, Pid: pid,
+					Args: map[string]any{"processors": q.Request}},
+			)
+			if q.Completed {
+				end := q.Start + dur
+				out.TraceEvents = append(out.TraceEvents,
+					traceEvent{Name: "allotment", Ph: "C", Ts: end, Pid: pid,
+						Args: map[string]any{"processors": 0}},
+					traceEvent{Name: "request", Ph: "C", Ts: end, Pid: pid,
+						Args: map[string]any{"processors": 0}},
+				)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

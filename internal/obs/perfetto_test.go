@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"abg/internal/sched"
+)
+
+func sampleQuanta() []sched.QuantumStats {
+	return []sched.QuantumStats{
+		{Index: 1, Start: 0, Length: 100, Steps: 100, Request: 2, Allotment: 2, Work: 180, CPL: 90},
+		{Index: 2, Start: 100, Length: 100, Steps: 100, Request: 6, Allotment: 4, Work: 380, CPL: 95, Deprived: true},
+		{Index: 3, Start: 200, Length: 100, Steps: 40, Request: 4, Allotment: 4, Work: 150, CPL: 38, Completed: true},
+	}
+}
+
+func TestTimelineWriteTraceEvents(t *testing.T) {
+	var tl Timeline
+	tl.AddJob("alpha", sampleQuanta())
+	tl.AddJob("", sampleQuanta()[:1])
+
+	var sb strings.Builder
+	if err := tl.WriteTraceEvents(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+
+	var procNames []string
+	slices, deprived, counters := 0, 0, 0
+	var sawFinalZero bool
+	for _, e := range decoded.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			procNames = append(procNames, e.Args["name"].(string))
+		case e.Ph == "X" && e.Tid == tidQuanta:
+			slices++
+			if e.Dur <= 0 {
+				t.Fatalf("slice %q has non-positive dur %d", e.Name, e.Dur)
+			}
+		case e.Ph == "X" && e.Tid == tidDeprived:
+			deprived++
+			if e.Ts != 100 {
+				t.Fatalf("deprived span at ts=%d, want 100", e.Ts)
+			}
+		case e.Ph == "C":
+			counters++
+			if e.Ts == 240 && e.Name == "allotment" && e.Args["processors"] == float64(0) {
+				sawFinalZero = true
+			}
+		}
+	}
+	if len(procNames) != 2 || procNames[0] != "alpha" || procNames[1] != "job 1" {
+		t.Fatalf("process names = %v", procNames)
+	}
+	if slices != 4 {
+		t.Fatalf("quantum slices = %d, want 4", slices)
+	}
+	if deprived != 1 {
+		t.Fatalf("deprived spans = %d, want 1", deprived)
+	}
+	if counters == 0 || !sawFinalZero {
+		t.Fatalf("counter events = %d, finalZero=%v", counters, sawFinalZero)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var tl Timeline
+	if err := tl.WriteTraceEvents(&strings.Builder{}); err == nil {
+		t.Fatal("empty timeline exported without error")
+	}
+}

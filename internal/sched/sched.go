@@ -50,6 +50,7 @@ func (s Scheduler) Order() job.Order { return s.order }
 // feedback policies in abg/internal/feedback decide from this alone.
 type QuantumStats struct {
 	Index     int     // quantum number, 1-based
+	Start     int64   // absolute step at which the quantum began (set by the engine)
 	Request   float64 // d(q), the request the policy issued
 	Allotment int     // a(q) granted by the OS allocator
 	Length    int     // quantum length L in steps

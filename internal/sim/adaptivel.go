@@ -6,6 +6,7 @@ import (
 	"abg/internal/alloc"
 	"abg/internal/feedback"
 	"abg/internal/job"
+	"abg/internal/obs"
 	"abg/internal/sched"
 )
 
@@ -31,6 +32,13 @@ type AdaptiveLConfig struct {
 	StableTol float64
 	// MaxQuanta caps the simulation; DefaultMaxQuanta when zero.
 	MaxQuanta int
+	// KeepTrace records per-quantum stats in the result — the same opt-in
+	// polarity as SingleConfig and MultiConfig. (Earlier versions always
+	// recorded the trace.)
+	KeepTrace bool
+	// Obs receives the live instrumentation events of the run (see
+	// abg/internal/obs); nil disables emission.
+	Obs *obs.Bus
 }
 
 func (c *AdaptiveLConfig) normalize() error {
@@ -56,8 +64,9 @@ func (c *AdaptiveLConfig) normalize() error {
 }
 
 // RunSingleAdaptiveL simulates a job alone like RunSingle but with a
-// dynamically adjusted quantum length. The per-quantum trace records the
-// length actually used in each quantum (QuantumStats.Length).
+// dynamically adjusted quantum length. The per-quantum trace (recorded with
+// KeepTrace) includes the length actually used in each quantum
+// (QuantumStats.Length).
 func RunSingleAdaptiveL(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 	allocator alloc.Single, cfg AdaptiveLConfig) (SingleResult, error) {
 
@@ -68,17 +77,33 @@ func RunSingleAdaptiveL(inst job.Instance, pol feedback.Policy, sc sched.Schedul
 		Work:         inst.TotalWork(),
 		CriticalPath: inst.CriticalPathLen(),
 	}
+	bus := cfg.Obs
+	if bus.Active() {
+		bus.Emit(obs.Event{Kind: obs.EvJobAdmitted, Work: res.Work,
+			Parallelism: avgParallelism(res.Work, res.CriticalPath)})
+	}
 	l := cfg.LMin
 	d := pol.InitialRequest()
 	prevD := d
+	deprived := false
 	for q := 1; !inst.Done(); q++ {
 		if q > cfg.MaxQuanta {
 			return res, fmt.Errorf("sim: job did not finish within %d quanta", cfg.MaxQuanta)
 		}
+		start := res.Runtime
 		req := RoundRequest(d)
+		if bus.Active() {
+			bus.Emit(obs.Event{Kind: obs.EvRequest, Time: start, Quantum: q,
+				Request: d, IntRequest: req})
+		}
 		a := allocator.Grant(q, req)
+		if bus.Active() {
+			bus.Emit(obs.Event{Kind: obs.EvAllotment, Time: start, Quantum: q,
+				IntRequest: req, Allotment: a, Deprived: a < req})
+		}
 		st := sched.RunQuantum(inst, sc, a, l)
 		st.Index = q
+		st.Start = start
 		st.Request = d
 		st.Deprived = a < req
 		res.NumQuanta++
@@ -88,7 +113,16 @@ func RunSingleAdaptiveL(inst job.Instance, pol feedback.Policy, sc sched.Schedul
 		if st.Completed {
 			res.BoundaryWaste = int64(a) * int64(l-st.Steps)
 		}
-		res.Quanta = append(res.Quanta, st)
+		if cfg.KeepTrace {
+			res.Quanta = append(res.Quanta, st)
+		}
+		if bus.Active() {
+			emitQuantum(bus, st, 0, "", &deprived)
+			if st.Completed {
+				bus.Emit(obs.Event{Kind: obs.EvJobCompleted, Time: res.Runtime,
+					Work: res.Work, Response: res.Runtime})
+			}
+		}
 		prevD = d
 		d = pol.NextRequest(st)
 		// Adapt the quantum length from the observed request movement.

@@ -32,7 +32,7 @@ func TestAdaptiveLGrowsOnStableRequests(t *testing.T) {
 	// the quantum length must ramp from LMin to LMax.
 	p := workload.ConstantJob(8, 60, 50)
 	res, err := RunSingleAdaptiveL(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
-		alloc.NewUnconstrained(32), AdaptiveLConfig{LMin: 25, LMax: 400})
+		alloc.NewUnconstrained(32), AdaptiveLConfig{LMin: 25, LMax: 400, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestAdaptiveLGrowsOnStableRequests(t *testing.T) {
 	}
 	// Fewer feedback actions than fixed LMin would need.
 	fixed, err := RunSingle(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
-		alloc.NewUnconstrained(32), SingleConfig{L: 25})
+		alloc.NewUnconstrained(32), SingleConfig{L: 25, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestAdaptiveLResetsOnParallelismChange(t *testing.T) {
 	// the request, so the length must fall back to LMin after each change.
 	p := workload.StepWidths([]int{2, 40, 2, 40, 2, 40}, 600)
 	res, err := RunSingleAdaptiveL(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
-		alloc.NewUnconstrained(64), AdaptiveLConfig{LMin: 50, LMax: 800})
+		alloc.NewUnconstrained(64), AdaptiveLConfig{LMin: 50, LMax: 800, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestAdaptiveLAccounting(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		p := workload.GenJob(rng, workload.ScaledJobParams(rng.IntRange(2, 10), 50, 1))
 		res, err := RunSingleAdaptiveL(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
-			alloc.NewUnconstrained(64), AdaptiveLConfig{LMin: 20, LMax: 200})
+			alloc.NewUnconstrained(64), AdaptiveLConfig{LMin: 20, LMax: 200, KeepTrace: true})
 		if err != nil {
 			t.Fatal(err)
 		}

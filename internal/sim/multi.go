@@ -6,6 +6,7 @@ import (
 	"abg/internal/alloc"
 	"abg/internal/feedback"
 	"abg/internal/job"
+	"abg/internal/obs"
 	"abg/internal/sched"
 )
 
@@ -34,11 +35,23 @@ type MultiConfig struct {
 	Allocator alloc.Multi
 	// MaxQuanta caps the simulation; DefaultMaxQuanta when zero.
 	MaxQuanta int
-	// KeepTraces records every job's per-quantum statistics in
-	// JobOutcome.Quanta (off by default: large sweeps would hold thousands
-	// of traces alive).
+	// KeepTrace records every job's per-quantum statistics in
+	// JobOutcome.Quanta. Off by default — large sweeps would hold
+	// thousands of traces alive — and opt-in, the same name and polarity
+	// as SingleConfig and AdaptiveLConfig.
+	KeepTrace bool
+	// KeepTraces is the deprecated plural spelling of KeepTrace; setting
+	// either records the traces.
+	//
+	// Deprecated: use KeepTrace.
 	KeepTraces bool
+	// Obs receives the live instrumentation events of the run (see
+	// abg/internal/obs); nil disables emission.
+	Obs *obs.Bus
 }
+
+// keepTrace resolves the retention flags, honouring the deprecated one.
+func (c MultiConfig) keepTrace() bool { return c.KeepTrace || c.KeepTraces }
 
 // JobOutcome is the per-job result of a multiprogrammed run.
 type JobOutcome struct {
@@ -51,7 +64,7 @@ type JobOutcome struct {
 	Waste        int64 // Σ_q a(q)·L − T1: the job holds its allotment to each boundary
 	NumQuanta    int
 	DeprivedQ    int // quanta on which the allotment fell short of the request
-	// Quanta holds the job's per-quantum trace when MultiConfig.KeepTraces
+	// Quanta holds the job's per-quantum trace when MultiConfig.KeepTrace
 	// is set (nil otherwise).
 	Quanta []sched.QuantumStats
 }
@@ -81,10 +94,11 @@ func (r MultiResult) MeanResponse() float64 {
 
 // jobState is the engine's per-job bookkeeping.
 type jobState struct {
-	spec    *JobSpec
-	request float64
-	started bool
-	done    bool
+	spec     *JobSpec
+	request  float64
+	started  bool
+	done     bool
+	deprived bool
 }
 
 // RunMulti simulates the job set space-sharing P processors under the given
@@ -147,6 +161,11 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 			if !s.started {
 				s.started = true
 				s.request = s.spec.Policy.InitialRequest()
+				if cfg.Obs.Active() {
+					cfg.Obs.Emit(obs.Event{Kind: obs.EvJobAdmitted, Time: now,
+						Job: i, Name: s.spec.Name, Work: res.Jobs[i].Work,
+						Parallelism: avgParallelism(res.Jobs[i].Work, res.Jobs[i].CriticalPath)})
+				}
 			}
 			activeIdx = append(activeIdx, i)
 		}
@@ -159,12 +178,33 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 		res.QuantaElapsed++
 		requests = requests[:0]
 		for _, i := range activeIdx {
-			requests = append(requests, RoundRequest(states[i].request))
+			r := RoundRequest(states[i].request)
+			requests = append(requests, r)
+			if cfg.Obs.Active() {
+				cfg.Obs.Emit(obs.Event{Kind: obs.EvRequest, Time: now,
+					Quantum: res.Jobs[i].NumQuanta + 1, Job: i, Name: states[i].spec.Name,
+					Request: states[i].request, IntRequest: r})
+			}
 		}
 		allots := cfg.Allocator.Allot(requests, cfg.P)
+		if cfg.Obs.Active() {
+			totalReq, totalAllot := 0, 0
+			for pos := range requests {
+				totalReq += requests[pos]
+				totalAllot += allots[pos]
+			}
+			cfg.Obs.Emit(obs.Event{Kind: obs.EvAllocDecision, Time: now,
+				Quantum: res.QuantaElapsed, Job: -1, Name: cfg.Allocator.Name(),
+				P: cfg.P, IntRequest: totalReq, Allotment: totalAllot})
+		}
 		for pos, i := range activeIdx {
 			s := &states[i]
 			a := allots[pos]
+			if cfg.Obs.Active() {
+				cfg.Obs.Emit(obs.Event{Kind: obs.EvAllotment, Time: now,
+					Quantum: res.Jobs[i].NumQuanta + 1, Job: i, Name: s.spec.Name,
+					IntRequest: requests[pos], Allotment: a, Deprived: a < requests[pos]})
+			}
 			if a <= 0 {
 				// No processors this quantum (|J| > P); the job stalls and
 				// its request stands.
@@ -172,18 +212,22 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 			}
 			st := sched.RunQuantum(s.spec.Inst, s.spec.Sched, a, cfg.L)
 			st.Index = res.Jobs[i].NumQuanta + 1
+			st.Start = now
 			st.Request = s.request
 			st.Deprived = a < requests[pos]
 			res.Jobs[i].NumQuanta++
 			if st.Deprived {
 				res.Jobs[i].DeprivedQ++
 			}
-			if cfg.KeepTraces {
+			if cfg.keepTrace() {
 				res.Jobs[i].Quanta = append(res.Jobs[i].Quanta, st)
 			}
 			// The job holds its allotment until the boundary, so the whole
 			// quantum's cycles are charged.
 			res.Jobs[i].Waste += int64(a)*L64 - st.Work
+			if cfg.Obs.Active() {
+				emitQuantum(cfg.Obs, st, i, s.spec.Name, &s.deprived)
+			}
 			if st.Completed {
 				s.done = true
 				remaining--
@@ -191,6 +235,11 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 				res.Jobs[i].Response = res.Jobs[i].Completion - s.spec.Release
 				if res.Jobs[i].Completion > res.Makespan {
 					res.Makespan = res.Jobs[i].Completion
+				}
+				if cfg.Obs.Active() {
+					cfg.Obs.Emit(obs.Event{Kind: obs.EvJobCompleted,
+						Time: res.Jobs[i].Completion, Job: i, Name: s.spec.Name,
+						Work: res.Jobs[i].Work, Response: res.Jobs[i].Response})
 				}
 			} else {
 				s.request = s.spec.Policy.NextRequest(st)

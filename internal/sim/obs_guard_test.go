@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"os"
+	"testing"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/obs"
+	"abg/internal/sched"
+	"abg/internal/workload"
+)
+
+// benchRunSingle measures ns/op of a full RunSingle with the given bus.
+func benchRunSingle(bus *obs.Bus) float64 {
+	p := workload.ConstantJob(16, 40, 100)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := RunSingle(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
+				alloc.NewUnconstrained(32), SingleConfig{L: 100, Obs: bus})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+// TestEventBusOverheadGuard asserts that carrying a subscriber-less event bus
+// through RunSingle costs less than 2% over the nil-bus baseline. Benchmark
+// timing is noisy under the race detector and on loaded CI machines, so the
+// guard only runs when explicitly requested (scripts/check.sh sets
+// ABG_BENCH_GUARD=1); plain `go test ./...` skips it.
+func TestEventBusOverheadGuard(t *testing.T) {
+	if os.Getenv("ABG_BENCH_GUARD") == "" {
+		t.Skip("set ABG_BENCH_GUARD=1 to run the overhead guard")
+	}
+	const trials = 5
+	best := func(bus *obs.Bus) float64 {
+		b := benchRunSingle(bus)
+		for i := 1; i < trials; i++ {
+			if v := benchRunSingle(bus); v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	baseline := best(nil)
+	withBus := best(obs.NewBus())
+	overhead := (withBus - baseline) / baseline
+	t.Logf("nil bus %.0f ns/op, idle bus %.0f ns/op, overhead %.2f%%",
+		baseline, withBus, overhead*100)
+	if overhead > 0.02 {
+		t.Fatalf("idle event bus adds %.2f%% to RunSingle, budget is 2%%", overhead*100)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"abg/internal/alloc"
 	"abg/internal/feedback"
 	"abg/internal/job"
+	"abg/internal/obs"
 	"abg/internal/sched"
 )
 
@@ -31,10 +32,27 @@ type SingleConfig struct {
 	L int
 	// MaxQuanta caps the simulation; DefaultMaxQuanta when zero.
 	MaxQuanta int
-	// KeepTrace records per-quantum stats in the result (on by default in
-	// RunSingle; the sweep experiments disable it to save memory).
+	// KeepTrace records per-quantum stats in the result. Off by default —
+	// the sweeps run millions of quanta and must not hold traces alive —
+	// and opt-in, the same name and polarity as MultiConfig and
+	// AdaptiveLConfig.
+	KeepTrace bool
+	// DropTrace is the deprecated inverse of KeepTrace, from when
+	// single-job runs recorded the trace by default. Setting it still
+	// forces the trace off, overriding KeepTrace.
+	//
+	// Deprecated: set KeepTrace instead (note the flipped default: a
+	// zero-value config no longer records a trace).
 	DropTrace bool
+	// Obs receives the live instrumentation events of the run (see
+	// abg/internal/obs). Nil — the zero value — disables emission; with a
+	// bus attached but no subscribers the cost is one atomic load per
+	// emission site.
+	Obs *obs.Bus
 }
+
+// keepTrace resolves the retention flags, honouring the deprecated one.
+func (c SingleConfig) keepTrace() bool { return c.KeepTrace && !c.DropTrace }
 
 // SingleResult is the outcome of simulating one job alone.
 type SingleResult struct {
@@ -149,15 +167,31 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 		Work:         inst.TotalWork(),
 		CriticalPath: inst.CriticalPathLen(),
 	}
+	bus := cfg.Obs
+	if bus.Active() {
+		bus.Emit(obs.Event{Kind: obs.EvJobAdmitted, Work: res.Work,
+			Parallelism: avgParallelism(res.Work, res.CriticalPath)})
+	}
 	d := pol.InitialRequest()
+	deprived := false
 	for q := 1; !inst.Done(); q++ {
 		if q > maxQ {
 			return res, fmt.Errorf("sim: job did not finish within %d quanta", maxQ)
 		}
+		start := res.Runtime
 		req := RoundRequest(d)
+		if bus.Active() {
+			bus.Emit(obs.Event{Kind: obs.EvRequest, Time: start, Quantum: q,
+				Request: d, IntRequest: req})
+		}
 		a := allocator.Grant(q, req)
+		if bus.Active() {
+			bus.Emit(obs.Event{Kind: obs.EvAllotment, Time: start, Quantum: q,
+				IntRequest: req, Allotment: a, Deprived: a < req})
+		}
 		st := sched.RunQuantum(inst, sc, a, cfg.L)
 		st.Index = q
+		st.Start = start
 		st.Request = d
 		st.Deprived = a < req
 		res.NumQuanta++
@@ -167,10 +201,47 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 		if st.Completed {
 			res.BoundaryWaste = int64(a) * int64(cfg.L-st.Steps)
 		}
-		if !cfg.DropTrace {
+		if cfg.keepTrace() {
 			res.Quanta = append(res.Quanta, st)
+		}
+		if bus.Active() {
+			emitQuantum(bus, st, 0, "", &deprived)
+			if st.Completed {
+				bus.Emit(obs.Event{Kind: obs.EvJobCompleted, Time: res.Runtime,
+					Work: res.Work, Response: res.Runtime})
+			}
+		} else {
+			deprived = st.Deprived
 		}
 		d = pol.NextRequest(st)
 	}
 	return res, nil
+}
+
+// avgParallelism is T1/T∞ guarded against an empty critical path.
+func avgParallelism(work int64, cpl int) float64 {
+	if cpl == 0 {
+		return 0
+	}
+	return float64(work) / float64(cpl)
+}
+
+// emitQuantum emits the measured-quantum event plus a deprivation
+// transition when the state stored in *wasDeprived flipped. The caller has
+// already checked bus.Active().
+func emitQuantum(bus *obs.Bus, st sched.QuantumStats, jobIdx int, name string, wasDeprived *bool) {
+	bus.Emit(obs.Event{Kind: obs.EvQuantumEnd, Time: st.Start + int64(st.Steps),
+		Quantum: st.Index, Job: jobIdx, Name: name,
+		Request: st.Request, Allotment: st.Allotment, Steps: st.Steps,
+		Work: st.Work, Waste: st.Waste(), Parallelism: st.AvgParallelism(),
+		Deprived: st.Deprived, Completed: st.Completed})
+	if st.Deprived != *wasDeprived {
+		kind := obs.EvSatisfied
+		if st.Deprived {
+			kind = obs.EvDeprived
+		}
+		bus.Emit(obs.Event{Kind: kind, Time: st.Start, Quantum: st.Index,
+			Job: jobIdx, Name: name, Allotment: st.Allotment})
+	}
+	*wasDeprived = st.Deprived
 }

@@ -33,7 +33,7 @@ func TestRunSingleConstantJobABG(t *testing.T) {
 	const width, L = 10, 100
 	p := workload.ConstantJob(width, 20, L)
 	res, err := RunSingle(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
-		alloc.NewUnconstrained(128), SingleConfig{L: L})
+		alloc.NewUnconstrained(128), SingleConfig{L: L, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestRunSingleAGreedyOscillates(t *testing.T) {
 	const width, L = 10, 100
 	p := workload.ConstantJob(width, 30, L)
 	res, err := RunSingle(job.NewRun(p), feedback.DefaultAGreedy(), sched.Greedy(),
-		alloc.NewUnconstrained(128), SingleConfig{L: L})
+		alloc.NewUnconstrained(128), SingleConfig{L: L, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestRunSingleAccountingIdentity(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		p := workload.GenJob(rng, workload.ScaledJobParams(rng.IntRange(2, 12), 50, 1))
 		res, err := RunSingle(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
-			alloc.NewUnconstrained(64), SingleConfig{L: 50})
+			alloc.NewUnconstrained(64), SingleConfig{L: 50, KeepTrace: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func TestRunSingleDeprivedFlag(t *testing.T) {
 	p := workload.ConstantJob(16, 10, 50)
 	a := alloc.NewAvailabilityTrace(128, func(int) int { return 3 }, "cap3")
 	res, err := RunSingle(job.NewRun(p), feedback.NewAControl(0.0), sched.BGreedy(), a,
-		SingleConfig{L: 50})
+		SingleConfig{L: 50, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestRunSingleBoundaryWaste(t *testing.T) {
 	// A job that finishes mid-quantum leaves a boundary tail a·(L−steps).
 	p := job.Constant(4, 30) // 30 levels; with a=4 finishes in 30 steps
 	res, err := RunSingle(job.NewRun(p), feedback.NewStatic(4), sched.BGreedy(),
-		alloc.NewUnconstrained(8), SingleConfig{L: 100})
+		alloc.NewUnconstrained(8), SingleConfig{L: 100, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestLemma2RequestBounds(t *testing.T) {
 		r := rng.FloatRange(0, 0.12)
 		p := workload.GenJob(rng, workload.ScaledJobParams(w, 40, 1))
 		res, err := RunSingle(job.NewRun(p), feedback.NewAControl(r), sched.BGreedy(),
-			alloc.NewUnconstrained(256), SingleConfig{L: 40})
+			alloc.NewUnconstrained(256), SingleConfig{L: 40, KeepTrace: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +242,7 @@ func TestTheorem4WasteBound(t *testing.T) {
 		const P, L = 64, 40
 		p := workload.GenJob(rng, workload.ScaledJobParams(w, L, 1))
 		res, err := RunSingle(job.NewRun(p), feedback.NewAControl(r), sched.BGreedy(),
-			alloc.NewUnconstrained(P), SingleConfig{L: L})
+			alloc.NewUnconstrained(P), SingleConfig{L: L, KeepTrace: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +294,7 @@ func TestTheorem3RuntimeBound(t *testing.T) {
 		}
 		a := alloc.NewAvailabilityTrace(P, availFn, "adversary")
 		res, err := RunSingle(job.NewRun(p), feedback.NewAControl(r), sched.BGreedy(), a,
-			SingleConfig{L: L})
+			SingleConfig{L: L, KeepTrace: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ParseCSV reads records previously written by WriteCSV. The header row is
+// required and must match WriteCSV's column order exactly — the decoder is a
+// round-trip partner, not a general CSV importer.
+func ParseCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: CSV header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, name := range csvHeader {
+		if header[i] != name {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], name)
+		}
+	}
+	var records []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		records = append(records, rec)
+	}
+}
+
+// parseRow decodes one CSV data row in csvHeader order.
+func parseRow(row []string) (Record, error) {
+	var (
+		rec  Record
+		err  error
+		fail = func(col string, e error) (Record, error) {
+			return Record{}, fmt.Errorf("column %s: %w", col, e)
+		}
+	)
+	if rec.Quantum, err = strconv.Atoi(row[0]); err != nil {
+		return fail("quantum", err)
+	}
+	if rec.Request, err = strconv.ParseFloat(row[1], 64); err != nil {
+		return fail("request", err)
+	}
+	if rec.Allotment, err = strconv.Atoi(row[2]); err != nil {
+		return fail("allotment", err)
+	}
+	if rec.Steps, err = strconv.Atoi(row[3]); err != nil {
+		return fail("steps", err)
+	}
+	if rec.Work, err = strconv.ParseInt(row[4], 10, 64); err != nil {
+		return fail("work", err)
+	}
+	if rec.CPL, err = strconv.ParseFloat(row[5], 64); err != nil {
+		return fail("cpl", err)
+	}
+	if rec.Parallelism, err = strconv.ParseFloat(row[6], 64); err != nil {
+		return fail("parallelism", err)
+	}
+	if rec.Waste, err = strconv.ParseInt(row[7], 10, 64); err != nil {
+		return fail("waste", err)
+	}
+	if rec.Full, err = strconv.ParseBool(row[8]); err != nil {
+		return fail("full", err)
+	}
+	if rec.Deprived, err = strconv.ParseBool(row[9]); err != nil {
+		return fail("deprived", err)
+	}
+	if rec.Completed, err = strconv.ParseBool(row[10]); err != nil {
+		return fail("completed", err)
+	}
+	if rec.WorkEff, err = strconv.ParseFloat(row[11], 64); err != nil {
+		return fail("alpha", err)
+	}
+	if rec.CPLEff, err = strconv.ParseFloat(row[12], 64); err != nil {
+		return fail("beta", err)
+	}
+	if rec.LevelsTouched, err = strconv.Atoi(row[13]); err != nil {
+		return fail("levels_touched", err)
+	}
+	return rec, nil
+}
+
+// ParseJSON reads records previously written by WriteJSON.
+func ParseJSON(r io.Reader) ([]Record, error) {
+	var records []Record
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON records: %w", err)
+	}
+	return records, nil
+}

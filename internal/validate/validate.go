@@ -91,7 +91,7 @@ func Theorem1(opts Options) Check {
 		// long enough for the largest r: r^28 < 1e-2 even at r = 0.8.
 		profile := workload.ConstantJob(width, 30, opts.L)
 		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
-			alloc.NewUnconstrained(opts.P), sim.SingleConfig{L: opts.L})
+			alloc.NewUnconstrained(opts.P), sim.SingleConfig{L: opts.L, KeepTrace: true})
 		if err != nil {
 			return failed(c, err)
 		}
@@ -129,7 +129,7 @@ func Lemma2(opts Options) Check {
 		r := rng.FloatRange(0, 0.12)
 		profile := workload.GenJob(rng, workload.ScaledJobParams(w, opts.L, 2))
 		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
-			alloc.NewUnconstrained(opts.P*4), sim.SingleConfig{L: opts.L})
+			alloc.NewUnconstrained(opts.P*4), sim.SingleConfig{L: opts.L, KeepTrace: true})
 		if err != nil {
 			return failed(c, err)
 		}
@@ -188,7 +188,7 @@ func Theorem3(opts Options) Check {
 			return 2
 		}
 		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
-			alloc.NewAvailabilityTrace(opts.P, availFn, "adversary"), sim.SingleConfig{L: opts.L})
+			alloc.NewAvailabilityTrace(opts.P, availFn, "adversary"), sim.SingleConfig{L: opts.L, KeepTrace: true})
 		if err != nil {
 			return failed(c, err)
 		}
@@ -234,7 +234,7 @@ func Theorem4(opts Options) Check {
 		r := rng.FloatRange(0, 0.12)
 		profile := workload.GenJob(rng, workload.ScaledJobParams(w, opts.L, 2))
 		res, err := sim.RunSingle(job.NewRun(profile), feedback.NewAControl(r), sched.BGreedy(),
-			alloc.NewUnconstrained(opts.P), sim.SingleConfig{L: opts.L})
+			alloc.NewUnconstrained(opts.P), sim.SingleConfig{L: opts.L, KeepTrace: true})
 		if err != nil {
 			return failed(c, err)
 		}

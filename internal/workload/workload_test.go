@@ -152,7 +152,7 @@ func TestMeasuredTransitionFactorTracksWidth(t *testing.T) {
 	for _, w := range []int{2, 5, 10, 25} {
 		p := GenJob(rng, DefaultJobParams(w, L))
 		res, err := sim.RunSingle(job.NewRun(p), feedback.NewAControl(0.2), sched.BGreedy(),
-			alloc.NewUnconstrained(256), sim.SingleConfig{L: L})
+			alloc.NewUnconstrained(256), sim.SingleConfig{L: L, KeepTrace: true})
 		if err != nil {
 			t.Fatal(err)
 		}

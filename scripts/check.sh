@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository gate: vet, build, full tests, race-checked tests for the
+# concurrency-sensitive packages, and the observability overhead guard
+# (asserts an idle event bus adds <2% to a RunSingle-class benchmark).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (obs, sim)"
+go test -race ./internal/obs/... ./internal/sim/...
+
+echo "== event-bus overhead guard (<2% on idle bus)"
+ABG_BENCH_GUARD=1 go test -run TestEventBusOverheadGuard -v ./internal/sim/ | grep -v '^=== '
+
+echo "== all checks passed"
