@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "fig5", "experiment: fig1|fig4|fig5|fig6|rsweep|gain|order|quantum|adaptivel|steal|mixed")
+		exp       = flag.String("exp", "fig5", "experiment: fig1|fig4|fig5|fig6|rsweep|gain|order|quantum|adaptivel|steal|mixed|chaos")
 		scale     = flag.String("scale", "medium", "scale: small|medium|full")
 		seed      = flag.Uint64("seed", 2008, "experiment seed")
 		csvPath   = flag.String("csv", "", "optional path to write the main series as CSV")
@@ -174,6 +174,27 @@ func main() {
 		if err == nil {
 			err = res.Render(os.Stdout)
 		}
+	case "chaos":
+		cc := experiments.DefaultChaosConfig()
+		cc.Config = cfg
+		cc.Plan = experiments.DefaultChaosPlan(cfg.P, cfg.Seed)
+		switch *scale {
+		case "small":
+			cc.Jobs, cc.Shrink, cc.ProbeQuanta = 3, 4, 30
+		case "medium":
+			// DefaultChaosConfig scale
+		case "full":
+			cc.Jobs = 24
+			cc.Intensities = []float64{0, 0.125, 0.25, 0.5, 0.75, 1}
+		default:
+			fatalf("unknown scale %q", *scale)
+		}
+		var res experiments.ChaosResult
+		res, err = experiments.Chaos(cc)
+		if err == nil {
+			err = res.Render(os.Stdout)
+			series = chaosSeries(res)
+		}
 	case "ratestudy":
 		var res experiments.RateStudyResult
 		res, err = experiments.RateStudy(cfg, []int{10, 30, 60, 100}, 8, 2)
@@ -270,6 +291,33 @@ func fig5Series(r experiments.Fig5Result) []trace.Series {
 		{"abg-waste", func(p experiments.Fig5Point) float64 { return p.ABGWaste }},
 		{"agreedy-waste", func(p experiments.Fig5Point) float64 { return p.AGWaste }},
 		{"waste-ratio", func(p experiments.Fig5Point) float64 { return p.WasteRatio }},
+	} {
+		xs, ys := mk(s.f)
+		series = append(series, trace.Series{Name: s.name, X: xs, Y: ys})
+	}
+	return series
+}
+
+func chaosSeries(r experiments.ChaosResult) []trace.Series {
+	n := len(r.Points)
+	mk := func(f func(experiments.ChaosPoint) float64) ([]float64, []float64) {
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i, p := range r.Points {
+			xs[i], ys[i] = p.Intensity, f(p)
+		}
+		return xs, ys
+	}
+	var series []trace.Series
+	for _, s := range []struct {
+		name string
+		f    func(experiments.ChaosPoint) float64
+	}{
+		{"abg-stretch", func(p experiments.ChaosPoint) float64 { return p.ABG.Stretch }},
+		{"agreedy-stretch", func(p experiments.ChaosPoint) float64 { return p.AGreedy.Stretch }},
+		{"abg-waste", func(p experiments.ChaosPoint) float64 { return p.ABG.Waste }},
+		{"agreedy-waste", func(p experiments.ChaosPoint) float64 { return p.AGreedy.Waste }},
+		{"abg-overshoot", func(p experiments.ChaosPoint) float64 { return p.ABG.Overshoot }},
+		{"agreedy-overshoot", func(p experiments.ChaosPoint) float64 { return p.AGreedy.Overshoot }},
 	} {
 		xs, ys := mk(s.f)
 		series = append(series, trace.Series{Name: s.name, X: xs, Y: ys})

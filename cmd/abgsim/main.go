@@ -12,6 +12,14 @@
 //	abgsim -cl 50 -avail 16                      # capped availability
 //	abgsim -jobs 4 -release 2000 -perfetto t.json  # job set → ui.perfetto.dev
 //	abgsim -cl 80 -debug-addr :6060 -repeat 100  # live metrics + profiling
+//
+// Fault injection (-fault, see abg/internal/fault.ParseSpec for the full
+// grammar) perturbs the run deterministically; a runtime invariant checker
+// audits every faulted run and the process exits non-zero on violations:
+//
+//	abgsim -cl 20 -fault drop=0.3,delay=2:0.2,seed=7   # lossy control channel
+//	abgsim -cl 20 -fault cap=step:0.5@30               # lose half the machine
+//	abgsim -jobs 4 -fault cap=churn:0.5:16,restart=0.01,maxrestarts=2
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 
 	"abg/internal/alloc"
 	"abg/internal/core"
+	"abg/internal/fault"
 	"abg/internal/job"
 	"abg/internal/obs"
 	"abg/internal/sim"
@@ -51,6 +60,7 @@ func main() {
 		events    = flag.Bool("events", false, "log instrumentation events (per-quantum detail needs -log events=debug)")
 		metricsOn = flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
 		repeat    = flag.Int("repeat", 1, "run the simulation this many times (profiling aid with -debug-addr)")
+		faultSpec = flag.String("fault", "", `fault-injection spec, e.g. "drop=0.3,cap=step:0.5@30,seed=7" (see internal/fault)`)
 	)
 	flag.Parse()
 
@@ -71,9 +81,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	plan, err := fault.ParseSpec(*faultSpec, *p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+		os.Exit(2)
+	}
+
 	// The bus stays subscriber-free (and therefore free) unless some form of
 	// observability was asked for.
 	bus := obs.NewBus()
+	var checker *fault.Checker
+	if *faultSpec != "" {
+		// Every faulted run is audited: the checker validates allotments
+		// against P(t), request sanity, and work conservation across
+		// restarts as the events stream past.
+		checker = fault.NewChecker(*p, false)
+		bus.Subscribe(checker)
+	}
 	if *debugAddr != "" || *metricsOn {
 		bus.Subscribe(obs.NewMetricsSubscriber(obs.Default))
 	}
@@ -101,9 +125,9 @@ func main() {
 	}
 
 	if *jobsN > 1 {
-		runJobSet(machine, scheduler, bus, profileAt, *jobsN, *release, *perfetto, *showTrace, *repeat)
+		runJobSet(machine, scheduler, bus, plan, profileAt, *jobsN, *release, *perfetto, *showTrace, *repeat)
 	} else {
-		runSingleJob(machine, scheduler, bus, profileAt(0), *avail, *perfetto, *showTrace, *repeat)
+		runSingleJob(machine, scheduler, bus, plan, profileAt(0), *avail, *perfetto, *showTrace, *repeat)
 	}
 
 	if *metricsOn {
@@ -112,12 +136,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
 		}
 	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[fault plan %s: invariants held]\n", plan)
+	}
 }
 
 // runSingleJob runs one job alone on the machine repeat times and reports
 // the final run.
 func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
-	profile *job.Profile, avail int, perfetto string, showTrace bool, repeat int) {
+	plan fault.Plan, profile *job.Profile, avail int, perfetto string, showTrace bool, repeat int) {
 
 	run := func() (sim.SingleResult, error) {
 		allocator := alloc.Single(alloc.NewUnconstrained(machine.P))
@@ -125,11 +156,19 @@ func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 			cap := avail
 			allocator = alloc.NewAvailabilityTrace(machine.P, func(int) int { return cap }, "capped")
 		}
+		cfg := sim.SingleConfig{L: machine.L, KeepTrace: true, Obs: bus,
+			Capacity: plan.Capacity}
+		if hook := plan.RestartHook(0); hook != nil {
+			cfg.Restart = &sim.RestartPlan{
+				At:  hook,
+				New: func() job.Instance { return job.NewRun(profile) },
+				Max: plan.MaxRestarts,
+			}
+		}
 		// ObserveSingle adds allocator-level EvAllocDecision events (the
 		// engine itself only emits the per-job view).
-		return sim.RunSingle(job.NewRun(profile), scheduler.NewPolicy(), scheduler.TaskScheduler(),
-			alloc.ObserveSingle(allocator, bus),
-			sim.SingleConfig{L: machine.L, KeepTrace: true, Obs: bus})
+		return sim.RunSingle(job.NewRun(profile), plan.Policy(scheduler.NewPolicy(), 0, bus),
+			scheduler.TaskScheduler(), alloc.ObserveSingle(allocator, bus), cfg)
 	}
 
 	var (
@@ -172,6 +211,10 @@ func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 	tb.AddRowf("transition factor C_L", rep.TransitionFactor)
 	tb.AddRowf("request overshoot", rep.Requests.MaxOvershoot)
 	tb.AddRowf("request oscillations", rep.Oscillations)
+	if res.Restarts > 0 {
+		tb.AddRowf("injected restarts", res.Restarts)
+		tb.AddRowf("lost work (cycles)", res.LostWork)
+	}
 	tb.Render(os.Stdout)
 
 	if perfetto != "" {
@@ -184,16 +227,32 @@ func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 // runJobSet space-shares n jobs released spacing steps apart and reports the
 // final run of the set.
 func runJobSet(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
-	profileAt func(int) *job.Profile, n int, spacing int64,
+	plan fault.Plan, profileAt func(int) *job.Profile, n int, spacing int64,
 	perfetto string, showTrace bool, repeat int) {
 
-	subs := make([]core.Submission, n)
-	for i := range subs {
-		subs[i] = core.Submission{
-			Name:    fmt.Sprintf("job%d", i),
-			Release: int64(i) * spacing,
-			Profile: profileAt(i),
+	// Job specs are built directly (rather than via core.RunJobSetObserved)
+	// so each job's policy can be wrapped in the plan's lossy channel and
+	// given its own seeded restart schedule.
+	build := func() []sim.JobSpec {
+		specs := make([]sim.JobSpec, n)
+		for i := range specs {
+			profile := profileAt(i)
+			specs[i] = sim.JobSpec{
+				Name:    fmt.Sprintf("job%d", i),
+				Release: int64(i) * spacing,
+				Inst:    job.NewRun(profile),
+				Policy:  plan.Policy(scheduler.NewPolicy(), i, bus),
+				Sched:   scheduler.TaskScheduler(),
+			}
+			if hook := plan.RestartHook(i); hook != nil {
+				specs[i].Restart = &sim.RestartPlan{
+					At:  hook,
+					New: func() job.Instance { return job.NewRun(profile) },
+					Max: plan.MaxRestarts,
+				}
+			}
 		}
+		return specs
 	}
 
 	var (
@@ -201,7 +260,10 @@ func runJobSet(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 		err error
 	)
 	for i := 0; i < repeat; i++ {
-		res, err = core.RunJobSetObserved(machine, scheduler, subs, alloc.DynamicEquiPartition{}, bus)
+		res, err = sim.RunMulti(build(), sim.MultiConfig{
+			P: machine.P, L: machine.L, Allocator: alloc.DynamicEquiPartition{},
+			KeepTrace: true, Obs: bus, Capacity: plan.Capacity,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
 			os.Exit(1)
@@ -212,19 +274,26 @@ func runJobSet(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 		scheduler.Name(), machine.P, machine.L, n, spacing)
 
 	if showTrace {
-		tb := table.New("job", "release", "completion", "response", "quanta", "T1", "waste")
+		tb := table.New("job", "release", "completion", "response", "quanta", "T1", "waste", "restarts")
 		for _, j := range res.Jobs {
-			tb.AddRowf(j.Name, j.Release, j.Completion, j.Response, j.NumQuanta, j.Work, j.Waste)
+			tb.AddRowf(j.Name, j.Release, j.Completion, j.Response, j.NumQuanta, j.Work, j.Waste, j.Restarts)
 		}
 		tb.Render(os.Stdout)
 		fmt.Println()
 	}
 
+	restarts := 0
+	for _, j := range res.Jobs {
+		restarts += j.Restarts
+	}
 	tb := table.New("metric", "value")
 	tb.AddRowf("makespan (steps)", res.Makespan)
 	tb.AddRowf("mean response (steps)", res.MeanResponse())
 	tb.AddRowf("total waste", res.TotalWaste)
 	tb.AddRowf("quanta elapsed", res.QuantaElapsed)
+	if restarts > 0 {
+		tb.AddRowf("injected restarts", restarts)
+	}
 	tb.Render(os.Stdout)
 
 	if perfetto != "" {

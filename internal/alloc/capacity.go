@@ -1,0 +1,80 @@
+package alloc
+
+import "fmt"
+
+// Capacity models the machine's effective total processor count P(t) as a
+// function of the quantum index — the paper's fixed P generalised to
+// capacity churn (node hot-unplug/replug, co-tenant load). Implementations
+// must be deterministic and side-effect free: At may be called for the same
+// quantum any number of times and in any order (engines, invariant checkers
+// and reports all consult it independently).
+//
+// Concrete time-varying models live in abg/internal/fault; this package
+// only defines the contract the engines and allocators consume.
+type Capacity interface {
+	// At returns the processor count available at quantum q (1-based).
+	// Values below zero are treated as zero by consumers.
+	At(q int) int
+	// Name identifies the model in traces and tables.
+	Name() string
+}
+
+// FixedCapacity is the trivial model: P processors at every quantum — the
+// paper's frictionless setting expressed in the Capacity vocabulary.
+type FixedCapacity struct {
+	P int
+}
+
+// At implements Capacity.
+func (f FixedCapacity) At(int) int { return f.P }
+
+// Name implements Capacity.
+func (f FixedCapacity) Name() string { return fmt.Sprintf("fixed(P=%d)", f.P) }
+
+// CapAt clamps a model value to [0, p]: the effective capacity the engines
+// use for quantum q. A nil model means the machine is undisturbed (full p).
+func CapAt(c Capacity, q, p int) int {
+	if c == nil {
+		return p
+	}
+	v := c.At(q)
+	if v < 0 {
+		v = 0
+	}
+	if v > p {
+		v = p
+	}
+	return v
+}
+
+// WithCapacity wraps a Single allocator so every grant is additionally
+// capped by the capacity model: grant(q) = min(inner.Grant(q, req), P(q)).
+// A nil model returns inner unchanged.
+func WithCapacity(inner Single, c Capacity) Single {
+	if c == nil {
+		return inner
+	}
+	return capacitySingle{inner: inner, cap: c}
+}
+
+type capacitySingle struct {
+	inner Single
+	cap   Capacity
+}
+
+// Grant implements Single.
+func (s capacitySingle) Grant(q int, request int) int {
+	a := s.inner.Grant(q, request)
+	if p := s.cap.At(q); a > p {
+		a = p
+	}
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+// Name implements Single.
+func (s capacitySingle) Name() string {
+	return fmt.Sprintf("%s|%s", s.inner.Name(), s.cap.Name())
+}

@@ -1,0 +1,82 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCapAt(t *testing.T) {
+	if got := CapAt(nil, 7, 32); got != 32 {
+		t.Fatalf("nil model: %d", got)
+	}
+	if got := CapAt(FixedCapacity{P: 16}, 1, 32); got != 16 {
+		t.Fatalf("fixed model: %d", got)
+	}
+	// Clamped to [0, p]: models may return junk, consumers must not see it.
+	if got := CapAt(FixedCapacity{P: -5}, 1, 32); got != 0 {
+		t.Fatalf("negative model value not clamped: %d", got)
+	}
+	if got := CapAt(FixedCapacity{P: 99}, 1, 32); got != 32 {
+		t.Fatalf("model above machine not clamped: %d", got)
+	}
+	if !strings.Contains((FixedCapacity{P: 8}).Name(), "8") {
+		t.Fatalf("fixed name: %q", FixedCapacity{P: 8}.Name())
+	}
+}
+
+func TestWithCapacity(t *testing.T) {
+	inner := NewUnconstrained(64)
+	if got := WithCapacity(inner, nil); got != Single(inner) {
+		t.Fatal("nil model must return the inner allocator unchanged")
+	}
+	capped := WithCapacity(inner, FixedCapacity{P: 16})
+	if got := capped.Grant(1, 40); got != 16 {
+		t.Fatalf("grant not capped: %d", got)
+	}
+	if got := capped.Grant(1, 10); got != 10 {
+		t.Fatalf("grant below capacity altered: %d", got)
+	}
+	if name := capped.Name(); !strings.Contains(name, inner.Name()) ||
+		!strings.Contains(name, "fixed") {
+		t.Fatalf("composite name: %q", name)
+	}
+}
+
+// overGranter ignores the capacity model — the bug CheckedSingle.Cap exists
+// to catch.
+type overGranter struct{}
+
+func (overGranter) Grant(q, request int) int { return request }
+func (overGranter) Name() string             { return "overgranter" }
+
+func TestCheckedSingleCapPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("grant above the capacity model did not panic")
+		} else if !strings.Contains(r.(string), "above capacity") {
+			t.Fatalf("panic message: %v", r)
+		}
+	}()
+	c := CheckedSingle{Inner: overGranter{}, Cap: FixedCapacity{P: 8}}
+	c.Grant(1, 20)
+}
+
+func TestCheckedMultiCapPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("round p above the capacity model did not panic")
+		} else if !strings.Contains(r.(string), "above capacity model") {
+			t.Fatalf("panic message: %v", r)
+		}
+	}()
+	c := &CheckedMulti{Inner: DynamicEquiPartition{}, Cap: FixedCapacity{P: 8}}
+	c.Allot([]int{4, 4}, 16) // caller claims 16 processors exist; model says 8
+}
+
+func TestCheckedMultiCapAccepts(t *testing.T) {
+	c := &CheckedMulti{Inner: DynamicEquiPartition{}, Cap: FixedCapacity{P: 8}}
+	out := c.Allot([]int{4, 4}, 8)
+	if out[0]+out[1] > 8 {
+		t.Fatalf("oversubscribed: %v", out)
+	}
+}

@@ -8,12 +8,30 @@ import "fmt"
 // request). Wrap experimental allocators with it during development; the
 // engine itself trusts its allocator, so a buggy one would otherwise corrupt
 // results silently.
+//
+// When the engine varies the machine size over time (sim.MultiConfig
+// .Capacity), it passes the effective P(t) of each round as p, so the
+// capacity check automatically holds against the perturbed machine. Set Cap
+// additionally to cross-check p itself against an independent capacity
+// model: rounds are counted internally (Allot calls, 1-based) and p must
+// not exceed the model's value for the round.
 type CheckedMulti struct {
 	Inner Multi
+	// Cap optionally pins each round's p to a capacity model (nil skips).
+	Cap Capacity
+
+	round int
 }
 
 // Allot implements Multi.
-func (c CheckedMulti) Allot(requests []int, p int) []int {
+func (c *CheckedMulti) Allot(requests []int, p int) []int {
+	c.round++
+	if c.Cap != nil {
+		if ceil := CapAt(c.Cap, c.round, p); p > ceil {
+			panic(fmt.Sprintf("alloc: round %d ran with p=%d above capacity model %s (%d)",
+				c.round, p, c.Cap.Name(), ceil))
+		}
+	}
 	out := c.Inner.Allot(requests, p)
 	if len(out) != len(requests) {
 		panic(fmt.Sprintf("alloc: %s returned %d allotments for %d requests",
@@ -41,13 +59,18 @@ func (c CheckedMulti) Allot(requests []int, p int) []int {
 }
 
 // Name implements Multi.
-func (c CheckedMulti) Name() string { return c.Inner.Name() + "+checked" }
+func (c *CheckedMulti) Name() string { return c.Inner.Name() + "+checked" }
 
 // CheckedSingle wraps a Single allocator with the analogous checks:
 // 0 ≤ grant ≤ max(request, 0) and grant ≤ P is the caller's policy choice,
-// so only conservativeness and non-negativity are enforced here.
+// so only conservativeness and non-negativity are enforced here — unless
+// Cap is set, in which case each grant is additionally checked against the
+// capacity model's P(q) (allotments must never exceed the machine that
+// actually exists at quantum q).
 type CheckedSingle struct {
 	Inner Single
+	// Cap optionally bounds grants by a capacity model (nil skips).
+	Cap Capacity
 }
 
 // Grant implements Single.
@@ -55,6 +78,12 @@ func (c CheckedSingle) Grant(q int, request int) int {
 	a := c.Inner.Grant(q, request)
 	if a < 0 {
 		panic(fmt.Sprintf("alloc: %s granted negative allotment %d", c.Inner.Name(), a))
+	}
+	if c.Cap != nil {
+		if p := c.Cap.At(q); p >= 0 && a > p {
+			panic(fmt.Sprintf("alloc: %s granted %d above capacity %s = %d at q=%d",
+				c.Inner.Name(), a, c.Cap.Name(), p, q))
+		}
 	}
 	req := request
 	if req < 0 {

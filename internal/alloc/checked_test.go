@@ -53,7 +53,7 @@ func TestCheckedMultiCatchesViolations(t *testing.T) {
 					t.Errorf("mode %s: violation not caught", mode)
 				}
 			}()
-			CheckedMulti{Inner: brokenMulti{mode: mode}}.Allot(reqs, 4)
+			(&CheckedMulti{Inner: brokenMulti{mode: mode}}).Allot(reqs, 4)
 		}()
 	}
 }
@@ -62,7 +62,7 @@ func TestCheckedMultiPassesValidAllocators(t *testing.T) {
 	rng := xrand.New(3)
 	allocs := []Multi{DynamicEquiPartition{}, EqualSplit{}, NewRoundRobin()}
 	for _, inner := range allocs {
-		checked := CheckedMulti{Inner: inner}
+		checked := &CheckedMulti{Inner: inner}
 		if !strings.Contains(checked.Name(), "checked") {
 			t.Fatal("name")
 		}

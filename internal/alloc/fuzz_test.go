@@ -2,6 +2,22 @@ package alloc
 
 import "testing"
 
+// fuzzCap is a deterministic pseudo-random capacity model for fuzzing:
+// a splitmix-style hash of (seed, q) folded into [0, p].
+type fuzzCap struct {
+	p    int
+	seed uint64
+}
+
+func (c fuzzCap) At(q int) int {
+	x := c.seed + uint64(q)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return int(x % uint64(c.p+1))
+}
+func (c fuzzCap) Name() string { return "fuzz" }
+
 // FuzzDEQ feeds arbitrary request vectors to dynamic equi-partitioning and
 // asserts the allocator contracts (conservative, within capacity, fair,
 // non-reserving). Seeds run in the normal suite; use -fuzz to explore.
@@ -48,6 +64,86 @@ func FuzzDEQ(f *testing.F) {
 			if unsat > 0 {
 				t.Fatalf("reserving: %d of %d used, %d unsatisfied (reqs %v)",
 					total, p, unsat, reqs)
+			}
+		}
+	})
+}
+
+// FuzzCapacitySingle drives single-job grants through a time-varying
+// capacity model: the capped allocator must stay conservative, non-negative
+// and within P(q) for arbitrary (including negative) request streams. The
+// CheckedSingle wrapper panics on any contract violation.
+func FuzzCapacitySingle(f *testing.F) {
+	f.Add([]byte{10, 3, 200, 0}, uint8(16), uint64(7))
+	f.Add([]byte{255}, uint8(1), uint64(0))
+	f.Add([]byte{0, 0, 0}, uint8(199), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, reqBytes []byte, pRaw uint8, capSeed uint64) {
+		if len(reqBytes) > 64 {
+			return
+		}
+		p := int(pRaw%200) + 1
+		model := fuzzCap{p: p, seed: capSeed}
+		single := CheckedSingle{
+			Inner: WithCapacity(NewUnconstrained(p), model),
+			Cap:   model,
+		}
+		for q, b := range reqBytes {
+			req := int(int8(b)) // adversarial: negative requests included
+			a := single.Grant(q+1, req)
+			if ceil := CapAt(model, q+1, p); a > ceil {
+				t.Fatalf("q=%d: grant %d above capacity %d", q+1, a, ceil)
+			}
+		}
+	})
+}
+
+// FuzzAdversarialMulti replays a lossy control channel against every multi
+// allocator: each round's request vector is either fresh, stale (the
+// previous round repeated verbatim, as after a dropped message), or partly
+// duplicated (one job's request smeared over its neighbour), while the
+// machine size churns. The CheckedMulti wrapper panics if any allocator
+// breaks conservativeness, capacity or shape under that stream.
+func FuzzAdversarialMulti(f *testing.F) {
+	f.Add([]byte{5, 0, 200, 3, 1, 9}, uint8(16), uint8(3), uint64(11))
+	f.Add([]byte{255, 255, 0, 0}, uint8(2), uint8(2), uint64(0))
+	f.Add([]byte{}, uint8(64), uint8(5), uint64(42))
+	f.Fuzz(func(t *testing.T, data []byte, pRaw, nRaw uint8, capSeed uint64) {
+		if len(data) > 128 {
+			return
+		}
+		n := int(nRaw%8) + 1
+		p := int(pRaw%200) + 1
+		model := fuzzCap{p: p, seed: capSeed}
+		allocators := []Multi{DynamicEquiPartition{}, EqualSplit{}, NewRoundRobin()}
+		for _, inner := range allocators {
+			checked := &CheckedMulti{Inner: inner, Cap: model}
+			prev := make([]int, n)
+			for round := 1; (round-1)*(n+1) < len(data); round++ {
+				chunk := data[(round-1)*(n+1):]
+				ctl := chunk[0]
+				reqs := make([]int, n)
+				for i := range reqs {
+					if 1+i < len(chunk) {
+						reqs[i] = int(chunk[1+i])
+					}
+				}
+				switch ctl % 3 {
+				case 1: // stale: the last vector arrives again
+					copy(reqs, prev)
+				case 2: // duplicated: job 0's request smeared over job n-1
+					reqs[n-1] = reqs[0]
+				}
+				pq := CapAt(model, round, p)
+				out := checked.Allot(reqs, pq)
+				total := 0
+				for _, a := range out {
+					total += a
+				}
+				if total > pq {
+					t.Fatalf("%s round %d: %d allotted on a %d-processor machine",
+						inner.Name(), round, total, pq)
+				}
+				copy(prev, reqs)
 			}
 		}
 	})

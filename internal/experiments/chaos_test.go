@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// smallChaos is a fast sweep for tests: fewer jobs, shorter phases.
+func smallChaos() ChaosConfig {
+	cfg := DefaultChaosConfig()
+	cfg.Jobs = 2
+	cfg.Shrink = 4
+	cfg.ProbeQuanta = 25
+	cfg.Intensities = []float64{0, 0.5, 1}
+	return cfg
+}
+
+// TestChaosDeterministicReplay is the replay guard from the acceptance
+// criteria: the same seed and fault spec must produce a byte-identical
+// chaos report, run to run.
+func TestChaosDeterministicReplay(t *testing.T) {
+	run := func() (ChaosResult, []byte) {
+		r, err := Chaos(smallChaos())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return r, buf.Bytes()
+	}
+	r1, b1 := run()
+	r2, b2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("chaos results differ across replays:\n%+v\n%+v", r1, r2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("chaos reports differ across replays:\n%s\n---\n%s", b1, b2)
+	}
+}
+
+// TestChaosZeroIntensityIsBaseline checks intensity 0 is the frictionless
+// run: completion stretch exactly 1 for both schedulers (the scaled-to-zero
+// plan must not perturb a single quantum) and no injected restarts.
+func TestChaosZeroIntensityIsBaseline(t *testing.T) {
+	r, err := Chaos(smallChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("want 3 sweep points, got %d", len(r.Points))
+	}
+	zero := r.Points[0]
+	if zero.Intensity != 0 {
+		t.Fatalf("first point intensity %v", zero.Intensity)
+	}
+	for name, cell := range map[string]ChaosCell{"abg": zero.ABG, "agreedy": zero.AGreedy} {
+		if cell.Stretch != 1 {
+			t.Fatalf("%s stretch at intensity 0: %v, want exactly 1", name, cell.Stretch)
+		}
+		if cell.Restarts != 0 {
+			t.Fatalf("%s restarts at intensity 0: %d", name, cell.Restarts)
+		}
+	}
+	// Full intensity must actually hurt: the probe re-converges later (or
+	// never, within the run) than in the frictionless baseline for at
+	// least one scheduler, and some disturbance must have registered.
+	full := r.Points[len(r.Points)-1]
+	if full.ABG == zero.ABG && full.AGreedy == zero.AGreedy {
+		t.Fatal("full-intensity point identical to the baseline — no faults injected")
+	}
+}
+
+// TestChaosChecksInvariants runs the sweep with the invariant checker
+// attached (the default) — any checker violation fails Chaos itself, so
+// this doubles as "the whole fault path keeps the engine's books straight".
+func TestChaosChecksInvariants(t *testing.T) {
+	cfg := smallChaos()
+	if !cfg.Check {
+		t.Fatal("default chaos config must check invariants")
+	}
+	cfg.Intensities = []float64{1}
+	if _, err := Chaos(cfg); err != nil {
+		t.Fatalf("invariant checker tripped on an honest run: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"abg/internal/alloc"
+)
+
+// CapacityModel is the time-varying machine-size interface the engines
+// consume (an alias of alloc.Capacity, so this package adds no dependency to
+// the engine layer). At(q) is the number of processors available during
+// quantum q (1-based); it must be deterministic, as the engines and the
+// invariant checker both evaluate it.
+type CapacityModel = alloc.Capacity
+
+// Scalable is implemented by capacity models whose disturbance amplitude the
+// chaos harness can scale with its intensity knob. Scaled(0) must return nil
+// (the fixed machine); Scaled(1) must be equivalent to the receiver.
+type Scalable interface {
+	CapacityModel
+	Scaled(intensity float64) CapacityModel
+}
+
+// scaleAmp scales an integer disturbance amplitude, rounding to nearest and
+// clamping into [0, amp·max(f,0)] sensibly.
+func scaleAmp(amp int, f float64) int {
+	if f <= 0 || amp <= 0 {
+		return 0
+	}
+	return int(math.Round(float64(amp) * f))
+}
+
+// StepCapacity models hot-unplug/replug: the machine runs at P processors,
+// drops to P−Loss at quantum From, and recovers at quantum Until (Until ≤ 0
+// means the nodes never come back).
+type StepCapacity struct {
+	P, Loss     int
+	From, Until int
+}
+
+// At implements CapacityModel.
+func (s StepCapacity) At(q int) int {
+	if q >= s.From && (s.Until <= 0 || q < s.Until) {
+		return s.P - s.Loss
+	}
+	return s.P
+}
+
+// Name implements CapacityModel.
+func (s StepCapacity) Name() string {
+	if s.Until > 0 {
+		return fmt.Sprintf("step(%d-%d@%d-%d)", s.P, s.Loss, s.From, s.Until)
+	}
+	return fmt.Sprintf("step(%d-%d@%d)", s.P, s.Loss, s.From)
+}
+
+// Scaled implements Scalable by scaling the number of lost processors.
+func (s StepCapacity) Scaled(f float64) CapacityModel {
+	loss := scaleAmp(s.Loss, f)
+	if loss == 0 {
+		return nil
+	}
+	s.Loss = loss
+	return s
+}
+
+// SineCapacity models a co-tenant whose load oscillates sinusoidally: the
+// available capacity is P − Amp·(1+sin(2πq/Period))/2, i.e. it swings
+// between P and P−Amp with the given period in quanta.
+type SineCapacity struct {
+	P, Amp, Period int
+}
+
+// At implements CapacityModel.
+func (s SineCapacity) At(q int) int {
+	if s.Period <= 0 || s.Amp <= 0 {
+		return s.P
+	}
+	theta := 2 * math.Pi * float64(q) / float64(s.Period)
+	return s.P - int(math.Round(float64(s.Amp)*(1+math.Sin(theta))/2))
+}
+
+// Name implements CapacityModel.
+func (s SineCapacity) Name() string {
+	return fmt.Sprintf("sine(%d-%d/%d)", s.P, s.Amp, s.Period)
+}
+
+// Scaled implements Scalable by scaling the oscillation amplitude.
+func (s SineCapacity) Scaled(f float64) CapacityModel {
+	amp := scaleAmp(s.Amp, f)
+	if amp == 0 {
+		return nil
+	}
+	s.Amp = amp
+	return s
+}
+
+// ChurnCapacity models random node churn: time is split into windows of
+// Window quanta, and during window w a deterministic draw from (Seed, w)
+// takes MaxLoss·u(w) processors offline, u uniform in [0,1). Because the
+// draw is a stateless hash of the window index, replays and partial
+// evaluations agree regardless of which quanta are sampled.
+type ChurnCapacity struct {
+	P, MaxLoss, Window int
+	Seed               uint64
+}
+
+// At implements CapacityModel.
+func (c ChurnCapacity) At(q int) int {
+	if c.Window <= 0 || c.MaxLoss <= 0 {
+		return c.P
+	}
+	w := uint64(q / c.Window)
+	loss := int(hash(c.Seed, saltChurn, w) % uint64(c.MaxLoss+1))
+	return c.P - loss
+}
+
+// Name implements CapacityModel.
+func (c ChurnCapacity) Name() string {
+	return fmt.Sprintf("churn(%d-%d/%d)", c.P, c.MaxLoss, c.Window)
+}
+
+// Scaled implements Scalable by scaling the maximum simultaneous loss.
+func (c ChurnCapacity) Scaled(f float64) CapacityModel {
+	loss := scaleAmp(c.MaxLoss, f)
+	if loss == 0 {
+		return nil
+	}
+	c.MaxLoss = loss
+	return c
+}

@@ -1,0 +1,153 @@
+// Package fault is the deterministic fault-injection and degradation layer
+// of the simulator. The paper evaluates ABG in a frictionless setting —
+// fixed P, exact A(q) measurement, lossless request/allotment exchange —
+// but the A-Control loop's claim to fame (BIBO stability with zero
+// steady-state error) only matters in production if the loop stays stable
+// under disturbance. This package perturbs every interface of the two-level
+// framework:
+//
+//   - capacity churn: the machine's total processor count P(t) varies over
+//     time (StepCapacity, SineCapacity, ChurnCapacity), consumed by the
+//     engines via sim.SingleConfig.Capacity / sim.MultiConfig.Capacity;
+//   - lossy control channel: per-quantum request messages can be dropped,
+//     delayed k quanta, or duplicated, with the allocator reusing the
+//     last-seen request (stale-state semantics), and the measured A(q) can
+//     carry multiplicative/additive noise before it reaches the feedback
+//     policy (Plan.Policy);
+//   - job failure/restart: a job aborts mid-DAG and restarts with its
+//     feedback state reset (Plan.RestartHook + sim.RestartPlan);
+//   - a runtime invariant Checker that subscribes to a run's obs bus and
+//     fails fast on contract violations (allotments above P(t), non-finite
+//     or negative requests, unbalanced deprivation accounting, work not
+//     conserved across restarts).
+//
+// Everything is seeded and *stateless*: each random decision is a hash of
+// (seed, stream, coordinates), never a draw from shared generator state, so
+// identical seeds and specs replay byte-identically regardless of call
+// order, parallelism, or which subset of faults is enabled — and a plan
+// scaled to intensity zero is bit-identical to the unperturbed simulator.
+package fault
+
+import "math"
+
+// Hash streams: each consumer of randomness mixes in its own salt so the
+// decisions of different fault kinds are independent even at the same
+// (seed, job, quantum) coordinates.
+const (
+	saltChannel  uint64 = 0xc4ceb9fe1a85ec53
+	saltNoiseMul uint64 = 0xff51afd7ed558ccd
+	saltNoiseAdd uint64 = 0x2545f4914f6cdd1d
+	saltRestart  uint64 = 0x9e3779b97f4a7c15
+	saltChurn    uint64 = 0xd6e8feb86659fd93
+)
+
+// mix64 is the splitmix64 finalizer — a cheap, well-dispersed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hash chains the values into one dispersed 64-bit key.
+func hash(seed uint64, vals ...uint64) uint64 {
+	h := mix64(seed + 0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+// unit returns a deterministic uniform float64 in [0,1) keyed by the given
+// coordinates — the stateless replacement for an RNG draw.
+func unit(seed uint64, vals ...uint64) float64 {
+	return float64(hash(seed, vals...)>>11) * (1.0 / (1 << 53))
+}
+
+// Plan describes the full disturbance applied to one run. The zero value is
+// the frictionless simulator. Probabilities are per quantum; all randomness
+// derives from Seed.
+type Plan struct {
+	// Seed drives every random fault decision.
+	Seed uint64
+	// Capacity varies the machine's P(t); nil keeps it fixed.
+	Capacity CapacityModel
+	// Drop is the probability that a quantum's request message is lost;
+	// the allocator keeps acting on the last-seen request.
+	Drop float64
+	// DelayProb is the probability that a request message is delayed by
+	// Delay quanta instead of arriving at its own boundary.
+	DelayProb float64
+	Delay     int
+	// Dup is the probability that a request message is duplicated: it
+	// arrives on time and again one quantum later, where the stale copy
+	// overwrites whatever arrived in between.
+	Dup float64
+	// NoiseMul and NoiseAdd perturb the measured parallelism before it
+	// reaches the feedback policy: A' = A·(1 + NoiseMul·u) + NoiseAdd·v
+	// with u, v uniform in [−1, 1). Large noise can push A' negative —
+	// deliberately: that is the poisoned sample the policy guards absorb.
+	NoiseMul float64
+	NoiseAdd float64
+	// RestartProb is the per-quantum probability that the job aborts and
+	// restarts; RestartAt lists quanta at which it always does.
+	RestartProb float64
+	RestartAt   []int
+	// MaxRestarts caps injected failures per job (0 = unlimited).
+	MaxRestarts int
+}
+
+// channelActive reports whether the plan perturbs the control channel or
+// the measurement (the parts Policy wraps).
+func (p Plan) channelActive() bool {
+	return p.Drop > 0 || (p.DelayProb > 0 && p.Delay > 0) || p.Dup > 0 ||
+		p.NoiseMul != 0 || p.NoiseAdd != 0
+}
+
+// restartActive reports whether the plan injects job failures.
+func (p Plan) restartActive() bool {
+	return p.RestartProb > 0 || len(p.RestartAt) > 0
+}
+
+// IsZero reports whether the plan perturbs nothing.
+func (p Plan) IsZero() bool {
+	return p.Capacity == nil && !p.channelActive() && !p.restartActive()
+}
+
+// clampProb clamps x into [0, 1].
+func clampProb(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Scale returns the plan with every disturbance amplitude multiplied by
+// intensity — the chaos harness's single knob. Intensity 0 returns a plan
+// that is exactly the unperturbed simulator (IsZero); intensity 1 returns
+// the plan unchanged; intermediate values scale probabilities, noise
+// amplitudes, and the capacity model's amplitude linearly. The seed is
+// preserved so the same workload replays under every intensity.
+func (p Plan) Scale(intensity float64) Plan {
+	if intensity <= 0 || math.IsNaN(intensity) {
+		return Plan{Seed: p.Seed}
+	}
+	out := p
+	out.Drop = clampProb(p.Drop * intensity)
+	out.DelayProb = clampProb(p.DelayProb * intensity)
+	out.Dup = clampProb(p.Dup * intensity)
+	out.RestartProb = clampProb(p.RestartProb * intensity)
+	out.NoiseMul = p.NoiseMul * intensity
+	out.NoiseAdd = p.NoiseAdd * intensity
+	if p.Capacity != nil {
+		if s, ok := p.Capacity.(Scalable); ok {
+			out.Capacity = s.Scaled(intensity)
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/sched"
+	"abg/internal/sim"
+	"abg/internal/workload"
+)
+
+// TestZeroIntensityBitIdentical is the no-op regression guard from the
+// acceptance criteria: a fault plan scaled to intensity zero, wired through
+// the full injection path (capacity model, lossy channel, restart hook),
+// must reproduce the unperturbed simulator bit for bit — every request,
+// allotment and measurement of every quantum.
+func TestZeroIntensityBitIdentical(t *testing.T) {
+	full := Plan{
+		Seed:     99,
+		Capacity: SineCapacity{P: 64, Amp: 32, Period: 16},
+		Drop:     0.4, Delay: 2, DelayProb: 0.3, Dup: 0.2,
+		NoiseMul: 0.5, NoiseAdd: 1, RestartProb: 0.05, MaxRestarts: 3,
+	}
+	plan := full.Scale(0)
+
+	profile := workload.ConstantJob(12, 30, 50)
+
+	t.Run("single", func(t *testing.T) {
+		runOne := func(p Plan, faulted bool) sim.SingleResult {
+			cfg := sim.SingleConfig{L: 50, KeepTrace: true}
+			pol := feedback.NewAControl(0.2)
+			if faulted {
+				cfg.Capacity = p.Capacity
+				if at := p.RestartHook(0); at != nil {
+					cfg.Restart = &sim.RestartPlan{At: at,
+						New: func() job.Instance { return job.NewRun(profile) },
+						Max: p.MaxRestarts}
+				}
+				res, err := sim.RunSingle(job.NewRun(profile), p.Policy(pol, 0, nil),
+					sched.BGreedy(), alloc.NewUnconstrained(64), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			res, err := sim.RunSingle(job.NewRun(profile), pol, sched.BGreedy(),
+				alloc.NewUnconstrained(64), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		faulted := runOne(plan, true)
+		plain := runOne(Plan{}, false)
+		if !reflect.DeepEqual(faulted, plain) {
+			t.Fatalf("zero-intensity run differs from unperturbed run:\nfaulted: %+v\nplain:   %+v",
+				faulted, plain)
+		}
+	})
+
+	t.Run("multi", func(t *testing.T) {
+		runSet := func(p Plan, faulted bool) sim.MultiResult {
+			specs := make([]sim.JobSpec, 3)
+			for i := range specs {
+				prof := workload.ConstantJob(6+4*i, 20, 50)
+				pol := feedback.NewAControl(0.2)
+				specs[i] = sim.JobSpec{Inst: job.NewRun(prof), Sched: sched.BGreedy(), Policy: pol}
+				if faulted {
+					specs[i].Policy = p.Policy(pol, i, nil)
+					if at := p.RestartHook(i); at != nil {
+						pr := prof
+						specs[i].Restart = &sim.RestartPlan{At: at,
+							New: func() job.Instance { return job.NewRun(pr) },
+							Max: p.MaxRestarts}
+					}
+				}
+			}
+			cfg := sim.MultiConfig{P: 32, L: 50, Allocator: alloc.DynamicEquiPartition{}, KeepTrace: true}
+			if faulted {
+				cfg.Capacity = p.Capacity
+			}
+			res, err := sim.RunMulti(specs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		faulted := runSet(plan, true)
+		plain := runSet(Plan{}, false)
+		if !reflect.DeepEqual(faulted, plain) {
+			t.Fatalf("zero-intensity multi run differs from unperturbed run")
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"abg/internal/obs"
+)
+
+// maxViolations bounds the checker's memory on a badly broken run; the
+// count keeps incrementing past it.
+const maxViolations = 64
+
+// Checker is a runtime invariant checker for the two-level scheduling
+// contract. Subscribe it to a run's obs bus and it validates, as the events
+// stream past, that
+//
+//   - requests are finite and non-negative (continuous and integer);
+//   - allotments are non-negative and never exceed the machine capacity
+//     P(t) in effect at that boundary, and the per-job deprived flag
+//     matches a(q) < request;
+//   - measured quanta are sane: non-negative steps, work, and waste, and
+//     finite non-negative parallelism;
+//   - deprived/satisfied transitions balance (a job never enters a state
+//     it is already in);
+//   - work is conserved across restarts: each EvJobRestarted's lost work
+//     equals the work executed since the job's last (re)start, and at
+//     completion the total executed work equals T1 plus all lost work.
+//
+// A Checker watches one run at a time (job indices are per-run); it is safe
+// for concurrent OnEvent calls. With failFast set the first violation
+// panics, pinpointing the offending event mid-run; otherwise violations
+// accumulate for Err / Violations.
+type Checker struct {
+	mu       sync.Mutex
+	p        int // machine size; ceiling for every capacity and allotment
+	capNow   int // capacity currently in effect
+	failFast bool
+
+	count      int
+	violations []string
+	jobs       map[int]*jobAccount
+}
+
+// jobAccount tracks one job's conservation state.
+type jobAccount struct {
+	admitted bool
+	work     int64 // T1 from admission
+	executed int64 // Σ work over all quanta, all attempts
+	lost     int64 // Σ work thrown away by restarts
+	attempt  int64 // work since the last (re)start
+	deprived bool
+}
+
+// NewChecker returns a Checker for a run on a machine of size p. With
+// failFast the first violation panics; otherwise inspect Err after the run.
+func NewChecker(p int, failFast bool) *Checker {
+	return &Checker{p: p, capNow: p, failFast: failFast,
+		jobs: make(map[int]*jobAccount)}
+}
+
+// violate records one contract violation.
+func (c *Checker) violate(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if c.failFast {
+		panic("fault: invariant violated: " + msg)
+	}
+	c.count++
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, msg)
+	}
+}
+
+// job returns the accounting record for job i, creating it on first sight.
+func (c *Checker) job(i int) *jobAccount {
+	a := c.jobs[i]
+	if a == nil {
+		a = &jobAccount{}
+		c.jobs[i] = a
+	}
+	return a
+}
+
+// OnEvent implements obs.Subscriber.
+func (c *Checker) OnEvent(e obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Kind {
+	case obs.EvCapacity:
+		if e.P < 0 || e.P > c.p {
+			c.violate("capacity P(q=%d)=%d outside [0,%d]", e.Quantum, e.P, c.p)
+		}
+		c.capNow = e.P
+	case obs.EvJobAdmitted:
+		a := c.job(e.Job)
+		a.admitted = true
+		a.work = e.Work
+	case obs.EvRequest:
+		if math.IsNaN(e.Request) || math.IsInf(e.Request, 0) || e.Request < 0 {
+			c.violate("job %d q=%d: non-finite or negative request d=%v",
+				e.Job, e.Quantum, e.Request)
+		}
+		if e.IntRequest < 0 {
+			c.violate("job %d q=%d: negative integer request %d",
+				e.Job, e.Quantum, e.IntRequest)
+		}
+	case obs.EvAllotment:
+		if e.Allotment < 0 {
+			c.violate("job %d q=%d: negative allotment %d",
+				e.Job, e.Quantum, e.Allotment)
+		}
+		if e.Allotment > c.capNow {
+			c.violate("job %d q=%d: allotment %d exceeds capacity P(t)=%d",
+				e.Job, e.Quantum, e.Allotment, c.capNow)
+		}
+		if want := e.Allotment < e.IntRequest; e.Deprived != want {
+			c.violate("job %d q=%d: deprived flag %v but a=%d req=%d",
+				e.Job, e.Quantum, e.Deprived, e.Allotment, e.IntRequest)
+		}
+	case obs.EvAllocDecision:
+		if e.P > 0 && e.Allotment > e.P {
+			c.violate("boundary %d: allocator %q granted %d > machine %d",
+				e.Quantum, e.Name, e.Allotment, e.P)
+		}
+	case obs.EvQuantumEnd:
+		if e.Steps < 0 || e.Work < 0 || e.Waste < 0 {
+			c.violate("job %d q=%d: negative measurement steps=%d work=%d waste=%d",
+				e.Job, e.Quantum, e.Steps, e.Work, e.Waste)
+		}
+		if math.IsNaN(e.Parallelism) || math.IsInf(e.Parallelism, 0) || e.Parallelism < 0 {
+			c.violate("job %d q=%d: non-finite parallelism A=%v",
+				e.Job, e.Quantum, e.Parallelism)
+		}
+		if e.Allotment > c.capNow {
+			c.violate("job %d q=%d: executed on %d processors above capacity %d",
+				e.Job, e.Quantum, e.Allotment, c.capNow)
+		}
+		a := c.job(e.Job)
+		a.executed += e.Work
+		a.attempt += e.Work
+	case obs.EvDeprived:
+		a := c.job(e.Job)
+		if a.deprived {
+			c.violate("job %d q=%d: deprived transition while already deprived",
+				e.Job, e.Quantum)
+		}
+		a.deprived = true
+	case obs.EvSatisfied:
+		a := c.job(e.Job)
+		if !a.deprived {
+			c.violate("job %d q=%d: satisfied transition while not deprived",
+				e.Job, e.Quantum)
+		}
+		a.deprived = false
+	case obs.EvJobRestarted:
+		a := c.job(e.Job)
+		if e.Work != a.attempt {
+			c.violate("job %d q=%d: restart lost %d but attempt executed %d",
+				e.Job, e.Quantum, e.Work, a.attempt)
+		}
+		a.lost += e.Work
+		a.attempt = 0
+	case obs.EvJobCompleted:
+		a := c.job(e.Job)
+		if a.admitted && a.executed != a.work+a.lost {
+			c.violate("job %d: executed %d ≠ T1 %d + lost %d (work not conserved)",
+				e.Job, a.executed, a.work, a.lost)
+		}
+	}
+}
+
+// Count returns the number of violations seen (including any beyond the
+// retention cap).
+func (c *Checker) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Violations returns the recorded violation messages (at most
+// maxViolations).
+func (c *Checker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Err returns nil if the run was clean, or one error summarising every
+// recorded violation.
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.count == 0 {
+		return nil
+	}
+	return fmt.Errorf("fault: %d invariant violation(s):\n  %s",
+		c.count, strings.Join(c.violations, "\n  "))
+}

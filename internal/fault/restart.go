@@ -1,0 +1,30 @@
+package fault
+
+// RestartHook builds the per-quantum failure predicate of the plan for the
+// given job — the At function of a sim.RestartPlan. It fires at every
+// quantum listed in RestartAt and, independently per quantum, with
+// probability RestartProb from the stateless (Seed, job, quantum) hash. It
+// returns nil when the plan injects no failures, so callers can leave
+// sim.SingleConfig.Restart / sim.JobSpec.Restart nil on the zero path.
+//
+// The quantum index the engines pass is counted across attempts, so a
+// deterministic RestartAt entry fires once, not once per attempt.
+func (p Plan) RestartHook(jobID int) func(q int) bool {
+	if !p.restartActive() {
+		return nil
+	}
+	var at map[int]bool
+	if len(p.RestartAt) > 0 {
+		at = make(map[int]bool, len(p.RestartAt))
+		for _, q := range p.RestartAt {
+			at[q] = true
+		}
+	}
+	seed, job, prob := p.Seed, uint64(jobID), p.RestartProb
+	return func(q int) bool {
+		if at[q] {
+			return true
+		}
+		return prob > 0 && unit(seed, saltRestart, job, uint64(q)) < prob
+	}
+}

@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the command-line fault specification into a Plan for a
+// machine of p processors. The spec is a comma-separated list of
+// key=value clauses; an empty spec is the zero plan. Clauses:
+//
+//	seed=N                  seed for all random fault decisions
+//	drop=F                  drop each request message with probability F
+//	delay=K:F               delay a message K quanta with probability F
+//	dup=F                   duplicate a message with probability F
+//	noise=F                 multiplicative A(q) noise with amplitude F
+//	anoise=F                additive A(q) noise with amplitude F
+//	restart=F               abort-and-restart per quantum with probability F
+//	restartat=Q1+Q2+...     abort-and-restart at the listed quanta
+//	maxrestarts=N           cap injected failures per job (0 = unlimited)
+//	cap=step:F@Q            lose ⌊F·P⌉ processors from quantum Q on
+//	cap=step:F@Q1-Q2        ... recovering at quantum Q2
+//	cap=sine:F:PERIOD       sinusoidal co-tenant, amplitude F·P
+//	cap=churn:F:WINDOW      random churn up to F·P, redrawn every WINDOW quanta
+//
+// Probabilities and fractions F must lie in [0,1] (noise amplitudes may
+// exceed 1 — a reading pushed negative exercises the policy guards).
+// Example: "drop=0.2,delay=3:0.1,cap=step:0.5@40,seed=7".
+func ParseSpec(spec string, p int) (Plan, error) {
+	var plan Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return plan, nil
+	}
+	if p < 1 {
+		return plan, fmt.Errorf("fault: machine size %d < 1", p)
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		var err error
+		switch key {
+		case "seed":
+			plan.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			plan.Drop, err = parseProb(key, val)
+		case "dup":
+			plan.Dup, err = parseProb(key, val)
+		case "delay":
+			k, f, cut := strings.Cut(val, ":")
+			if !cut {
+				return Plan{}, fmt.Errorf("fault: delay wants K:F, got %q", val)
+			}
+			plan.Delay, err = strconv.Atoi(k)
+			if err == nil && plan.Delay < 1 {
+				err = fmt.Errorf("delay %d < 1 quantum", plan.Delay)
+			}
+			if err == nil {
+				plan.DelayProb, err = parseProb(key, f)
+			}
+		case "noise":
+			plan.NoiseMul, err = parseAmp(key, val)
+		case "anoise":
+			plan.NoiseAdd, err = parseAmp(key, val)
+		case "restart":
+			plan.RestartProb, err = parseProb(key, val)
+		case "restartat":
+			for _, qs := range strings.Split(val, "+") {
+				q, qerr := strconv.Atoi(qs)
+				if qerr != nil || q < 1 {
+					return Plan{}, fmt.Errorf("fault: restartat quantum %q invalid", qs)
+				}
+				plan.RestartAt = append(plan.RestartAt, q)
+			}
+			sort.Ints(plan.RestartAt)
+		case "maxrestarts":
+			plan.MaxRestarts, err = strconv.Atoi(val)
+			if err == nil && plan.MaxRestarts < 0 {
+				err = fmt.Errorf("maxrestarts %d < 0", plan.MaxRestarts)
+			}
+		case "cap":
+			plan.Capacity, err = parseCap(val, p)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown clause %q", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: clause %q: %v", clause, err)
+		}
+	}
+	return plan, nil
+}
+
+// parseProb parses a probability in [0,1].
+func parseProb(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || f < 0 || f > 1 {
+		return 0, fmt.Errorf("%s probability %v outside [0,1]", key, f)
+	}
+	return f, nil
+}
+
+// parseAmp parses a noise amplitude (non-negative, may exceed 1).
+func parseAmp(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return 0, fmt.Errorf("%s amplitude %v invalid", key, f)
+	}
+	return f, nil
+}
+
+// parseCap parses the capacity-model sub-grammar for a machine of size p.
+func parseCap(val string, p int) (CapacityModel, error) {
+	kind, rest, ok := strings.Cut(val, ":")
+	if !ok {
+		return nil, fmt.Errorf("cap wants model:params, got %q", val)
+	}
+	frac := func(s string) (int, error) {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, err
+		}
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			return 0, fmt.Errorf("capacity fraction %v outside [0,1]", f)
+		}
+		return int(math.Round(f * float64(p))), nil
+	}
+	switch kind {
+	case "step":
+		fs, at, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("cap=step wants F@Q, got %q", rest)
+		}
+		loss, err := frac(fs)
+		if err != nil {
+			return nil, err
+		}
+		from, until := at, ""
+		if f, u, ranged := strings.Cut(at, "-"); ranged {
+			from, until = f, u
+		}
+		m := StepCapacity{P: p, Loss: loss}
+		if m.From, err = strconv.Atoi(from); err != nil || m.From < 1 {
+			return nil, fmt.Errorf("cap=step quantum %q invalid", from)
+		}
+		if until != "" {
+			if m.Until, err = strconv.Atoi(until); err != nil || m.Until <= m.From {
+				return nil, fmt.Errorf("cap=step recovery quantum %q invalid", until)
+			}
+		}
+		return m, nil
+	case "sine":
+		fs, per, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("cap=sine wants F:PERIOD, got %q", rest)
+		}
+		amp, err := frac(fs)
+		if err != nil {
+			return nil, err
+		}
+		period, err := strconv.Atoi(per)
+		if err != nil || period < 2 {
+			return nil, fmt.Errorf("cap=sine period %q invalid", per)
+		}
+		return SineCapacity{P: p, Amp: amp, Period: period}, nil
+	case "churn":
+		fs, win, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("cap=churn wants F:WINDOW, got %q", rest)
+		}
+		loss, err := frac(fs)
+		if err != nil {
+			return nil, err
+		}
+		window, err := strconv.Atoi(win)
+		if err != nil || window < 1 {
+			return nil, fmt.Errorf("cap=churn window %q invalid", win)
+		}
+		return ChurnCapacity{P: p, MaxLoss: loss, Window: window}, nil
+	default:
+		return nil, fmt.Errorf("cap model %q unknown (step|sine|churn)", kind)
+	}
+}
+
+// String renders the plan in the spec grammar (capacity models render via
+// their Name, which is descriptive rather than re-parsable). The zero plan
+// renders as "none".
+func (p Plan) String() string {
+	if p.IsZero() && p.Seed == 0 {
+		return "none"
+	}
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	if p.Drop > 0 {
+		add("drop=%g", p.Drop)
+	}
+	if p.DelayProb > 0 && p.Delay > 0 {
+		add("delay=%d:%g", p.Delay, p.DelayProb)
+	}
+	if p.Dup > 0 {
+		add("dup=%g", p.Dup)
+	}
+	if p.NoiseMul != 0 {
+		add("noise=%g", p.NoiseMul)
+	}
+	if p.NoiseAdd != 0 {
+		add("anoise=%g", p.NoiseAdd)
+	}
+	if p.RestartProb > 0 {
+		add("restart=%g", p.RestartProb)
+	}
+	if len(p.RestartAt) > 0 {
+		qs := make([]string, len(p.RestartAt))
+		for i, q := range p.RestartAt {
+			qs[i] = strconv.Itoa(q)
+		}
+		add("restartat=%s", strings.Join(qs, "+"))
+	}
+	if p.MaxRestarts > 0 {
+		add("maxrestarts=%d", p.MaxRestarts)
+	}
+	if p.Capacity != nil {
+		add("cap=%s", p.Capacity.Name())
+	}
+	if p.Seed != 0 {
+		add("seed=%d", p.Seed)
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}

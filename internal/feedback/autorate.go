@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"abg/internal/obs"
 	"abg/internal/sched"
 )
 
@@ -27,6 +28,7 @@ type AutoRate struct {
 	d      float64
 	prevA  float64
 	clHat  float64
+	bus    *obs.Bus
 }
 
 // NewAutoRate returns an auto-tuning A-Control. rMax ∈ [0,1) caps the rate
@@ -71,9 +73,15 @@ func (a *AutoRate) InitialRequest() float64 {
 	return a.d
 }
 
-// NextRequest implements Policy.
+// NextRequest implements Policy. Corrupt measurements are sanitised to the
+// previous request (see Observable): folding a NaN into either the request
+// or the Ĉ_L estimate would poison the rate schedule permanently.
 func (a *AutoRate) NextRequest(prev sched.QuantumStats) float64 {
-	A := prev.AvgParallelism()
+	A, poisoned := measuredA(prev)
+	if poisoned {
+		warnHeld(a.bus, a.Name(), prev)
+		return a.d
+	}
 	if A <= 0 {
 		return a.d
 	}
@@ -92,12 +100,18 @@ func (a *AutoRate) NextRequest(prev sched.QuantumStats) float64 {
 	return a.d
 }
 
+// Observe implements Observable.
+func (a *AutoRate) Observe(bus *obs.Bus) { a.bus = bus }
+
 // Name implements Policy.
 func (a *AutoRate) Name() string {
 	return fmt.Sprintf("AutoRate(rMax=%g,safety=%g)", a.rMax, a.safety)
 }
 
-// Reset implements Policy.
+// Reset implements Policy. It restores the exact constructed state —
+// request, previous-parallelism memory, and the Ĉ_L estimate driving the
+// rate schedule — so Reset() ≡ NewAutoRate(rMax, safety) behaviourally
+// (the reset-equivalence tests pin this for every controller).
 func (a *AutoRate) Reset() {
 	a.d = 1
 	a.prevA = 1

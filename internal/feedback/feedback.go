@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"abg/internal/obs"
 	"abg/internal/sched"
 )
 
@@ -42,14 +43,63 @@ type Policy interface {
 // Factory builds a fresh policy instance per job.
 type Factory func() Policy
 
+// Observable is implemented by policies that can report sanitised inputs on
+// an instrumentation bus: when a quantum measurement arrives corrupt
+// (NaN/Inf parallelism, negative work or allotment, zero-length quantum —
+// e.g. from a faulty sensor or the fault-injection layer), the policy holds
+// its previous request and emits an obs.EvWarning instead of folding the
+// poison into its integral state.
+type Observable interface {
+	// Observe attaches the bus warnings are emitted on (nil detaches).
+	Observe(bus *obs.Bus)
+}
+
+// AttachObs attaches bus to pol when the policy supports it; unknown
+// policies are left untouched.
+func AttachObs(pol Policy, bus *obs.Bus) {
+	if o, ok := pol.(Observable); ok {
+		o.Observe(bus)
+	}
+}
+
+// measuredA validates the quantum measurement and returns A(q). poisoned
+// reports a corrupt measurement — non-finite or negative values, or a
+// zero-length quantum — as opposed to a merely empty one (a == 0): a
+// poisoned sample must not touch controller state, because the integral
+// update d ← r·d + (1−r)·A would propagate a single NaN forever.
+func measuredA(prev sched.QuantumStats) (a float64, poisoned bool) {
+	if prev.Length <= 0 || prev.Work < 0 || prev.Allotment < 0 ||
+		math.IsNaN(prev.CPL) || math.IsInf(prev.CPL, 0) || prev.CPL < 0 {
+		return 0, true
+	}
+	a = prev.AvgParallelism()
+	if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+		return 0, true
+	}
+	return a, false
+}
+
+// warnHeld emits the sanitised-input warning for a policy holding its
+// previous request. No-op without an active bus.
+func warnHeld(bus *obs.Bus, policy string, prev sched.QuantumStats) {
+	if !bus.Active() {
+		return
+	}
+	bus.Emit(obs.Event{Kind: obs.EvWarning, Time: prev.Start, Quantum: prev.Index,
+		Name:    policy + ": corrupt quantum measurement, request held",
+		Request: prev.Request, Allotment: prev.Allotment, Steps: prev.Steps,
+		Work: prev.Work, Parallelism: prev.CPL})
+}
+
 // ---------------------------------------------------------------- A-Control
 
 // AControl is the paper's adaptive integral controller. The controller
 // output is kept continuous; the simulator rounds up when presenting the
 // request to the OS allocator.
 type AControl struct {
-	r float64 // convergence rate, 0 ≤ r < 1
-	d float64 // current request (continuous state)
+	r   float64 // convergence rate, 0 ≤ r < 1
+	d   float64 // current request (continuous state)
+	bus *obs.Bus
 }
 
 // NewAControl returns an A-Control policy with convergence rate r.
@@ -77,15 +127,29 @@ func (c *AControl) InitialRequest() float64 {
 }
 
 // NextRequest implements Policy: d(q+1) = r·d(q) + (1−r)·A(q). An empty
-// quantum (no work done, A undefined) leaves the request unchanged.
+// quantum (no work done, A undefined) leaves the request unchanged, and a
+// corrupt measurement (NaN/Inf/negative, zero-length quantum) is sanitised
+// to the previous request with an obs warning.
 func (c *AControl) NextRequest(prev sched.QuantumStats) float64 {
-	a := prev.AvgParallelism()
+	a, poisoned := measuredA(prev)
+	if poisoned {
+		warnHeld(c.bus, c.Name(), prev)
+		return c.d
+	}
 	if a <= 0 {
 		return c.d
 	}
-	c.d = c.r*c.d + (1-c.r)*a
+	d := c.r*c.d + (1-c.r)*a
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		warnHeld(c.bus, c.Name(), prev)
+		return c.d
+	}
+	c.d = d
 	return c.d
 }
+
+// Observe implements Observable.
+func (c *AControl) Observe(bus *obs.Bus) { c.bus = bus }
 
 // Name implements Policy.
 func (c *AControl) Name() string { return fmt.Sprintf("A-Control(r=%g)", c.r) }
@@ -105,6 +169,7 @@ type AGreedy struct {
 	rho   float64 // multiplicative factor ρ > 1
 	delta float64 // utilization threshold 0 < δ < 1
 	d     float64
+	bus   *obs.Bus
 }
 
 // NewAGreedy returns an A-Greedy policy. The paper's simulations use the
@@ -140,8 +205,15 @@ func (g *AGreedy) InitialRequest() float64 {
 	return g.d
 }
 
-// NextRequest implements Policy.
+// NextRequest implements Policy. A corrupt measurement (negative work or
+// allotment, zero-length quantum) is sanitised to the previous request with
+// an obs warning — the utilization test would otherwise misclassify the
+// quantum as inefficient and halve the request on garbage input.
 func (g *AGreedy) NextRequest(prev sched.QuantumStats) float64 {
+	if prev.Length <= 0 || prev.Work < 0 || prev.Allotment < 0 {
+		warnHeld(g.bus, g.Name(), prev)
+		return g.d
+	}
 	// Usage is the number of non-idle processor cycles; with unit tasks that
 	// is exactly the quantum work T1(q).
 	allotted := float64(prev.Allotment) * float64(prev.Length)
@@ -161,6 +233,9 @@ func (g *AGreedy) NextRequest(prev sched.QuantumStats) float64 {
 	return g.d
 }
 
+// Observe implements Observable.
+func (g *AGreedy) Observe(bus *obs.Bus) { g.bus = bus }
+
 // Name implements Policy.
 func (g *AGreedy) Name() string { return fmt.Sprintf("A-Greedy(ρ=%g,δ=%g)", g.rho, g.delta) }
 
@@ -175,8 +250,9 @@ func (g *AGreedy) Reset() { g.d = 1 }
 // closed-loop pole 1 − K/A drifts with the job's parallelism, so the
 // controller is sluggish for A ≫ K and oscillates or diverges for A < K/2.
 type FixedGain struct {
-	k float64
-	d float64
+	k   float64
+	d   float64
+	bus *obs.Bus
 }
 
 // NewFixedGain returns a fixed-gain integral controller. K must be positive.
@@ -200,17 +276,29 @@ func (f *FixedGain) InitialRequest() float64 {
 
 // NextRequest implements Policy.
 func (f *FixedGain) NextRequest(prev sched.QuantumStats) float64 {
-	a := prev.AvgParallelism()
+	a, poisoned := measuredA(prev)
+	if poisoned {
+		warnHeld(f.bus, f.Name(), prev)
+		return f.d
+	}
 	if a <= 0 {
 		return f.d
 	}
 	e := 1 - f.d/a
-	f.d += f.k * e
+	d := f.d + f.k*e
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		warnHeld(f.bus, f.Name(), prev)
+		return f.d
+	}
+	f.d = d
 	if f.d < 1 {
 		f.d = 1
 	}
 	return f.d
 }
+
+// Observe implements Observable.
+func (f *FixedGain) Observe(bus *obs.Bus) { f.bus = bus }
 
 // Name implements Policy.
 func (f *FixedGain) Name() string { return fmt.Sprintf("FixedGain(K=%g)", f.k) }

@@ -1,0 +1,104 @@
+package feedback
+
+import "testing"
+
+// driveSeq feeds a parallelism sequence (one full quantum per width) and
+// returns the emitted requests.
+func driveSeq(pol Policy, widths []int) []float64 {
+	out := make([]float64, 0, len(widths)+1)
+	out = append(out, pol.InitialRequest())
+	for _, w := range widths {
+		out = append(out, pol.NextRequest(goodStats(w, w)))
+	}
+	return out
+}
+
+// TestResetEquivalence pins Reset() ≡ fresh construction for every stateful
+// controller: a policy that has seen an arbitrary history, then Reset, must
+// produce exactly the request trace of a newly constructed instance — the
+// contract the restart-injection path (sim.RestartPlan) relies on. For
+// AutoRate this includes the Ĉ_L estimate and rate schedule: before the fix
+// a reset controller kept the old workload's transition factor and ran at a
+// different rate than a fresh one.
+func TestResetEquivalence(t *testing.T) {
+	history := []int{3, 9, 2, 27, 5, 40, 1, 12} // wild ratios to move Ĉ_L
+	replay := []int{6, 6, 18, 4, 4, 30, 7}
+
+	policies := []struct {
+		name string
+		make func() Policy
+	}{
+		{"AControl", func() Policy { return NewAControl(0.2) }},
+		{"AGreedy", func() Policy { return NewAGreedy(2, 0.8) }},
+		{"FixedGain", func() Policy { return NewFixedGain(4) }},
+		{"AutoRate", func() Policy { return NewAutoRate(0.2, 0.5) }},
+		{"Static", func() Policy { return NewStatic(7) }},
+	}
+	for _, pc := range policies {
+		t.Run(pc.name, func(t *testing.T) {
+			used := pc.make()
+			driveSeq(used, history)
+			used.Reset()
+			got := driveSeq(used, replay)
+
+			fresh := pc.make()
+			want := driveSeq(fresh, replay)
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("request %d after Reset: %v, fresh instance: %v (trace %v vs %v)",
+						i, got[i], want[i], got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAutoRateResetRestoresRateSchedule checks the Ĉ_L estimate itself (not
+// just the emitted requests) returns to its constructed value.
+func TestAutoRateResetRestoresRateSchedule(t *testing.T) {
+	a := NewAutoRate(0.2, 0.5)
+	a.InitialRequest()
+	a.NextRequest(goodStats(2, 2))
+	a.NextRequest(goodStats(50, 50)) // ratio 25 → Ĉ_L jumps
+	if a.ObservedTransitionFactor() <= 1 {
+		t.Fatalf("history did not move Ĉ_L: %v", a.ObservedTransitionFactor())
+	}
+	rateBefore := a.Rate()
+	a.Reset()
+	fresh := NewAutoRate(0.2, 0.5)
+	if a.ObservedTransitionFactor() != fresh.ObservedTransitionFactor() {
+		t.Fatalf("Ĉ_L after Reset %v, fresh %v",
+			a.ObservedTransitionFactor(), fresh.ObservedTransitionFactor())
+	}
+	if a.Rate() != fresh.Rate() {
+		t.Fatalf("rate after Reset %v, fresh %v (was %v)", a.Rate(), fresh.Rate(), rateBefore)
+	}
+}
+
+// TestFaultFreeSequenceUnchangedByObserve checks attaching a bus does not
+// alter any controller's arithmetic (observability must be behaviourally
+// free).
+func TestFaultFreeSequenceUnchangedByObserve(t *testing.T) {
+	seq := []int{4, 8, 2, 16}
+	for _, pc := range []struct {
+		name string
+		make func() Policy
+	}{
+		{"AControl", func() Policy { return NewAControl(0.2) }},
+		{"AGreedy", func() Policy { return NewAGreedy(2, 0.8) }},
+		{"FixedGain", func() Policy { return NewFixedGain(4) }},
+		{"AutoRate", func() Policy { return NewAutoRate(0.2, 0.5) }},
+	} {
+		plain := pc.make()
+		observed := pc.make()
+		AttachObs(observed, nil)
+		a := driveSeq(plain, seq)
+		b := driveSeq(observed, seq)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: Observe changed request %d: %v != %v", pc.name, i, a[i], b[i])
+			}
+		}
+	}
+}

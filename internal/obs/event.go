@@ -57,6 +57,23 @@ const (
 	// instrumented single grant): Name is the allocator, P the machine
 	// size, IntRequest the summed requests and Allotment the summed grants.
 	EvAllocDecision
+	// EvCapacity fires when the machine's effective processor count P(t)
+	// changes (capacity churn, node unplug/replug): P is the new capacity,
+	// Time/Quantum locate the boundary at which it took effect.
+	EvCapacity
+	// EvFault fires when the fault-injection layer perturbs the run: Name
+	// is the fault kind ("drop", "delay", "dup", "noise"), Job/Quantum the
+	// victim, and Request the affected value (the request that was lost or
+	// the parallelism after noise).
+	EvFault
+	// EvJobRestarted fires when a job aborts mid-DAG and restarts from
+	// scratch with its feedback state reset; Work is the completed work
+	// lost to the failure.
+	EvJobRestarted
+	// EvWarning fires when a component sanitised corrupt input instead of
+	// propagating it (e.g. a feedback policy holding its previous request
+	// on a non-finite measurement); Name carries the message.
+	EvWarning
 )
 
 // String returns the kind's snake_case name (also used as a metric label).
@@ -78,6 +95,14 @@ func (k Kind) String() string {
 		return "job_completed"
 	case EvAllocDecision:
 		return "alloc_decision"
+	case EvCapacity:
+		return "capacity"
+	case EvFault:
+		return "fault"
+	case EvJobRestarted:
+		return "job_restarted"
+	case EvWarning:
+		return "warning"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

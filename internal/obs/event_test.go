@@ -69,7 +69,8 @@ func TestBusConcurrentEmit(t *testing.T) {
 
 func TestKindString(t *testing.T) {
 	kinds := []Kind{EvJobAdmitted, EvRequest, EvAllotment, EvQuantumEnd,
-		EvDeprived, EvSatisfied, EvJobCompleted, EvAllocDecision}
+		EvDeprived, EvSatisfied, EvJobCompleted, EvAllocDecision,
+		EvCapacity, EvFault, EvJobRestarted, EvWarning}
 	seen := make(map[string]bool)
 	for _, k := range kinds {
 		s := k.String()

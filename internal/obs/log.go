@@ -206,6 +206,10 @@ func (s LogSubscriber) OnEvent(e Event) {
 	switch e.Kind {
 	case EvJobAdmitted, EvJobCompleted:
 		lvl = slog.LevelInfo
+	case EvJobRestarted, EvCapacity:
+		lvl = slog.LevelInfo
+	case EvWarning:
+		lvl = slog.LevelWarn
 	}
 	if !s.log.Enabled(context.Background(), lvl) {
 		return
@@ -235,6 +239,12 @@ func (s LogSubscriber) OnEvent(e Event) {
 	case EvAllocDecision:
 		attrs = append(attrs, slog.Int("P", e.P), slog.Int("requested", e.IntRequest),
 			slog.Int("granted", e.Allotment))
+	case EvCapacity:
+		attrs = append(attrs, slog.Int("P", e.P))
+	case EvFault:
+		attrs = append(attrs, slog.Float64("value", e.Request))
+	case EvJobRestarted:
+		attrs = append(attrs, slog.Int64("lost", e.Work))
 	}
 	s.log.Log(context.Background(), lvl, e.Kind.String(), attrs...)
 }

@@ -22,6 +22,11 @@ type MetricsSubscriber struct {
 	workCycles    *Counter
 	wastedCycles  *Counter
 	allocRounds   *Counter
+	faults        *Counter
+	capChanges    *Counter
+	restarts      *Counter
+	lostWork      *Counter
+	warnings      *Counter
 	parallelism   *Histogram
 	waste         *Histogram
 	response      *Histogram
@@ -46,6 +51,11 @@ func NewMetricsSubscriber(reg *Registry) *MetricsSubscriber {
 		workCycles:    reg.Counter("sim_work_cycles_total"),
 		wastedCycles:  reg.Counter("sim_wasted_cycles_total"),
 		allocRounds:   reg.Counter("sim_alloc_rounds_total"),
+		faults:        reg.Counter("fault_injected_total"),
+		capChanges:    reg.Counter("fault_capacity_changes_total"),
+		restarts:      reg.Counter("fault_job_restarts_total"),
+		lostWork:      reg.Counter("fault_lost_work_cycles_total"),
+		warnings:      reg.Counter("fault_warnings_total"),
 		parallelism:   reg.Histogram("sim_quantum_parallelism", ExponentialBuckets(1, 2, 11)),
 		waste:         reg.Histogram("sim_quantum_waste", ExponentialBuckets(1, 4, 12)),
 		response:      reg.Histogram("sim_job_response_steps", ExponentialBuckets(1000, 2, 16)),
@@ -80,5 +90,14 @@ func (m *MetricsSubscriber) OnEvent(e Event) {
 		m.intoSatisfied.Inc()
 	case EvAllocDecision:
 		m.allocRounds.Inc()
+	case EvFault:
+		m.faults.Inc()
+	case EvCapacity:
+		m.capChanges.Inc()
+	case EvJobRestarted:
+		m.restarts.Inc()
+		m.lostWork.Add(e.Work)
+	case EvWarning:
+		m.warnings.Inc()
 	}
 }

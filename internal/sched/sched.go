@@ -17,6 +17,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"abg/internal/job"
 )
@@ -153,8 +154,16 @@ func RunQuantum(inst job.Instance, sc Scheduler, allotment, length int) QuantumS
 		}
 	}
 	st.LevelsTouched = len(levelDone)
-	for level, count := range levelDone {
-		st.CPL += float64(count) / float64(inst.LevelWidth(level))
+	// Sum in level order: float addition is not associative, and replay
+	// determinism (same seed ⇒ bit-identical run) must not hinge on map
+	// iteration order.
+	levels := make([]int, 0, len(levelDone))
+	for level := range levelDone {
+		levels = append(levels, level)
+	}
+	sort.Ints(levels)
+	for _, level := range levels {
+		st.CPL += float64(levelDone[level]) / float64(inst.LevelWidth(level))
 	}
 	return st
 }

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+
+	"abg/internal/alloc"
+	"abg/internal/feedback"
+	"abg/internal/job"
+	"abg/internal/obs"
+	"abg/internal/sched"
+	"abg/internal/workload"
+)
+
+// stepCap is a minimal capacity model for engine tests: P processors until
+// quantum From, P−Loss from then on.
+type stepCap struct{ p, loss, from int }
+
+func (s stepCap) At(q int) int {
+	if q >= s.from {
+		return s.p - s.loss
+	}
+	return s.p
+}
+func (s stepCap) Name() string { return "step" }
+
+func TestSingleCapacityCapsAllotments(t *testing.T) {
+	cap := stepCap{p: 64, loss: 48, from: 10}
+	bus := obs.NewBus()
+	rec := &obs.Recorder{}
+	defer bus.Subscribe(rec)()
+	res, err := RunSingle(job.NewRun(workload.ConstantJob(32, 40, 50)),
+		feedback.NewAControl(0.2), sched.BGreedy(), alloc.NewUnconstrained(64),
+		SingleConfig{L: 50, KeepTrace: true, Obs: bus, Capacity: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCapped, sawDeprived := false, false
+	for _, st := range res.Quanta {
+		if ceil := alloc.CapAt(cap, st.Index, 64); st.Allotment > ceil {
+			t.Fatalf("q=%d: allotment %d above capacity %d", st.Index, st.Allotment, ceil)
+		}
+		if st.Index >= cap.from {
+			if st.Allotment == 16 {
+				sawCapped = true
+			}
+			if st.Deprived {
+				sawDeprived = true
+			}
+		}
+	}
+	if !sawCapped || !sawDeprived {
+		t.Fatalf("capacity drop had no effect: capped=%v deprived=%v", sawCapped, sawDeprived)
+	}
+	// The engine announces each capacity change exactly once.
+	var caps []int
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvCapacity {
+			caps = append(caps, e.P)
+		}
+	}
+	if len(caps) != 2 || caps[0] != 64 || caps[1] != 16 {
+		t.Fatalf("capacity events %v, want [64 16]", caps)
+	}
+}
+
+func TestSingleRestartMaxAndConservation(t *testing.T) {
+	profile := workload.ConstantJob(8, 12, 50)
+	bus := obs.NewBus()
+	rec := &obs.Recorder{}
+	defer bus.Subscribe(rec)()
+	cfg := SingleConfig{L: 50, KeepTrace: true, Obs: bus}
+	cfg.Restart = &RestartPlan{
+		At:  func(q int) bool { return true }, // fail after every quantum...
+		New: func() job.Instance { return job.NewRun(profile) },
+		Max: 3, // ...but only thrice
+	}
+	res, err := RunSingle(job.NewRun(profile), feedback.NewStatic(8),
+		sched.BGreedy(), alloc.NewUnconstrained(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 3 {
+		t.Fatalf("Max=3 but %d restarts", res.Restarts)
+	}
+	if res.LostWork == 0 {
+		t.Fatal("restarts lost no work")
+	}
+	var executed int64
+	for _, st := range res.Quanta {
+		executed += st.Work
+	}
+	if executed != res.Work+res.LostWork {
+		t.Fatalf("work not conserved: executed %d, T1 %d + lost %d", executed, res.Work, res.LostWork)
+	}
+	restartEvents := 0
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvJobRestarted {
+			restartEvents++
+		}
+	}
+	if restartEvents != 3 {
+		t.Fatalf("%d EvJobRestarted events for 3 restarts", restartEvents)
+	}
+}
+
+func TestMultiCapacityCapsRounds(t *testing.T) {
+	cap := stepCap{p: 48, loss: 32, from: 5}
+	specs := make([]JobSpec, 3)
+	for i := range specs {
+		specs[i] = JobSpec{
+			Inst:   job.NewRun(workload.ConstantJob(16, 30, 50)),
+			Policy: feedback.NewAControl(0.2),
+			Sched:  sched.BGreedy(),
+		}
+	}
+	res, err := RunMulti(specs, MultiConfig{
+		P: 48, L: 50, Allocator: alloc.DynamicEquiPartition{},
+		KeepTrace: true, Capacity: cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per allocation round, the granted total must fit the perturbed machine.
+	totals := map[int]int{}
+	for _, j := range res.Jobs {
+		for _, st := range j.Quanta {
+			totals[st.Index] += st.Allotment
+		}
+	}
+	if len(totals) == 0 {
+		t.Fatal("no quanta recorded")
+	}
+	sawCapped := false
+	for q, total := range totals {
+		ceil := alloc.CapAt(cap, q, 48)
+		if total > ceil {
+			t.Fatalf("round %d: %d allotted above capacity %d", q, total, ceil)
+		}
+		if q >= cap.from && total == 16 {
+			sawCapped = true
+		}
+	}
+	if !sawCapped {
+		t.Fatal("capacity drop never bound the allocation")
+	}
+}
+
+func TestMultiRestartConservation(t *testing.T) {
+	profile := workload.ConstantJob(8, 15, 50)
+	specs := []JobSpec{
+		{
+			Inst: job.NewRun(profile), Policy: feedback.NewAControl(0.2),
+			Sched: sched.BGreedy(),
+			Restart: &RestartPlan{
+				At:  func(q int) bool { return q == 3 },
+				New: func() job.Instance { return job.NewRun(profile) },
+				Max: 1,
+			},
+		},
+		{Inst: job.NewRun(profile), Policy: feedback.NewAControl(0.2), Sched: sched.BGreedy()},
+	}
+	res, err := RunMulti(specs, MultiConfig{
+		P: 32, L: 50, Allocator: alloc.DynamicEquiPartition{}, KeepTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Restarts != 1 || res.Jobs[0].LostWork == 0 {
+		t.Fatalf("job 0 restart not injected: %+v", res.Jobs[0])
+	}
+	if res.Jobs[1].Restarts != 0 || res.Jobs[1].LostWork != 0 {
+		t.Fatalf("job 1 wrongly restarted: %+v", res.Jobs[1])
+	}
+	for i, j := range res.Jobs {
+		var executed int64
+		for _, st := range j.Quanta {
+			executed += st.Work
+		}
+		if executed != j.Work+j.LostWork {
+			t.Fatalf("job %d: executed %d, T1 %d + lost %d", i, executed, j.Work, j.LostWork)
+		}
+	}
+}

@@ -24,6 +24,9 @@ type JobSpec struct {
 	Policy feedback.Policy
 	// Sched is its task scheduler.
 	Sched sched.Scheduler
+	// Restart optionally injects failures for this job (see RestartPlan);
+	// nil leaves the job failure-free.
+	Restart *RestartPlan
 }
 
 // MultiConfig configures a multiprogrammed simulation.
@@ -48,6 +51,12 @@ type MultiConfig struct {
 	// Obs receives the live instrumentation events of the run (see
 	// abg/internal/obs); nil disables emission.
 	Obs *obs.Bus
+	// Capacity optionally varies the machine's effective processor count
+	// over time: each allocation round k runs with
+	// P(k) = min(P, max(Capacity.At(k), 0)) processors, emitting
+	// obs.EvCapacity when the value changes. Nil reproduces the fixed
+	// machine bit-for-bit.
+	Capacity alloc.Capacity
 }
 
 // keepTrace resolves the retention flags, honouring the deprecated one.
@@ -64,6 +73,10 @@ type JobOutcome struct {
 	Waste        int64 // Σ_q a(q)·L − T1: the job holds its allotment to each boundary
 	NumQuanta    int
 	DeprivedQ    int // quanta on which the allotment fell short of the request
+	// Restarts counts injected failures (JobSpec.Restart) and LostWork the
+	// completed work they threw away; executed work = Work + LostWork.
+	Restarts int
+	LostWork int64
 	// Quanta holds the job's per-quantum trace when MultiConfig.KeepTrace
 	// is set (nil otherwise).
 	Quanta []sched.QuantumStats
@@ -94,11 +107,12 @@ func (r MultiResult) MeanResponse() float64 {
 
 // jobState is the engine's per-job bookkeeping.
 type jobState struct {
-	spec     *JobSpec
-	request  float64
-	started  bool
-	done     bool
-	deprived bool
+	spec        *JobSpec
+	request     float64
+	started     bool
+	done        bool
+	deprived    bool
+	attemptWork int64 // work completed since the job's last (re)start
 }
 
 // RunMulti simulates the job set space-sharing P processors under the given
@@ -134,6 +148,7 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 	}
 	remaining := len(specs)
 	L64 := int64(cfg.L)
+	capNow := -1 // last emitted effective capacity
 
 	// Reusable per-boundary scratch.
 	activeIdx := make([]int, 0, len(specs))
@@ -186,7 +201,19 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 					Request: states[i].request, IntRequest: r})
 			}
 		}
-		allots := cfg.Allocator.Allot(requests, cfg.P)
+		pEff := cfg.P
+		if cfg.Capacity != nil {
+			pEff = alloc.CapAt(cfg.Capacity, k+1, cfg.P)
+			if pEff != capNow {
+				capNow = pEff
+				if cfg.Obs.Active() {
+					cfg.Obs.Emit(obs.Event{Kind: obs.EvCapacity, Time: now,
+						Quantum: res.QuantaElapsed, Job: -1,
+						Name: cfg.Capacity.Name(), P: pEff})
+				}
+			}
+		}
+		allots := cfg.Allocator.Allot(requests, pEff)
 		if cfg.Obs.Active() {
 			totalReq, totalAllot := 0, 0
 			for pos := range requests {
@@ -195,7 +222,7 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 			}
 			cfg.Obs.Emit(obs.Event{Kind: obs.EvAllocDecision, Time: now,
 				Quantum: res.QuantaElapsed, Job: -1, Name: cfg.Allocator.Name(),
-				P: cfg.P, IntRequest: totalReq, Allotment: totalAllot})
+				P: pEff, IntRequest: totalReq, Allotment: totalAllot})
 		}
 		for pos, i := range activeIdx {
 			s := &states[i]
@@ -225,8 +252,23 @@ func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
 			// The job holds its allotment until the boundary, so the whole
 			// quantum's cycles are charged.
 			res.Jobs[i].Waste += int64(a)*L64 - st.Work
+			s.attemptWork += st.Work
 			if cfg.Obs.Active() {
 				emitQuantum(cfg.Obs, st, i, s.spec.Name, &s.deprived)
+			}
+			if !st.Completed && s.spec.Restart.fires(st.Index, res.Jobs[i].Restarts) {
+				res.Jobs[i].Restarts++
+				res.Jobs[i].LostWork += s.attemptWork
+				if cfg.Obs.Active() {
+					cfg.Obs.Emit(obs.Event{Kind: obs.EvJobRestarted,
+						Time: now + int64(st.Steps), Quantum: st.Index,
+						Job: i, Name: s.spec.Name, Work: s.attemptWork})
+				}
+				s.attemptWork = 0
+				s.spec.Inst = s.spec.Restart.New()
+				s.spec.Policy.Reset()
+				s.request = s.spec.Policy.InitialRequest()
+				continue
 			}
 			if st.Completed {
 				s.done = true

@@ -1,0 +1,36 @@
+package sim
+
+import "abg/internal/job"
+
+// RestartPlan injects job failures into an engine run: when At fires after
+// a quantum on which the job did not complete, the job aborts mid-DAG,
+// loses all work completed so far, and restarts from a fresh instance with
+// its feedback policy reset to its constructed state — the disturbance that
+// exercises the controllers' re-convergence (Theorem 3's O(log_{1/r})
+// settling applies from the reset request d(1)=1).
+//
+// The engine accounts the aborted attempts' work in LostWork, so work is
+// conserved across restarts: Σ executed work = T1 + LostWork.
+type RestartPlan struct {
+	// At reports whether the job fails after its q-th executed quantum
+	// (per-job, 1-based, counted across attempts). Must be deterministic;
+	// abg/internal/fault builds seeded schedules.
+	At func(q int) bool
+	// New builds a fresh instance of the job for each restart.
+	New func() job.Instance
+	// Max caps the number of restarts (0 = unlimited; the engine's quantum
+	// cap still bounds the run).
+	Max int
+}
+
+// fires reports whether the plan triggers a restart after quantum q given
+// the number of restarts already taken.
+func (r *RestartPlan) fires(q, taken int) bool {
+	if r == nil || r.At == nil || r.New == nil {
+		return false
+	}
+	if r.Max > 0 && taken >= r.Max {
+		return false
+	}
+	return r.At(q)
+}

@@ -49,6 +49,15 @@ type SingleConfig struct {
 	// bus attached but no subscribers the cost is one atomic load per
 	// emission site.
 	Obs *obs.Bus
+	// Capacity optionally varies the machine's effective processor count
+	// over time (capacity churn): the allocator's grant for quantum q is
+	// additionally capped by Capacity.At(q), and an obs.EvCapacity event is
+	// emitted whenever the effective capacity changes. Nil reproduces the
+	// paper's fixed machine bit-for-bit.
+	Capacity alloc.Capacity
+	// Restart optionally injects job failures (see RestartPlan). Nil — the
+	// zero value — leaves the run failure-free.
+	Restart *RestartPlan
 }
 
 // keepTrace resolves the retention flags, honouring the deprecated one.
@@ -77,6 +86,11 @@ type SingleResult struct {
 	BoundaryWaste int64
 	// AllottedCycles is Σ_q a(q)·steps(q).
 	AllottedCycles int64
+	// Restarts counts injected job failures (SingleConfig.Restart) and
+	// LostWork the completed work thrown away by them. Work is conserved:
+	// the executed work across all attempts is Work + LostWork.
+	Restarts int
+	LostWork int64
 }
 
 // Speedup returns T1/T, the speedup over serial execution.
@@ -174,6 +188,8 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 	}
 	d := pol.InitialRequest()
 	deprived := false
+	capNow := -1        // last emitted effective capacity
+	var attemptWork int64 // work completed since the last (re)start
 	for q := 1; !inst.Done(); q++ {
 		if q > maxQ {
 			return res, fmt.Errorf("sim: job did not finish within %d quanta", maxQ)
@@ -185,6 +201,22 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 				Request: d, IntRequest: req})
 		}
 		a := allocator.Grant(q, req)
+		if cfg.Capacity != nil {
+			pq := cfg.Capacity.At(q)
+			if pq < 0 {
+				pq = 0
+			}
+			if pq != capNow {
+				capNow = pq
+				if bus.Active() {
+					bus.Emit(obs.Event{Kind: obs.EvCapacity, Time: start, Quantum: q,
+						Job: -1, Name: cfg.Capacity.Name(), P: pq})
+				}
+			}
+			if a > pq {
+				a = pq
+			}
+		}
 		if bus.Active() {
 			bus.Emit(obs.Event{Kind: obs.EvAllotment, Time: start, Quantum: q,
 				IntRequest: req, Allotment: a, Deprived: a < req})
@@ -198,6 +230,7 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 		res.Runtime += int64(st.Steps)
 		res.AllottedCycles += int64(a) * int64(st.Steps)
 		res.Waste += st.Waste()
+		attemptWork += st.Work
 		if st.Completed {
 			res.BoundaryWaste = int64(a) * int64(cfg.L-st.Steps)
 		}
@@ -212,6 +245,19 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 			}
 		} else {
 			deprived = st.Deprived
+		}
+		if !st.Completed && cfg.Restart.fires(q, res.Restarts) {
+			res.Restarts++
+			res.LostWork += attemptWork
+			if bus.Active() {
+				bus.Emit(obs.Event{Kind: obs.EvJobRestarted, Time: res.Runtime,
+					Quantum: q, Work: attemptWork})
+			}
+			attemptWork = 0
+			inst = cfg.Restart.New()
+			pol.Reset()
+			d = pol.InitialRequest()
+			continue
 		}
 		d = pol.NextRequest(st)
 	}

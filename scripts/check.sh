@@ -14,8 +14,18 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs, sim)"
-go test -race ./internal/obs/... ./internal/sim/...
+echo "== go test -race (obs, sim, fault, feedback, alloc)"
+go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
+    ./internal/feedback/... ./internal/alloc/...
+
+echo "== deterministic replay guard (same seed+spec => identical chaos report)"
+a="$(go run ./cmd/abgexp -exp chaos -scale small)"
+b="$(go run ./cmd/abgexp -exp chaos -scale small)"
+if [ "$a" != "$b" ]; then
+    echo "chaos report is not replay-deterministic:" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+fi
 
 echo "== event-bus overhead guard (<2% on idle bus)"
 ABG_BENCH_GUARD=1 go test -run TestEventBusOverheadGuard -v ./internal/sim/ | grep -v '^=== '
