@@ -14,7 +14,13 @@ package abg
 import (
 	"testing"
 
+	"abg/internal/alloc"
+	"abg/internal/core"
 	"abg/internal/experiments"
+	"abg/internal/job"
+	"abg/internal/sim"
+	"abg/internal/workload"
+	"abg/internal/xrand"
 )
 
 // benchConfig is the reduced machine used by the benchmarks: same structure
@@ -258,6 +264,80 @@ func BenchmarkAblationAdaptiveQuantum(b *testing.B) {
 	b.ReportMetric(res.Quanta[2], "actions-adaptive")
 	b.ReportMetric(res.Quanta[1], "actions-fixed-long")
 	b.ReportMetric(res.Waste[2], "waste-adaptive")
+}
+
+// engineWithJobs builds a loaded incremental engine: n random fork-join
+// jobs submitted at quantum 0 on a P×L machine under dynamic
+// equi-partitioning (the abgd service configuration, scaled down).
+func engineWithJobs(b *testing.B, n, p, l int) *sim.Engine {
+	b.Helper()
+	scheduler := core.NewABG(0.2)
+	eng, err := sim.NewEngine(sim.MultiConfig{
+		P: p, L: l, Allocator: alloc.DynamicEquiPartition{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		profile := workload.GenJob(xrand.New(2008+uint64(i)), workload.ScaledJobParams(20, l, 4))
+		_, err := eng.Submit(sim.JobSpec{
+			Inst:   job.NewRun(profile),
+			Policy: scheduler.NewPolicy(),
+			Sched:  scheduler.TaskScheduler(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// BenchmarkEngineStep measures the incremental engine's quantum throughput —
+// the cost of one Engine.Step (boundary allocation + one quantum of
+// execution for every active job), which bounds how short abgd's wall-clock
+// tick can be. Each iteration is one quantum; the engine is rebuilt outside
+// the timer whenever the job set finishes.
+func BenchmarkEngineStep(b *testing.B) {
+	const jobs, p, l = 16, 64, 200
+	b.ReportAllocs()
+	eng := engineWithJobs(b, jobs, p, l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng.Done() {
+			b.StopTimer()
+			eng = engineWithJobs(b, jobs, p, l)
+			b.StartTimer()
+		}
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSubmit measures mid-run job submission — the admission path
+// a live daemon exercises on every POST — against an engine already loaded
+// with running jobs.
+func BenchmarkEngineSubmit(b *testing.B) {
+	const p, l = 64, 200
+	scheduler := core.NewABG(0.2)
+	profile := workload.ConstantJob(8, 4, l)
+	eng := engineWithJobs(b, 8, p, l)
+	if _, err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Submit(sim.JobSpec{
+			Inst:    job.NewRun(profile),
+			Policy:  scheduler.NewPolicy(),
+			Sched:   scheduler.TaskScheduler(),
+			Release: eng.Now(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblationWorkStealing contrasts the centralized schedulers with

@@ -1,0 +1,98 @@
+// Command abgd runs the ABG two-level scheduler as a long-lived service: an
+// incremental simulation engine driven on a quantum clock, fed through an
+// HTTP/JSON job-submission API.
+//
+//	abgd -addr :7133 -P 128 -L 1000 -clock wall -tick 100ms
+//	abgd -addr :7133 -clock virtual            # fast-forward (load tests, CI)
+//
+// Submit jobs and watch the scheduler live:
+//
+//	curl -d '{"kind":"batch","count":8,"seed":42}' localhost:7133/api/v1/jobs
+//	curl localhost:7133/api/v1/jobs/0          # request/allotment/history
+//	curl localhost:7133/api/v1/state           # scheduler-wide snapshot
+//	curl -N localhost:7133/api/v1/events       # SSE instrumentation stream
+//	curl -X POST 'localhost:7133/api/v1/drain?wait=1'
+//
+// SIGINT/SIGTERM drain gracefully: admission closes (503), accepted jobs run
+// to completion at fast-forward speed, then the listener shuts down. A
+// second signal kills the process. Fault injection (-fault) arms the same
+// deterministic perturbation layer as the batch tools, with the runtime
+// invariant checker audited at exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"abg/internal/cli"
+	"abg/internal/obs"
+	"abg/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7133", "HTTP listen address")
+		p         = flag.Int("P", 128, "machine size (processors)")
+		l         = flag.Int("L", 1000, "quantum length (steps)")
+		schedName = flag.String("scheduler", "abg", "scheduler: abg | agreedy")
+		r         = flag.Float64("r", 0.2, "ABG convergence rate in [0,1)")
+		rho       = flag.Float64("rho", 2, "A-Greedy multiplicative factor (>1)")
+		delta     = flag.Float64("delta", 0.8, "A-Greedy utilization threshold in (0,1)")
+		clock     = flag.String("clock", "wall", "quantum clock: wall (one boundary per tick) | virtual (fast-forward)")
+		tick      = flag.Duration("tick", 100*time.Millisecond, "wall-clock duration of one quantum (wall mode)")
+		queue     = flag.Int("queue", 4096, "admission queue bound (excess submissions get 429)")
+		seed      = flag.Uint64("seed", 2008, "default workload seed for submissions without one")
+		faultSpec = flag.String("fault", "", `fault-injection spec, e.g. "drop=0.3,cap=churn:0.5:16,seed=7" (see internal/fault)`)
+		logSpec   = flag.String("log", "info", `log levels: "info" or "info,server=debug,events=debug"`)
+		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. :6060)")
+		version   = cli.VersionFlag()
+	)
+	flag.Parse()
+	cli.ExitIfVersion("abgd", *version)
+
+	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
+		fatal(err)
+	}
+
+	bus := obs.NewBus()
+	if *debugAddr != "" {
+		bus.Subscribe(obs.NewMetricsSubscriber(obs.Default))
+		dbg, err := obs.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "[debug server on http://%s]\n", dbg.Addr())
+	}
+
+	srv, err := server.New(server.Config{
+		Addr: *addr, P: *p, L: *l,
+		Scheduler: *schedName, R: *r, Rho: *rho, Delta: *delta,
+		Clock: server.ClockMode(*clock), Tick: *tick,
+		QueueLimit: *queue, FaultSpec: *faultSpec, Seed: *seed,
+		Bus: bus,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := srv.Start(ctx); err != nil {
+		fatal(err)
+	}
+	// The tests (and scripts) parse this line to find a :0-assigned port.
+	fmt.Fprintf(os.Stderr, "abgd listening on http://%s\n", srv.Addr())
+
+	if err := srv.Wait(); err != nil {
+		fatal(err)
+	}
+	cli.Interrupted(ctx, os.Stderr, "abgd")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "abgd: %v\n", err)
+	os.Exit(1)
+}

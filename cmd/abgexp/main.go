@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"abg/internal/chart"
+	"abg/internal/cli"
 	"abg/internal/experiments"
 	"abg/internal/obs"
 	"abg/internal/stats"
@@ -37,11 +38,15 @@ func main() {
 		logSpec   = flag.String("log", "", `log levels, e.g. "info" or "info,experiments=debug" (default warn)`)
 		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. :6060) during the run")
 		metricsOn = flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
+		version   = cli.VersionFlag()
 	)
 	flag.Parse()
+	cli.ExitIfVersion("abgexp", *version)
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fatalf("%v", err)
 	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr, nil)
 		if err != nil {
@@ -248,6 +253,9 @@ func main() {
 		if err := obs.Default.WriteSnapshot(os.Stderr); err != nil {
 			fatalf("%v", err)
 		}
+	}
+	if cli.Interrupted(ctx, os.Stderr, "abgexp") {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,382 @@
+// Command abgload is a closed-loop load generator for abgd: concurrent
+// clients submit jobs over the HTTP API, each waiting for its job to
+// complete before claiming the next, and the run reports submission
+// throughput, HTTP response-time percentiles, scheduler response times, and
+// request-loop convergence.
+//
+//	abgload -selftest                       # boot ABG and A-Greedy daemons
+//	                                        # in-process and compare them
+//	abgload -addr localhost:7133 -jobs 500  # hammer an external daemon
+//
+// The selftest is also the service smoke: it fails (exit 1) unless every
+// submission is acknowledged, every job runs to completion with a coherent
+// status, no response is corrupted, and the drain completes cleanly.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abg/internal/cli"
+	"abg/internal/obs"
+	"abg/internal/server"
+	"abg/internal/stats"
+	"abg/internal/table"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "address of a running abgd (host:port); empty with -selftest boots daemons in-process")
+		selftest = flag.Bool("selftest", false, "boot ABG and A-Greedy daemons in-process (virtual clock) and compare")
+		jobs     = flag.Int("jobs", 1000, "total jobs to submit")
+		clients  = flag.Int("clients", 16, "concurrent closed-loop clients")
+		kind     = flag.String("kind", "batch", "job kind: fullPar | serial | batch | adversarial")
+		width    = flag.Int("width", 16, "width for fullPar/adversarial jobs")
+		quanta   = flag.Int("quanta", 4, "length in quanta for non-batch jobs")
+		cl       = flag.Int("cl", 20, "transition factor for batch jobs")
+		shrink   = flag.Int("shrink", 8, "phase-length shrink for batch jobs")
+		p        = flag.Int("P", 64, "machine size for in-process daemons")
+		l        = flag.Int("L", 200, "quantum length for in-process daemons")
+		seed     = flag.Uint64("seed", 2008, "base workload seed (job i draws from seed+i)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		logSpec  = flag.String("log", "", `log levels for in-process daemons (default warn)`)
+		version  = cli.VersionFlag()
+	)
+	flag.Parse()
+	cli.ExitIfVersion("abgload", *version)
+
+	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
+		fatal(err)
+	}
+	if !*selftest && *addr == "" {
+		fatal(fmt.Errorf("need -addr of a running abgd, or -selftest"))
+	}
+	if *jobs < 1 || *clients < 1 {
+		fatal(fmt.Errorf("need -jobs >= 1 and -clients >= 1"))
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	spec := server.JobRequest{
+		Kind: *kind, Width: *width, Quanta: *quanta, CL: *cl, Shrink: *shrink,
+	}
+	run := runConfig{jobs: *jobs, clients: *clients, spec: spec, seed: *seed}
+
+	failed := false
+	if *selftest {
+		for _, schedName := range []string{"abg", "agreedy"} {
+			rep, err := runAgainstInProcess(ctx, schedName, *p, *l, run)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "abgload: %s: %v\n", schedName, err)
+				failed = true
+				continue
+			}
+			rep.render(os.Stdout)
+		}
+	} else {
+		rep, err := drive(ctx, "http://"+strings.TrimPrefix(*addr, "http://"), "abgd@"+*addr, run, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abgload: %v\n", err)
+			failed = true
+		} else {
+			rep.render(os.Stdout)
+		}
+	}
+	if cli.Interrupted(ctx, os.Stderr, "abgload") || failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "abgload: %v\n", err)
+	os.Exit(2)
+}
+
+// runConfig is one load run: the job template and the closed-loop shape.
+type runConfig struct {
+	jobs    int
+	clients int
+	spec    server.JobRequest
+	seed    uint64
+}
+
+// runAgainstInProcess boots a virtual-clock daemon with the given scheduler
+// on a loopback port, drives the load against it, and drains it.
+func runAgainstInProcess(ctx context.Context, schedName string, p, l int, run runConfig) (*report, error) {
+	srv, err := server.New(server.Config{
+		Addr: "127.0.0.1:0", P: p, L: l,
+		Scheduler: schedName, Clock: server.ClockVirtual,
+		QueueLimit: run.jobs + run.clients,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
+	if err := srv.Start(srvCtx); err != nil {
+		return nil, err
+	}
+	rep, driveErr := drive(ctx, "http://"+srv.Addr(), schedName, run, srv)
+	if err := srv.Wait(); err != nil {
+		return nil, fmt.Errorf("daemon did not drain cleanly: %w", err)
+	}
+	return rep, driveErr
+}
+
+// jobStatus mirrors the daemon's per-job status JSON (the fields the load
+// generator validates).
+type jobStatus struct {
+	ID             int     `json:"id"`
+	State          string  `json:"state"`
+	Response       int64   `json:"response"`
+	Work           int64   `json:"work"`
+	Request        float64 `json:"request"`
+	Parallelism    float64 `json:"parallelism"`
+	NumQuanta      int     `json:"numQuanta"`
+	DeprivedQuanta int     `json:"deprivedQuanta"`
+}
+
+// submitAck mirrors the daemon's 202 body.
+type submitAck struct {
+	IDs []int `json:"ids"`
+}
+
+// daemonState mirrors the fields of /api/v1/state the report uses.
+type daemonState struct {
+	Scheduler  string `json:"scheduler"`
+	Completed  int    `json:"completed"`
+	Makespan   int64  `json:"makespan"`
+	TotalWaste int64  `json:"totalWaste"`
+	SSEDropped int64  `json:"sseDropped"`
+}
+
+// report aggregates one load run.
+type report struct {
+	label        string
+	state        daemonState
+	wall         time.Duration
+	submitted    int64
+	retried429   int64
+	submitMS     []float64 // POST round-trip, ms
+	statusMS     []float64 // GET round-trip, ms
+	responses    []float64 // scheduler response times, steps
+	deprivedFrac []float64 // per-job deprived-quanta fraction
+	polls        int64
+}
+
+// drive runs the closed loop against base. srv, when non-nil, is the
+// in-process daemon to drain via its API (selftest mode); for external
+// daemons the drain request is skipped so abgload can be re-run.
+func drive(ctx context.Context, base, label string, run runConfig, srv *server.Server) (*report, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	rep := &report{label: label}
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex // guards the rep slices
+		wg      sync.WaitGroup
+		firstMu sync.Mutex
+		firstEr error
+	)
+	fail := func(err error) {
+		firstMu.Lock()
+		if firstEr == nil {
+			firstEr = err
+		}
+		firstMu.Unlock()
+	}
+	start := time.Now()
+	for c := 0; c < run.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= run.jobs || ctx.Err() != nil {
+					return
+				}
+				if err := runOne(ctx, client, base, run, int(i), rep, &mu); err != nil {
+					fail(fmt.Errorf("job %d: %w", i, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.wall = time.Since(start)
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if got := rep.submitted; got != int64(run.jobs) {
+		return nil, fmt.Errorf("submitted %d of %d jobs", got, run.jobs)
+	}
+
+	// Drain the in-process daemon through its own API and snapshot the end
+	// state: every accepted job must be completed.
+	if srv != nil {
+		resp, err := client.Post(base+"/api/v1/drain?wait=1", "", nil)
+		if err != nil {
+			return nil, fmt.Errorf("drain: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err := getJSON(ctx, client, base+"/api/v1/state", &rep.state); err != nil {
+			return nil, err
+		}
+		if rep.state.Completed != run.jobs {
+			return nil, fmt.Errorf("daemon completed %d of %d jobs", rep.state.Completed, run.jobs)
+		}
+	} else if err := getJSON(ctx, client, base+"/api/v1/state", &rep.state); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runOne is one closed-loop iteration: submit job i, wait for completion,
+// validate the final status.
+func runOne(ctx context.Context, client *http.Client, base string, run runConfig, i int, rep *report, mu *sync.Mutex) error {
+	spec := run.spec
+	spec.Name = fmt.Sprintf("load-%d", i)
+	spec.Seed = run.seed + uint64(i)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+
+	// Submit, backing off on 429: backpressure is an expected answer under
+	// overload, not a failure.
+	var id int
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		if resp.StatusCode == http.StatusTooManyRequests {
+			atomic.AddInt64(&rep.retried429, 1)
+			select {
+			case <-time.After(time.Duration(1+attempt) * 5 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)
+		}
+		var ack submitAck
+		if err := json.Unmarshal(raw, &ack); err != nil || len(ack.IDs) != 1 {
+			return fmt.Errorf("corrupt submit ack %q", raw)
+		}
+		id = ack.IDs[0]
+		atomic.AddInt64(&rep.submitted, 1)
+		mu.Lock()
+		rep.submitMS = append(rep.submitMS, ms)
+		mu.Unlock()
+		break
+	}
+
+	// Closed loop: poll this job until the scheduler finishes it.
+	url := fmt.Sprintf("%s/api/v1/jobs/%d", base, id)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		var st jobStatus
+		if err := getJSON(ctx, client, url, &st); err != nil {
+			return err
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		atomic.AddInt64(&rep.polls, 1)
+		mu.Lock()
+		rep.statusMS = append(rep.statusMS, ms)
+		mu.Unlock()
+		if st.ID != id {
+			return fmt.Errorf("corrupt status: asked for %d, got %d", id, st.ID)
+		}
+		if st.State == "done" {
+			if st.Work <= 0 || st.Response <= 0 || st.NumQuanta < 0 {
+				return fmt.Errorf("corrupt final status %+v", st)
+			}
+			mu.Lock()
+			rep.responses = append(rep.responses, float64(st.Response))
+			if st.NumQuanta > 0 {
+				rep.deprivedFrac = append(rep.deprivedFrac, float64(st.DeprivedQuanta)/float64(st.NumQuanta))
+			}
+			mu.Unlock()
+			return nil
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// getJSON fetches url into out.
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// render prints the run's report.
+func (r *report) render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s (scheduler %s) ===\n", r.label, r.state.Scheduler)
+	sub := stats.Summarize(r.submitMS)
+	sta := stats.Summarize(r.statusMS)
+	resp := stats.Summarize(r.responses)
+	depr := stats.Summarize(r.deprivedFrac)
+
+	tb := table.New("metric", "value")
+	tb.AddRowf("jobs completed", len(r.responses))
+	tb.AddRowf("wall time", r.wall.Round(time.Millisecond))
+	tb.AddRowf("throughput (jobs/s)", float64(r.submitted)/r.wall.Seconds())
+	tb.AddRowf("429 retries", r.retried429)
+	tb.AddRowf("status polls", r.polls)
+	tb.AddRowf("submit ms p50/p90/max", fmt.Sprintf("%.2f / %.2f / %.2f", sub.Median, sub.P90, sub.Max))
+	tb.AddRowf("status ms p50/p90/max", fmt.Sprintf("%.2f / %.2f / %.2f", sta.Median, sta.P90, sta.Max))
+	tb.AddRowf("response steps mean/p90", fmt.Sprintf("%.0f / %.0f", resp.Mean, resp.P90))
+	tb.AddRowf("deprived-quanta fraction", fmt.Sprintf("%.3f", depr.Mean))
+	tb.AddRowf("makespan (steps)", r.state.Makespan)
+	tb.AddRowf("total waste", r.state.TotalWaste)
+	tb.AddRowf("sse dropped", r.state.SSEDropped)
+	tb.Render(w)
+	fmt.Fprintln(w)
+}

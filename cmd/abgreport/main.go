@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"abg/internal/cli"
 	"abg/internal/obs"
 	"abg/internal/report"
 )
@@ -25,12 +26,16 @@ func main() {
 		sections = flag.String("sections", "", "comma-separated subset (default: all): "+
 			strings.Join(report.KnownSections(), ","))
 		logSpec = flag.String("log", "", `log levels, e.g. "info" or "info,experiments=debug" (default warn)`)
+		version = cli.VersionFlag()
 	)
 	flag.Parse()
+	cli.ExitIfVersion("abgreport", *version)
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "abgreport: %v\n", err)
 		os.Exit(2)
 	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	opts := report.Options{
 		Seed:  *seed,
@@ -42,6 +47,9 @@ func main() {
 	}
 	if err := report.Generate(os.Stdout, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "abgreport: %v\n", err)
+		os.Exit(1)
+	}
+	if cli.Interrupted(ctx, os.Stderr, "abgreport") {
 		os.Exit(1)
 	}
 }

@@ -23,11 +23,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"abg/internal/alloc"
+	"abg/internal/cli"
 	"abg/internal/core"
 	"abg/internal/fault"
 	"abg/internal/job"
@@ -61,13 +63,17 @@ func main() {
 		metricsOn = flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
 		repeat    = flag.Int("repeat", 1, "run the simulation this many times (profiling aid with -debug-addr)")
 		faultSpec = flag.String("fault", "", `fault-injection spec, e.g. "drop=0.3,cap=step:0.5@30,seed=7" (see internal/fault)`)
+		version   = cli.VersionFlag()
 	)
 	flag.Parse()
+	cli.ExitIfVersion("abgsim", *version)
 
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
 		os.Exit(2)
 	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	machine := core.Machine{P: *p, L: *l}
 	var scheduler core.Scheduler
@@ -125,9 +131,9 @@ func main() {
 	}
 
 	if *jobsN > 1 {
-		runJobSet(machine, scheduler, bus, plan, profileAt, *jobsN, *release, *perfetto, *showTrace, *repeat)
+		runJobSet(ctx, machine, scheduler, bus, plan, profileAt, *jobsN, *release, *perfetto, *showTrace, *repeat)
 	} else {
-		runSingleJob(machine, scheduler, bus, plan, profileAt(0), *avail, *perfetto, *showTrace, *repeat)
+		runSingleJob(ctx, machine, scheduler, bus, plan, profileAt(0), *avail, *perfetto, *showTrace, *repeat)
 	}
 
 	if *metricsOn {
@@ -146,8 +152,9 @@ func main() {
 }
 
 // runSingleJob runs one job alone on the machine repeat times and reports
-// the final run.
-func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
+// the final run. An interrupt (ctx) stops between repeats, after at least
+// one complete run.
+func runSingleJob(ctx context.Context, machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 	plan fault.Plan, profile *job.Profile, avail int, perfetto string, showTrace bool, repeat int) {
 
 	run := func() (sim.SingleResult, error) {
@@ -180,6 +187,9 @@ func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
 			os.Exit(1)
+		}
+		if i+1 < repeat && cli.Interrupted(ctx, os.Stderr, "abgsim") {
+			break
 		}
 	}
 
@@ -225,8 +235,9 @@ func runSingleJob(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 }
 
 // runJobSet space-shares n jobs released spacing steps apart and reports the
-// final run of the set.
-func runJobSet(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
+// final run of the set. An interrupt (ctx) stops between repeats, after at
+// least one complete run.
+func runJobSet(ctx context.Context, machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 	plan fault.Plan, profileAt func(int) *job.Profile, n int, spacing int64,
 	perfetto string, showTrace bool, repeat int) {
 
@@ -267,6 +278,9 @@ func runJobSet(machine core.Machine, scheduler core.Scheduler, bus *obs.Bus,
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abgsim: %v\n", err)
 			os.Exit(1)
+		}
+		if i+1 < repeat && cli.Interrupted(ctx, os.Stderr, "abgsim") {
+			break
 		}
 	}
 

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"abg/internal/cli"
 	"abg/internal/core"
 	"abg/internal/job"
 	"abg/internal/obs"
@@ -22,7 +23,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// The run is one short simulation; the signal context makes the first
+	// SIGINT/SIGTERM mark the exit non-zero (and restores the default
+	// disposition, so a second signal kills a wedged process).
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	code := run(os.Args[1:], os.Stdout, os.Stderr)
+	if code == 0 && cli.Interrupted(ctx, os.Stderr, "abgtrace") {
+		code = 1
+	}
+	os.Exit(code)
 }
 
 // run is main with its dependencies injected, so the flag-validation and
@@ -43,9 +53,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Uint64("seed", 2008, "workload seed")
 		format    = fs.String("format", "csv", "output format: csv | json | perfetto")
 		logSpec   = fs.String("log", "", `log levels, e.g. "info" or "info,sim=debug" (default warn)`)
+		version   = cli.VersionFlagSet(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, cli.VersionLine("abgtrace"))
+		return 0
 	}
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fmt.Fprintf(stderr, "abgtrace: %v\n", err)

@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"abg/internal/cli"
 	"abg/internal/obs"
 	"abg/internal/validate"
 )
@@ -24,25 +25,33 @@ func main() {
 		p       = flag.Int("P", 128, "machine size")
 		l       = flag.Int("L", 200, "quantum length")
 		logSpec = flag.String("log", "", `log levels, e.g. "info" or "info,validate=debug" (default warn)`)
+		version = cli.VersionFlag()
 	)
 	flag.Parse()
+	cli.ExitIfVersion("abgvalidate", *version)
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "abgvalidate: %v\n", err)
 		os.Exit(2)
 	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	opts := validate.Options{Seed: *seed, Trials: *trials, P: *p, L: *l}
 	start := time.Now()
-	checks := validate.All(opts)
-	ok := true
-	for _, c := range checks {
+	ok, ran := true, 0
+	for _, check := range validate.Named {
+		if ctx.Err() != nil {
+			break // interrupted: report what finished, exit non-zero
+		}
+		c := check.Run(opts)
 		fmt.Println(c)
+		ran++
 		if !c.Passed {
 			ok = false
 		}
 	}
-	fmt.Fprintf(os.Stderr, "[%d checks in %v]\n", len(checks), time.Since(start).Round(time.Millisecond))
-	if !ok {
+	fmt.Fprintf(os.Stderr, "[%d checks in %v]\n", ran, time.Since(start).Round(time.Millisecond))
+	if cli.Interrupted(ctx, os.Stderr, "abgvalidate") || !ok {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestVersionLine(t *testing.T) {
+	if Version == "" {
+		t.Fatal("Version is empty")
+	}
+	line := VersionLine("abgd")
+	if !strings.HasPrefix(line, "abgd "+Version) || !strings.Contains(line, "go") {
+		t.Fatalf("VersionLine = %q", line)
+	}
+}
+
+func TestSignalContextCancelsOnSigint(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by SIGINT")
+	}
+	if !Interrupted(ctx, &strings.Builder{}, "test") {
+		t.Fatal("Interrupted() = false after cancellation")
+	}
+}

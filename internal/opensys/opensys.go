@@ -5,9 +5,11 @@
 // behaviour: mean response time as a function of the offered load, with the
 // characteristic blow-up as the load approaches saturation.
 //
-// The engine reuses sim.RunMulti by materialising the arrival process up
-// front (deterministically from a seed), running the whole trace, and
-// discarding a warm-up prefix when reporting.
+// The run feeds the incremental sim.Engine: the arrival process is drawn
+// deterministically from a seed, each arrival is submitted to the engine,
+// and the engine is stepped to completion, with a warm-up prefix discarded
+// when reporting. (A live, continuously-fed variant of the same engine is
+// what abg/internal/server serves over HTTP.)
 package opensys
 
 import (
@@ -120,9 +122,18 @@ func Run(cfg Config) (Result, error) {
 			Sched:   cfg.Scheduler,
 		}
 	}
-	mres, err := sim.RunMulti(specs, sim.MultiConfig{
+	eng, err := sim.NewEngine(sim.MultiConfig{
 		P: cfg.P, L: cfg.L, Allocator: alloc.DynamicEquiPartition{},
 	})
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range specs {
+		if _, err := eng.Submit(specs[i]); err != nil {
+			return Result{}, err
+		}
+	}
+	mres, err := eng.Run()
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"abg/internal/job"
+	"abg/internal/sim"
+)
+
+// drive is the quantum clock: the single goroutine that advances the engine.
+// All engine mutation happens here (and in the admission step it performs),
+// serialised with the HTTP handlers by s.mu.
+//
+// Wall mode executes one quantum boundary per cfg.Tick of real time — idle
+// boundaries advance simulated time just like busy ones, so sim time tracks
+// wall time. Virtual mode fast-forwards: it steps back-to-back while jobs
+// are in flight and parks (no time passes) while the system is empty, which
+// is what load tests and CI smokes want.
+//
+// Cancelling ctx — the SIGTERM path — switches to draining: admission stops,
+// every queued job is admitted, and the engine fast-forwards to completion
+// regardless of clock mode. The drained channel closes last, releasing
+// Server.Wait and any /api/v1/drain?wait=1 callers.
+func (s *Server) drive(ctx context.Context) {
+	var tick *time.Ticker
+	if s.cfg.Clock == ClockWall {
+		tick = time.NewTicker(s.cfg.Tick)
+		defer tick.Stop()
+	}
+	for {
+		if s.draining.Load() {
+			break
+		}
+		switch s.cfg.Clock {
+		case ClockWall:
+			select {
+			case <-ctx.Done():
+				s.Drain()
+			case <-tick.C:
+				s.stepOnce(true)
+			case <-s.wake:
+				// Admission still waits for the boundary; the wake only
+				// re-checks the draining flag.
+			}
+		default: // virtual
+			if s.hasWork() {
+				s.stepOnce(false)
+				continue
+			}
+			select {
+			case <-ctx.Done():
+				s.Drain()
+			case <-s.wake:
+			}
+		}
+	}
+	s.drain()
+	s.hub.closeAll()
+	close(s.drained)
+	s.log.Info("drain complete", "jobs", s.snapshotJobs())
+}
+
+// hasWork reports whether the engine has unfinished jobs or the admission
+// queue is non-empty.
+func (s *Server) hasWork() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.eng.Done() || len(s.queue) > 0
+}
+
+// snapshotJobs returns the number of jobs the engine has completed.
+func (s *Server) snapshotJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, st := range s.eng.Statuses() {
+		if st.State == sim.JobDone {
+			n++
+		}
+	}
+	return n
+}
+
+// stepOnce admits everything queued at the current boundary and advances the
+// engine one quantum. idleOK selects whether an empty system still consumes
+// a boundary (wall clock: yes, time passes; virtual clock: no).
+func (s *Server) stepOnce(idleOK bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return
+	}
+	s.admitLocked()
+	if !idleOK && s.eng.Done() {
+		return
+	}
+	if _, err := s.eng.Step(); err != nil {
+		s.failLocked(err)
+	}
+}
+
+// admitLocked hands every queued job to the engine at the current boundary.
+// Queue order is submission order, and the engine assigns ids sequentially,
+// so the engine's id for each job must equal the id the submission handler
+// promised the client; any divergence is a server bug worth dying loudly
+// over.
+func (s *Server) admitLocked() {
+	for _, p := range s.queue {
+		spec := s.jobSpec(p)
+		id, err := s.eng.Submit(spec)
+		if err != nil {
+			s.failLocked(fmt.Errorf("admit job %d: %w", p.id, err))
+			return
+		}
+		if id != p.id {
+			s.failLocked(fmt.Errorf("job id skew: engine assigned %d, promised %d", id, p.id))
+			return
+		}
+	}
+	s.queue = s.queue[:0]
+}
+
+// jobSpec builds the engine-facing spec for one queued job: a fresh instance
+// and policy, the control channel wrapped by the fault plan, and the plan's
+// restart schedule (rebuilding restarted attempts from the same profile).
+func (s *Server) jobSpec(p pendingJob) sim.JobSpec {
+	spec := sim.JobSpec{
+		Name:    p.name,
+		Inst:    job.NewRun(p.profile),
+		Policy:  s.plan.Policy(s.sched.NewPolicy(), p.id, s.bus),
+		Sched:   s.sched.TaskScheduler(),
+		Release: s.eng.Now(),
+	}
+	if at := s.plan.RestartHook(p.id); at != nil {
+		profile := p.profile
+		spec.Restart = &sim.RestartPlan{
+			At:  at,
+			New: func() job.Instance { return job.NewRun(profile) },
+			Max: s.plan.MaxRestarts,
+		}
+	}
+	return spec
+}
+
+// failLocked records the first fatal engine error and forces a drain so the
+// daemon shuts down instead of serving a wedged scheduler. Caller holds s.mu.
+func (s *Server) failLocked(err error) {
+	if s.fatal == nil {
+		s.fatal = err
+		s.log.Error("engine failed", "err", err)
+	}
+	s.draining.Store(true)
+	s.notify()
+}
+
+// drain admits the remaining queue and fast-forwards the engine until every
+// accepted job has completed. Runs on the driver goroutine after the main
+// loop exits; admission is already closed, so the queue cannot grow.
+func (s *Server) drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return
+	}
+	s.admitLocked() // flush the queue before the engine closes admission
+	s.eng.Drain()
+	for !s.eng.Done() {
+		if _, err := s.eng.Step(); err != nil {
+			s.failLocked(err)
+			return
+		}
+	}
+}

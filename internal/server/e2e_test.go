@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"abg/internal/alloc"
+	"abg/internal/core"
+	"abg/internal/job"
+	"abg/internal/sim"
+)
+
+// TestE2EVirtualMatchesBatch is the end-to-end correctness smoke: a batch of
+// jobs submitted to a live virtual-clock daemon must finish with exactly the
+// response times the batch simulator computes for the same job set. All jobs
+// of one request are admitted at the same boundary T0, and with a stateless
+// allocator and no capacity model the engine is shift-invariant in time, so
+// the daemon's outcome at release T0 equals the batch outcome at release 0.
+func TestE2EVirtualMatchesBatch(t *testing.T) {
+	const (
+		jobs = 8
+		p    = 16
+		l    = 100
+		seed = 42
+	)
+	_, base := startServer(t, Config{P: p, L: l, Clock: ClockVirtual, Scheduler: "abg"})
+
+	req := JobRequest{Kind: "batch", Count: jobs, Seed: seed, CL: 20, Shrink: 4}
+	if code, ack, _ := postJobs(t, base, req); code != http.StatusAccepted || len(ack.IDs) != jobs {
+		t.Fatalf("submit failed: %d %v", code, ack)
+	}
+	resp, err := http.Post(base+"/api/v1/drain?wait=1", "", nil)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp.Body.Close()
+
+	var live []jobStatusDTO
+	getJSON(t, base+"/api/v1/jobs", &live)
+	if len(live) != jobs {
+		t.Fatalf("daemon has %d jobs, want %d", len(live), jobs)
+	}
+	t0 := live[0].Release
+
+	// Replay the same workload in the batch simulator: BuildProfile is
+	// deterministic in (seed, i), and the server defaults match.
+	if err := (&req).normalize(); err != nil {
+		t.Fatal(err)
+	}
+	scheduler := core.NewABG(0.2)
+	specs := make([]sim.JobSpec, jobs)
+	for i := range specs {
+		specs[i] = sim.JobSpec{
+			Name:    fmt.Sprintf("job%d", i),
+			Inst:    job.NewRun(req.BuildProfile(i, l)),
+			Policy:  scheduler.NewPolicy(),
+			Sched:   scheduler.TaskScheduler(),
+			Release: 0,
+		}
+	}
+	batch, err := sim.RunMulti(specs, sim.MultiConfig{
+		P: p, L: l, Allocator: alloc.DynamicEquiPartition{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var liveMakespan int64
+	for i, j := range live {
+		if j.State != "done" {
+			t.Fatalf("job %d not done: %+v", i, j)
+		}
+		if j.Release != t0 {
+			t.Fatalf("job %d released at %d, want common boundary %d", i, j.Release, t0)
+		}
+		b := batch.Jobs[i]
+		if j.Response != b.Response || j.Work != b.Work || j.NumQuanta != b.NumQuanta ||
+			j.Waste != b.Waste || j.DeprivedQuanta != b.DeprivedQ {
+			t.Fatalf("job %d diverges from batch run:\n live %+v\nbatch %+v", i, j, b)
+		}
+		if c := j.Completion - t0; c > liveMakespan {
+			liveMakespan = c
+		}
+	}
+	if liveMakespan != batch.Makespan {
+		t.Fatalf("live makespan %d (origin %d) != batch makespan %d", liveMakespan, t0, batch.Makespan)
+	}
+	var st stateDTO
+	getJSON(t, base+"/api/v1/state", &st)
+	if st.TotalWaste != batch.TotalWaste {
+		t.Fatalf("live total waste %d != batch %d", st.TotalWaste, batch.TotalWaste)
+	}
+}
+
+// TestE2EDaemonBinary exercises the real binary end to end: build cmd/abgd,
+// start it on a random port, submit work over HTTP, then SIGTERM it and
+// require a clean graceful drain (exit code 0).
+func TestE2EDaemonBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary build")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "abgd")
+	build := exec.Command(goBin, "build", "-o", bin, "abg/cmd/abgd")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin,
+		"-addr", "127.0.0.1:0", "-clock", "virtual", "-P", "16", "-L", "100")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start abgd: %v", err)
+	}
+
+	// The daemon announces its bound address on stderr.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = strings.TrimSpace(addr)
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		t.Fatalf("no listening line on stderr (err %v)", sc.Err())
+	}
+	go func() { // drain remaining stderr so the daemon never blocks on it
+		for sc.Scan() {
+		}
+	}()
+
+	body, _ := json.Marshal(JobRequest{Kind: "batch", Count: 4, Seed: 7})
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		cmd.Process.Kill()
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown on SIGTERM: accepted jobs drain, exit code 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("abgd did not exit cleanly after SIGTERM: %v", err)
+	}
+}
+
+// moduleRoot locates the repository root (where go.mod lives) so the binary
+// build runs in module mode regardless of the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not in a Go module")
+	}
+	return filepath.Dir(gomod)
+}

@@ -1,0 +1,620 @@
+// Package server is the service layer of the repository: a long-running
+// daemon (cmd/abgd) that exposes the two-level ABG scheduling framework as
+// a live system instead of a batch simulation. An incremental sim.Engine is
+// driven on a quantum clock — wall-time ticks or fast-forward virtual time —
+// while an HTTP/JSON API accepts workload-generator job submissions, serves
+// per-job scheduler state (request d(q), allotment a(q), measured A(q),
+// deprivation history), streams the quantum-boundary instrumentation events
+// over SSE, and snapshots the whole scheduler.
+//
+// Admission control is a bounded queue: submissions beyond the bound are
+// rejected with 429 so overload surfaces as backpressure, never as unbounded
+// memory. All jobs queued at a boundary are admitted together at that
+// boundary (arrivals mid-quantum become schedulable at the next boundary,
+// exactly as in the paper's model). Draining — via SIGTERM or POST
+// /api/v1/drain — stops admission, runs every accepted job to completion at
+// fast-forward speed, then shuts the listener down.
+//
+// The existing observability and robustness layers plug straight in: the
+// run's obs.Bus feeds the SSE hub, the per-job history recorder, optional
+// metrics, and — when a fault spec is configured — the invariant checker,
+// while the fault plan's capacity model, lossy control channel, and restart
+// schedules perturb the live engine the same way they perturb batch runs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abg/internal/alloc"
+	"abg/internal/cli"
+	"abg/internal/core"
+	"abg/internal/fault"
+	"abg/internal/job"
+	"abg/internal/obs"
+	"abg/internal/sim"
+)
+
+// ClockMode selects how quantum boundaries are paced.
+type ClockMode string
+
+const (
+	// ClockWall advances one quantum boundary per Tick of wall time — the
+	// live-service mode, where simulation time tracks real time.
+	ClockWall ClockMode = "wall"
+	// ClockVirtual advances boundaries as fast as the hardware allows
+	// whenever unfinished jobs exist, and parks when idle — the mode for
+	// load tests, CI smokes, and what-if replays.
+	ClockVirtual ClockMode = "virtual"
+)
+
+// Config configures a daemon instance.
+type Config struct {
+	// Addr is the listen address (e.g. ":7133", "127.0.0.1:0").
+	Addr string
+	// P and L are the machine parameters (processors, quantum length).
+	P, L int
+	// Scheduler selects the two-level scheduler: "abg" or "agreedy".
+	Scheduler string
+	// R is ABG's convergence rate; Rho/Delta are A-Greedy's parameters.
+	R, Rho, Delta float64
+	// Clock and Tick pace the quantum clock (Tick is wall mode only).
+	Clock ClockMode
+	Tick  time.Duration
+	// QueueLimit bounds the admission queue; a submission that would push
+	// the queue past it is rejected with 429.
+	QueueLimit int
+	// FaultSpec optionally arms the fault-injection layer (fault.ParseSpec
+	// grammar); the invariant checker is subscribed whenever it is set.
+	FaultSpec string
+	// Seed is the base seed for submissions that do not carry their own.
+	Seed uint64
+	// MaxQuanta caps one job set's boundaries (effectively unlimited when
+	// zero — a service bound, unlike the batch simulator's default).
+	MaxQuanta int
+	// Bus receives the run's instrumentation events; one is created when
+	// nil. The server always attaches its own subscribers (SSE, history).
+	Bus *obs.Bus
+}
+
+// normalize fills defaults and validates the configuration.
+func (c *Config) normalize() error {
+	if c.Addr == "" {
+		c.Addr = ":7133"
+	}
+	if c.P == 0 {
+		c.P = 128
+	}
+	if c.L == 0 {
+		c.L = 1000
+	}
+	if c.P < 1 || c.L < 1 {
+		return fmt.Errorf("server: invalid machine P=%d L=%d", c.P, c.L)
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "abg"
+	}
+	if c.Scheduler != "abg" && c.Scheduler != "agreedy" {
+		return fmt.Errorf("server: unknown scheduler %q (want abg or agreedy)", c.Scheduler)
+	}
+	if c.R == 0 {
+		c.R = 0.2
+	}
+	if c.Rho == 0 {
+		c.Rho = 2
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.8
+	}
+	switch c.Clock {
+	case "":
+		c.Clock = ClockWall
+	case ClockWall, ClockVirtual:
+	default:
+		return fmt.Errorf("server: unknown clock mode %q (want wall or virtual)", c.Clock)
+	}
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 4096
+	}
+	if c.MaxQuanta <= 0 {
+		c.MaxQuanta = math.MaxInt - 1
+	}
+	if c.Bus == nil {
+		c.Bus = obs.NewBus()
+	}
+	return nil
+}
+
+// pendingJob is one admission-queue entry: a job that has been accepted but
+// not yet handed to the engine (that happens at the next quantum boundary).
+type pendingJob struct {
+	id      int
+	name    string
+	profile *job.Profile
+}
+
+// Server is a running abgd instance.
+type Server struct {
+	cfg   Config
+	sched core.Scheduler
+	plan  fault.Plan
+
+	bus     *obs.Bus
+	hub     *sseHub
+	hist    *history
+	checker *fault.Checker
+	log     *slog.Logger
+
+	mu     sync.Mutex
+	eng    *sim.Engine
+	queue  []pendingJob
+	nextID int
+	fatal  error
+
+	draining atomic.Bool
+	wake     chan struct{}
+	drained  chan struct{}
+	started  time.Time
+
+	ln   net.Listener
+	hsrv *http.Server
+}
+
+// New builds a server from the configuration. Call Start to bind and run.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	plan, err := fault.ParseSpec(cfg.FaultSpec, cfg.P)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var scheduler core.Scheduler
+	if cfg.Scheduler == "abg" {
+		scheduler = core.NewABG(cfg.R)
+	} else {
+		scheduler = core.NewAGreedy(cfg.Rho, cfg.Delta)
+	}
+	eng, err := sim.NewEngine(sim.MultiConfig{
+		P: cfg.P, L: cfg.L,
+		Allocator: alloc.DynamicEquiPartition{},
+		MaxQuanta: cfg.MaxQuanta,
+		Obs:       cfg.Bus,
+		Capacity:  plan.Capacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		sched:   scheduler,
+		plan:    plan,
+		bus:     cfg.Bus,
+		hub:     newSSEHub(),
+		hist:    newHistory(256),
+		log:     obs.Component("server"),
+		eng:     eng,
+		wake:    make(chan struct{}, 1),
+		drained: make(chan struct{}),
+	}
+	s.bus.Subscribe(s.hub)
+	s.bus.Subscribe(s.hist)
+	if cfg.FaultSpec != "" {
+		s.checker = fault.NewChecker(cfg.P, false)
+		s.bus.Subscribe(s.checker)
+	}
+	return s, nil
+}
+
+// Start binds the listener and launches the quantum-clock driver and the
+// HTTP server. Cancelling ctx initiates a graceful drain.
+func (s *Server) Start(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.started = time.Now()
+	s.hsrv = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
+	go s.drive(ctx)
+	go func() {
+		if err := s.hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.log.Error("http server failed", "err", err)
+		}
+	}()
+	s.log.Info("abgd listening",
+		"addr", ln.Addr().String(), "scheduler", s.sched.Name(),
+		"P", s.cfg.P, "L", s.cfg.L, "clock", string(s.cfg.Clock))
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Drain initiates a graceful drain: admission stops (submissions get 503),
+// accepted jobs run to completion at fast-forward speed, then the listener
+// shuts down. Idempotent; Wait blocks until the drain completes.
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.log.Info("drain initiated")
+	}
+	s.notify()
+}
+
+// Wait blocks until the server has fully drained, then shuts the HTTP
+// listener down and reports any fatal engine error or invariant violation.
+func (s *Server) Wait() error {
+	<-s.drained
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.hsrv.Shutdown(shutdownCtx); err != nil {
+		s.hsrv.Close()
+	}
+	s.mu.Lock()
+	err := s.fatal
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.checker != nil {
+		return s.checker.Err()
+	}
+	return nil
+}
+
+// notify wakes the driver loop (non-blocking).
+func (s *Server) notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// --- HTTP surface ---------------------------------------------------------
+
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/v1/state", s.handleState)
+	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
+	mux.HandleFunc("POST /api/v1/drain", s.handleDrain)
+	mux.HandleFunc("GET /api/v1/version", s.handleVersion)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorDTO is the uniform error body.
+type errorDTO struct {
+	Error string `json:"error"`
+}
+
+// submitResponse acknowledges an accepted submission.
+type submitResponse struct {
+	IDs    []int  `json:"ids"`
+	State  string `json:"state"`
+	Queued int    `json:"queued"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorDTO{"draining: admission closed"})
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{"bad request body: " + err.Error()})
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{err.Error()})
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = s.cfg.Seed
+	}
+	// Build the profiles outside the engine lock: generation cost must not
+	// stall the quantum clock.
+	profiles := make([]*job.Profile, req.Count)
+	for i := range profiles {
+		profiles[i] = req.BuildProfile(i, s.cfg.L)
+	}
+
+	s.mu.Lock()
+	if len(s.queue)+req.Count > s.cfg.QueueLimit {
+		depth := len(s.queue)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorDTO{
+			fmt.Sprintf("admission queue full (%d/%d)", depth, s.cfg.QueueLimit)})
+		return
+	}
+	ids := make([]int, req.Count)
+	for i := range profiles {
+		id := s.nextID
+		s.nextID++
+		ids[i] = id
+		s.queue = append(s.queue, pendingJob{
+			id: id, name: req.jobName(i, id), profile: profiles[i],
+		})
+	}
+	depth := len(s.queue)
+	s.mu.Unlock()
+	s.notify()
+	writeJSON(w, http.StatusAccepted, submitResponse{IDs: ids, State: "queued", Queued: depth})
+}
+
+// jobStatusDTO is the JSON wire form of one job's live status.
+type jobStatusDTO struct {
+	ID             int            `json:"id"`
+	Name           string         `json:"name"`
+	State          string         `json:"state"`
+	Release        int64          `json:"release"`
+	Completion     int64          `json:"completion,omitempty"`
+	Response       int64          `json:"response,omitempty"`
+	Work           int64          `json:"work"`
+	CriticalPath   int            `json:"criticalPath"`
+	Request        float64        `json:"request"`
+	IntRequest     int            `json:"intRequest"`
+	Allotment      int            `json:"allotment"`
+	Parallelism    float64        `json:"parallelism"`
+	Deprived       bool           `json:"deprived"`
+	NumQuanta      int            `json:"numQuanta"`
+	DeprivedQuanta int            `json:"deprivedQuanta"`
+	Restarts       int            `json:"restarts,omitempty"`
+	LostWork       int64          `json:"lostWork,omitempty"`
+	Waste          int64          `json:"waste"`
+	History        []historyEntry `json:"history,omitempty"`
+}
+
+// statusDTO converts an engine snapshot.
+func statusDTO(st sim.JobStatus) jobStatusDTO {
+	return jobStatusDTO{
+		ID: st.ID, Name: st.Name, State: st.State.String(),
+		Release: st.Release, Completion: st.Completion, Response: st.Response,
+		Work: st.Work, CriticalPath: st.CriticalPath,
+		Request: st.Request, IntRequest: st.IntRequest,
+		Allotment: st.Allotment, Parallelism: st.Parallelism,
+		Deprived: st.Deprived, NumQuanta: st.NumQuanta,
+		DeprivedQuanta: st.DeprivedQ, Restarts: st.Restarts,
+		LostWork: st.LostWork, Waste: st.Waste,
+	}
+}
+
+// lookupJob resolves a job id to its status: engine-owned, still queued, or
+// unknown.
+func (s *Server) lookupJob(id int) (jobStatusDTO, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.eng.JobStatus(id); ok {
+		return statusDTO(st), true
+	}
+	for _, p := range s.queue {
+		if p.id == id {
+			return jobStatusDTO{
+				ID: id, Name: p.name, State: "queued",
+				Work:         p.profile.Work(),
+				CriticalPath: p.profile.CriticalPathLen(),
+			}, true
+		}
+	}
+	return jobStatusDTO{}, false
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{"bad job id"})
+		return
+	}
+	dto, ok := s.lookupJob(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDTO{fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	dto.History = s.hist.get(id)
+	writeJSON(w, http.StatusOK, dto)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sts := s.eng.Statuses()
+	queued := make([]jobStatusDTO, 0, len(s.queue))
+	for _, p := range s.queue {
+		queued = append(queued, jobStatusDTO{
+			ID: p.id, Name: p.name, State: "queued",
+			Work: p.profile.Work(), CriticalPath: p.profile.CriticalPathLen(),
+		})
+	}
+	s.mu.Unlock()
+	out := make([]jobStatusDTO, 0, len(sts)+len(queued))
+	for _, st := range sts {
+		out = append(out, statusDTO(st))
+	}
+	out = append(out, queued...)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// stateDTO is the scheduler-wide snapshot served at /api/v1/state.
+type stateDTO struct {
+	Version       string  `json:"version"`
+	Scheduler     string  `json:"scheduler"`
+	P             int     `json:"p"`
+	L             int     `json:"l"`
+	Clock         string  `json:"clock"`
+	Draining      bool    `json:"draining"`
+	Boundary      int     `json:"boundary"`
+	Now           int64   `json:"now"`
+	QuantaElapsed int     `json:"quantaElapsed"`
+	Submitted     int     `json:"submitted"`
+	Queued        int     `json:"queued"`
+	Pending       int     `json:"pending"`
+	Running       int     `json:"running"`
+	Completed     int     `json:"completed"`
+	QueueLimit    int     `json:"queueLimit"`
+	Makespan      int64   `json:"makespan"`
+	TotalWaste    int64   `json:"totalWaste"`
+	MeanResponse  float64 `json:"meanResponse"`
+	SSEClients    int64   `json:"sseClients"`
+	SSEDropped    int64   `json:"sseDropped"`
+	Fault         string  `json:"fault,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	UptimeSec     float64 `json:"uptimeSec"`
+}
+
+// snapshot assembles the scheduler-wide state.
+func (s *Server) snapshot() stateDTO {
+	s.mu.Lock()
+	sts := s.eng.Statuses()
+	res := s.eng.Result()
+	st := stateDTO{
+		Version:       cli.Version,
+		Scheduler:     s.sched.Name(),
+		P:             s.cfg.P,
+		L:             s.cfg.L,
+		Clock:         string(s.cfg.Clock),
+		Draining:      s.draining.Load(),
+		Boundary:      s.eng.Boundary(),
+		Now:           s.eng.Now(),
+		QuantaElapsed: s.eng.QuantaElapsed(),
+		Submitted:     s.nextID,
+		Queued:        len(s.queue),
+		QueueLimit:    s.cfg.QueueLimit,
+		Makespan:      res.Makespan,
+		TotalWaste:    res.TotalWaste,
+	}
+	if s.fatal != nil {
+		st.Error = s.fatal.Error()
+	}
+	s.mu.Unlock()
+
+	var respSum int64
+	for _, j := range sts {
+		switch j.State {
+		case sim.JobPending:
+			st.Pending++
+		case sim.JobRunning:
+			st.Running++
+		case sim.JobDone:
+			st.Completed++
+			respSum += j.Response
+		}
+	}
+	if st.Completed > 0 {
+		st.MeanResponse = float64(respSum) / float64(st.Completed)
+	}
+	st.SSEClients = s.hub.n.Load()
+	st.SSEDropped = s.hub.dropped.Load()
+	if !s.plan.IsZero() {
+		st.Fault = s.plan.String()
+	}
+	if st.Error == "" && s.checker != nil {
+		if err := s.checker.Err(); err != nil {
+			st.Error = err.Error()
+		}
+	}
+	st.UptimeSec = time.Since(s.started).Seconds()
+	return st
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.Drain()
+	wait := r.URL.Query().Get("wait")
+	done := false
+	if wait == "1" || wait == "true" {
+		select {
+		case <-s.drained:
+			done = true
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"draining": true, "done": done})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"version":   cli.Version,
+		"go":        runtime.Version(),
+		"scheduler": s.sched.Name(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	err := s.fatal
+	s.mu.Unlock()
+	if err == nil && s.checker != nil {
+		err = s.checker.Err()
+	}
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorDTO{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleEvents streams the instrumentation event feed as Server-Sent
+// Events: every obs event of the live run as one `data:` JSON line. The
+// stream ends when the client disconnects or the server finishes draining.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorDTO{"streaming unsupported"})
+		return
+	}
+	ch, unsubscribe := s.hub.subscribe(1024)
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": abgd event stream (%s)\n\n", s.sched.Name())
+	flusher.Flush()
+	if ch == nil { // hub already closed (drained)
+		return
+	}
+	for {
+		select {
+		case b, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

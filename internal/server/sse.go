@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"abg/internal/obs"
+)
+
+// eventDTO is the JSON wire form of one obs.Event on the SSE stream.
+// Fields follow the event taxonomy; irrelevant ones are omitted.
+type eventDTO struct {
+	Kind        string  `json:"kind"`
+	Time        int64   `json:"time"`
+	Quantum     int     `json:"quantum,omitempty"`
+	Job         int     `json:"job"`
+	Name        string  `json:"name,omitempty"`
+	Request     float64 `json:"request,omitempty"`
+	IntRequest  int     `json:"intRequest,omitempty"`
+	Allotment   int     `json:"allotment,omitempty"`
+	P           int     `json:"p,omitempty"`
+	Steps       int     `json:"steps,omitempty"`
+	Work        int64   `json:"work,omitempty"`
+	Waste       int64   `json:"waste,omitempty"`
+	Response    int64   `json:"response,omitempty"`
+	Parallelism float64 `json:"parallelism,omitempty"`
+	Deprived    bool    `json:"deprived,omitempty"`
+	Completed   bool    `json:"completed,omitempty"`
+}
+
+// marshalEvent renders one instrumentation event as JSON.
+func marshalEvent(e obs.Event) []byte {
+	b, err := json.Marshal(eventDTO{
+		Kind: e.Kind.String(), Time: e.Time, Quantum: e.Quantum, Job: e.Job,
+		Name: e.Name, Request: e.Request, IntRequest: e.IntRequest,
+		Allotment: e.Allotment, P: e.P, Steps: e.Steps, Work: e.Work,
+		Waste: e.Waste, Response: e.Response, Parallelism: e.Parallelism,
+		Deprived: e.Deprived, Completed: e.Completed,
+	})
+	if err != nil { // a flat struct of scalars cannot fail to marshal
+		return []byte(`{"kind":"marshal_error"}`)
+	}
+	return b
+}
+
+// sseHub fans instrumentation events out to the connected SSE clients. It
+// subscribes to the run's obs bus, so OnEvent is called synchronously from
+// the simulation driver: sends are non-blocking, and a client that cannot
+// keep up loses events (counted in dropped) rather than stalling the
+// scheduler — backpressure never propagates into the quantum clock.
+type sseHub struct {
+	mu      sync.Mutex
+	clients map[chan []byte]struct{}
+	n       atomic.Int64 // len(clients), readable without the lock
+	dropped atomic.Int64
+	closed  bool
+}
+
+func newSSEHub() *sseHub {
+	return &sseHub{clients: make(map[chan []byte]struct{})}
+}
+
+// OnEvent implements obs.Subscriber. Marshalling happens once per event and
+// only while someone is listening.
+func (h *sseHub) OnEvent(e obs.Event) {
+	if h.n.Load() == 0 {
+		return
+	}
+	b := marshalEvent(e)
+	h.mu.Lock()
+	for ch := range h.clients {
+		select {
+		case ch <- b:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// subscribe registers a client and returns its event channel plus an
+// unsubscribe func. A nil channel is returned after the hub closed.
+func (h *sseHub) subscribe(buffer int) (<-chan []byte, func()) {
+	ch := make(chan []byte, buffer)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, func() {}
+	}
+	h.clients[ch] = struct{}{}
+	h.n.Store(int64(len(h.clients)))
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.clients[ch]; ok {
+				delete(h.clients, ch)
+				close(ch)
+			}
+			h.n.Store(int64(len(h.clients)))
+			h.mu.Unlock()
+		})
+	}
+}
+
+// closeAll disconnects every client (end of drain): their channels close,
+// which ends the streaming handlers so HTTP shutdown can complete.
+func (h *sseHub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for ch := range h.clients {
+		delete(h.clients, ch)
+		close(ch)
+	}
+	h.n.Store(0)
+}
+
+// history records each job's lifecycle transitions — admitted,
+// deprived↔satisfied flips, restarts, completion — from the event stream,
+// bounded per job so a long-lived daemon cannot grow without bound.
+type history struct {
+	mu    sync.Mutex
+	max   int
+	byJob map[int][]historyEntry
+}
+
+// historyEntry is one lifecycle transition of a job.
+type historyEntry struct {
+	Quantum int    `json:"quantum,omitempty"`
+	Time    int64  `json:"time"`
+	Event   string `json:"event"`
+}
+
+func newHistory(maxPerJob int) *history {
+	return &history{max: maxPerJob, byJob: make(map[int][]historyEntry)}
+}
+
+// OnEvent implements obs.Subscriber.
+func (h *history) OnEvent(e obs.Event) {
+	switch e.Kind {
+	case obs.EvJobAdmitted, obs.EvDeprived, obs.EvSatisfied,
+		obs.EvJobRestarted, obs.EvJobCompleted:
+	default:
+		return
+	}
+	if e.Job < 0 {
+		return
+	}
+	h.mu.Lock()
+	entries := h.byJob[e.Job]
+	if len(entries) >= h.max { // keep the newest transitions
+		copy(entries, entries[1:])
+		entries = entries[:len(entries)-1]
+	}
+	h.byJob[e.Job] = append(entries, historyEntry{
+		Quantum: e.Quantum, Time: e.Time, Event: e.Kind.String(),
+	})
+	h.mu.Unlock()
+}
+
+// get returns a copy of the job's transition history.
+func (h *history) get(job int) []historyEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]historyEntry(nil), h.byJob[job]...)
+}

@@ -105,191 +105,22 @@ func (r MultiResult) MeanResponse() float64 {
 	return float64(sum) / float64(len(r.Jobs))
 }
 
-// jobState is the engine's per-job bookkeeping.
-type jobState struct {
-	spec        *JobSpec
-	request     float64
-	started     bool
-	done        bool
-	deprived    bool
-	attemptWork int64 // work completed since the job's last (re)start
-}
-
 // RunMulti simulates the job set space-sharing P processors under the given
 // multi-job allocator, with synchronized quanta of length L. Allotments are
 // decided at every boundary from the current requests of all active jobs.
+// It is a thin wrapper over Engine: submit every spec, run to completion.
 func RunMulti(specs []JobSpec, cfg MultiConfig) (MultiResult, error) {
-	if cfg.P < 1 || cfg.L < 1 {
-		return MultiResult{}, fmt.Errorf("sim: invalid machine P=%d L=%d", cfg.P, cfg.L)
-	}
-	if cfg.Allocator == nil {
-		return MultiResult{}, fmt.Errorf("sim: nil allocator")
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return MultiResult{}, err
 	}
 	if len(specs) == 0 {
 		return MultiResult{}, fmt.Errorf("sim: empty job set")
 	}
-	maxQ := cfg.MaxQuanta
-	if maxQ <= 0 {
-		maxQ = DefaultMaxQuanta
-	}
-	res := MultiResult{Jobs: make([]JobOutcome, len(specs))}
-	states := make([]jobState, len(specs))
 	for i := range specs {
-		if specs[i].Inst == nil || specs[i].Policy == nil {
-			return MultiResult{}, fmt.Errorf("sim: job %d missing instance or policy", i)
-		}
-		states[i] = jobState{spec: &specs[i]}
-		res.Jobs[i] = JobOutcome{
-			Name:         specs[i].Name,
-			Release:      specs[i].Release,
-			Work:         specs[i].Inst.TotalWork(),
-			CriticalPath: specs[i].Inst.CriticalPathLen(),
+		if _, err := e.Submit(specs[i]); err != nil {
+			return MultiResult{}, err
 		}
 	}
-	remaining := len(specs)
-	L64 := int64(cfg.L)
-	capNow := -1 // last emitted effective capacity
-
-	// Reusable per-boundary scratch.
-	activeIdx := make([]int, 0, len(specs))
-	requests := make([]int, 0, len(specs))
-
-	for k := 0; remaining > 0; k++ {
-		if k > maxQ {
-			return res, fmt.Errorf("sim: job set did not finish within %d quanta", maxQ)
-		}
-		now := int64(k) * L64
-		// Collect active jobs; fast-forward if none are released yet.
-		activeIdx = activeIdx[:0]
-		var nextRelease int64 = -1
-		for i := range states {
-			s := &states[i]
-			if s.done {
-				continue
-			}
-			if s.spec.Release > now {
-				if nextRelease < 0 || s.spec.Release < nextRelease {
-					nextRelease = s.spec.Release
-				}
-				continue
-			}
-			if !s.started {
-				s.started = true
-				s.request = s.spec.Policy.InitialRequest()
-				if cfg.Obs.Active() {
-					cfg.Obs.Emit(obs.Event{Kind: obs.EvJobAdmitted, Time: now,
-						Job: i, Name: s.spec.Name, Work: res.Jobs[i].Work,
-						Parallelism: avgParallelism(res.Jobs[i].Work, res.Jobs[i].CriticalPath)})
-				}
-			}
-			activeIdx = append(activeIdx, i)
-		}
-		if len(activeIdx) == 0 {
-			// Jump to the boundary at or after the next release.
-			k = int((nextRelease + L64 - 1) / L64)
-			k-- // loop increment
-			continue
-		}
-		res.QuantaElapsed++
-		requests = requests[:0]
-		for _, i := range activeIdx {
-			r := RoundRequest(states[i].request)
-			requests = append(requests, r)
-			if cfg.Obs.Active() {
-				cfg.Obs.Emit(obs.Event{Kind: obs.EvRequest, Time: now,
-					Quantum: res.Jobs[i].NumQuanta + 1, Job: i, Name: states[i].spec.Name,
-					Request: states[i].request, IntRequest: r})
-			}
-		}
-		pEff := cfg.P
-		if cfg.Capacity != nil {
-			pEff = alloc.CapAt(cfg.Capacity, k+1, cfg.P)
-			if pEff != capNow {
-				capNow = pEff
-				if cfg.Obs.Active() {
-					cfg.Obs.Emit(obs.Event{Kind: obs.EvCapacity, Time: now,
-						Quantum: res.QuantaElapsed, Job: -1,
-						Name: cfg.Capacity.Name(), P: pEff})
-				}
-			}
-		}
-		allots := cfg.Allocator.Allot(requests, pEff)
-		if cfg.Obs.Active() {
-			totalReq, totalAllot := 0, 0
-			for pos := range requests {
-				totalReq += requests[pos]
-				totalAllot += allots[pos]
-			}
-			cfg.Obs.Emit(obs.Event{Kind: obs.EvAllocDecision, Time: now,
-				Quantum: res.QuantaElapsed, Job: -1, Name: cfg.Allocator.Name(),
-				P: pEff, IntRequest: totalReq, Allotment: totalAllot})
-		}
-		for pos, i := range activeIdx {
-			s := &states[i]
-			a := allots[pos]
-			if cfg.Obs.Active() {
-				cfg.Obs.Emit(obs.Event{Kind: obs.EvAllotment, Time: now,
-					Quantum: res.Jobs[i].NumQuanta + 1, Job: i, Name: s.spec.Name,
-					IntRequest: requests[pos], Allotment: a, Deprived: a < requests[pos]})
-			}
-			if a <= 0 {
-				// No processors this quantum (|J| > P); the job stalls and
-				// its request stands.
-				continue
-			}
-			st := sched.RunQuantum(s.spec.Inst, s.spec.Sched, a, cfg.L)
-			st.Index = res.Jobs[i].NumQuanta + 1
-			st.Start = now
-			st.Request = s.request
-			st.Deprived = a < requests[pos]
-			res.Jobs[i].NumQuanta++
-			if st.Deprived {
-				res.Jobs[i].DeprivedQ++
-			}
-			if cfg.keepTrace() {
-				res.Jobs[i].Quanta = append(res.Jobs[i].Quanta, st)
-			}
-			// The job holds its allotment until the boundary, so the whole
-			// quantum's cycles are charged.
-			res.Jobs[i].Waste += int64(a)*L64 - st.Work
-			s.attemptWork += st.Work
-			if cfg.Obs.Active() {
-				emitQuantum(cfg.Obs, st, i, s.spec.Name, &s.deprived)
-			}
-			if !st.Completed && s.spec.Restart.fires(st.Index, res.Jobs[i].Restarts) {
-				res.Jobs[i].Restarts++
-				res.Jobs[i].LostWork += s.attemptWork
-				if cfg.Obs.Active() {
-					cfg.Obs.Emit(obs.Event{Kind: obs.EvJobRestarted,
-						Time: now + int64(st.Steps), Quantum: st.Index,
-						Job: i, Name: s.spec.Name, Work: s.attemptWork})
-				}
-				s.attemptWork = 0
-				s.spec.Inst = s.spec.Restart.New()
-				s.spec.Policy.Reset()
-				s.request = s.spec.Policy.InitialRequest()
-				continue
-			}
-			if st.Completed {
-				s.done = true
-				remaining--
-				res.Jobs[i].Completion = now + int64(st.Steps)
-				res.Jobs[i].Response = res.Jobs[i].Completion - s.spec.Release
-				if res.Jobs[i].Completion > res.Makespan {
-					res.Makespan = res.Jobs[i].Completion
-				}
-				if cfg.Obs.Active() {
-					cfg.Obs.Emit(obs.Event{Kind: obs.EvJobCompleted,
-						Time: res.Jobs[i].Completion, Job: i, Name: s.spec.Name,
-						Work: res.Jobs[i].Work, Response: res.Jobs[i].Response})
-				}
-			} else {
-				s.request = s.spec.Policy.NextRequest(st)
-			}
-		}
-	}
-	for _, j := range res.Jobs {
-		res.TotalWaste += j.Waste
-	}
-	return res, nil
+	return e.Run()
 }

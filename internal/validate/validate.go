@@ -65,15 +65,27 @@ func (c Check) String() string {
 	return fmt.Sprintf("%-4s %-22s %6d samples  %s", status, c.Name, c.Samples, c.Detail)
 }
 
+// Named lists every check with its constructor, in report order, so callers
+// can run them one at a time (cmd/abgvalidate stops between checks when
+// interrupted).
+var Named = []struct {
+	Name string
+	Run  func(Options) Check
+}{
+	{"Theorem 1", Theorem1},
+	{"Lemma 2", Lemma2},
+	{"Theorem 3", Theorem3},
+	{"Theorem 4", Theorem4},
+	{"Inequality 5", Inequality5},
+}
+
 // All runs every check.
 func All(opts Options) []Check {
-	return []Check{
-		Theorem1(opts),
-		Lemma2(opts),
-		Theorem3(opts),
-		Theorem4(opts),
-		Inequality5(opts),
+	out := make([]Check, len(Named))
+	for i, n := range Named {
+		out[i] = n.Run(opts)
 	}
+	return out
 }
 
 // Theorem1 validates the controller's transient claims on simulated

@@ -14,9 +14,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs, sim, fault, feedback, alloc)"
+echo "== go test -race (obs, sim, fault, feedback, alloc, server, cli)"
 go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
-    ./internal/feedback/... ./internal/alloc/...
+    ./internal/feedback/... ./internal/alloc/... ./internal/server/... \
+    ./internal/cli/...
 
 echo "== deterministic replay guard (same seed+spec => identical chaos report)"
 a="$(go run ./cmd/abgexp -exp chaos -scale small)"
@@ -29,5 +30,13 @@ fi
 
 echo "== event-bus overhead guard (<2% on idle bus)"
 ABG_BENCH_GUARD=1 go test -run TestEventBusOverheadGuard -v ./internal/sim/ | grep -v '^=== '
+
+echo "== service e2e smoke (live abgd on a random port, virtual time)"
+# Boots the daemon binary, submits a batch over HTTP, drains on SIGTERM, and
+# asserts the live run's makespan and responses match the batch simulator.
+go test -run 'TestE2E' -count=1 ./internal/server/
+
+echo "== load-generator smoke (>=1000 closed-loop submissions, ABG vs A-Greedy)"
+go run ./cmd/abgload -selftest -jobs 1000 -clients 32 -kind batch -shrink 8 -P 64 -L 200
 
 echo "== all checks passed"
