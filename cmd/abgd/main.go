@@ -18,6 +18,12 @@
 // second signal kills the process. Fault injection (-fault) arms the same
 // deterministic perturbation layer as the batch tools, with the runtime
 // invariant checker audited at exit.
+//
+// With -journal DIR the daemon keeps a write-ahead journal plus periodic
+// engine snapshots there; after a crash (SIGKILL, power loss) the next boot
+// with the same directory truncates any torn tail, restores the last
+// snapshot, and deterministically replays the rest — same job ids, same
+// results, same SSE event ids. See /api/v1/recovery and DESIGN.md.
 package main
 
 import (
@@ -45,6 +51,9 @@ func main() {
 		queue     = flag.Int("queue", 4096, "admission queue bound (excess submissions get 429)")
 		seed      = flag.Uint64("seed", 2008, "default workload seed for submissions without one")
 		faultSpec = flag.String("fault", "", `fault-injection spec, e.g. "drop=0.3,cap=churn:0.5:16,seed=7" (see internal/fault)`)
+		journal   = flag.String("journal", "", "directory for the write-ahead journal; empty disables persistence")
+		snapEvery = flag.Int("snapshot-every", 64, "quanta between engine snapshots in the journal")
+		fsync     = flag.String("fsync", "always", "journal durability: always (fsync per record) | snapshot | never")
 		logSpec   = flag.String("log", "info", `log levels: "info" or "info,server=debug,events=debug"`)
 		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. :6060)")
 		version   = cli.VersionFlag()
@@ -72,6 +81,7 @@ func main() {
 		Scheduler: *schedName, R: *r, Rho: *rho, Delta: *delta,
 		Clock: server.ClockMode(*clock), Tick: *tick,
 		QueueLimit: *queue, FaultSpec: *faultSpec, Seed: *seed,
+		JournalDir: *journal, SnapshotEvery: *snapEvery, Fsync: *fsync,
 		Bus: bus,
 	})
 	if err != nil {

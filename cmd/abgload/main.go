@@ -7,22 +7,25 @@
 //	abgload -selftest                       # boot ABG and A-Greedy daemons
 //	                                        # in-process and compare them
 //	abgload -addr localhost:7133 -jobs 500  # hammer an external daemon
+//	abgload -crash -abgd ./abgd -journal /tmp/wal   # crash-recovery soak
 //
 // The selftest is also the service smoke: it fails (exit 1) unless every
 // submission is acknowledged, every job runs to completion with a coherent
 // status, no response is corrupted, and the drain completes cleanly.
+//
+// All HTTP traffic goes through the hardened server.Client: per-request
+// deadlines, exponential backoff with jitter on 429/5xx/connection failures
+// (Retry-After respected as a floor), and idempotency-keyed submissions so
+// a retried submit can never double-admit — which is what lets -crash
+// SIGKILL the daemon mid-run and keep hammering it through restarts.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +53,11 @@ func main() {
 		seed     = flag.Uint64("seed", 2008, "base workload seed (job i draws from seed+i)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 		logSpec  = flag.String("log", "", `log levels for in-process daemons (default warn)`)
+		crash    = flag.Bool("crash", false, "crash-recovery soak: spawn abgd, SIGKILL it at random quanta, restart from journal, verify recovery equals an uninterrupted reference run")
+		abgdBin  = flag.String("abgd", "abgd", "abgd binary to spawn in -crash mode")
+		journal  = flag.String("journal", "", "journal directory for -crash mode (default: a fresh temp dir)")
+		crashes  = flag.Int("crashes", 3, "SIGKILL/restart cycles in -crash mode")
+		faultArg = flag.String("fault", "", "fault-injection spec passed to the spawned daemon (-crash mode)")
 		version  = cli.VersionFlag()
 	)
 	flag.Parse()
@@ -58,8 +66,8 @@ func main() {
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fatal(err)
 	}
-	if !*selftest && *addr == "" {
-		fatal(fmt.Errorf("need -addr of a running abgd, or -selftest"))
+	if !*selftest && !*crash && *addr == "" {
+		fatal(fmt.Errorf("need -addr of a running abgd, -selftest, or -crash"))
 	}
 	if *jobs < 1 || *clients < 1 {
 		fatal(fmt.Errorf("need -jobs >= 1 and -clients >= 1"))
@@ -76,7 +84,16 @@ func main() {
 	run := runConfig{jobs: *jobs, clients: *clients, spec: spec, seed: *seed}
 
 	failed := false
-	if *selftest {
+	if *crash {
+		cfg := crashConfig{
+			abgd: *abgdBin, journal: *journal, crashes: *crashes,
+			fault: *faultArg, p: *p, l: *l, run: run,
+		}
+		if err := runCrashSoak(ctx, os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "abgload: crash soak: %v\n", err)
+			failed = true
+		}
+	} else if *selftest {
 		for _, schedName := range []string{"abg", "agreedy"} {
 			rep, err := runAgainstInProcess(ctx, schedName, *p, *l, run)
 			if err != nil {
@@ -87,7 +104,7 @@ func main() {
 			rep.render(os.Stdout)
 		}
 	} else {
-		rep, err := drive(ctx, "http://"+strings.TrimPrefix(*addr, "http://"), "abgd@"+*addr, run, nil)
+		rep, err := drive(ctx, *addr, "abgd@"+*addr, run, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abgload: %v\n", err)
 			failed = true
@@ -136,41 +153,16 @@ func runAgainstInProcess(ctx context.Context, schedName string, p, l int, run ru
 	return rep, driveErr
 }
 
-// jobStatus mirrors the daemon's per-job status JSON (the fields the load
-// generator validates).
-type jobStatus struct {
-	ID             int     `json:"id"`
-	State          string  `json:"state"`
-	Response       int64   `json:"response"`
-	Work           int64   `json:"work"`
-	Request        float64 `json:"request"`
-	Parallelism    float64 `json:"parallelism"`
-	NumQuanta      int     `json:"numQuanta"`
-	DeprivedQuanta int     `json:"deprivedQuanta"`
-}
-
-// submitAck mirrors the daemon's 202 body.
-type submitAck struct {
-	IDs []int `json:"ids"`
-}
-
-// daemonState mirrors the fields of /api/v1/state the report uses.
-type daemonState struct {
-	Scheduler  string `json:"scheduler"`
-	Completed  int    `json:"completed"`
-	Makespan   int64  `json:"makespan"`
-	TotalWaste int64  `json:"totalWaste"`
-	SSEDropped int64  `json:"sseDropped"`
-}
-
 // report aggregates one load run.
 type report struct {
 	label        string
-	state        daemonState
+	state        server.StateDTO
 	wall         time.Duration
 	submitted    int64
 	retried429   int64
-	submitMS     []float64 // POST round-trip, ms
+	retriedXport int64
+	deadlines    int64
+	submitMS     []float64 // POST round-trip (including retries), ms
 	statusMS     []float64 // GET round-trip, ms
 	responses    []float64 // scheduler response times, steps
 	deprivedFrac []float64 // per-job deprived-quanta fraction
@@ -181,7 +173,7 @@ type report struct {
 // in-process daemon to drain via its API (selftest mode); for external
 // daemons the drain request is skipped so abgload can be re-run.
 func drive(ctx context.Context, base, label string, run runConfig, srv *server.Server) (*report, error) {
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := server.NewClient(base)
 	rep := &report{label: label}
 	var (
 		next    atomic.Int64
@@ -207,7 +199,7 @@ func drive(ctx context.Context, base, label string, run runConfig, srv *server.S
 				if int(i) >= run.jobs || ctx.Err() != nil {
 					return
 				}
-				if err := runOne(ctx, client, base, run, int(i), rep, &mu); err != nil {
+				if err := runOne(ctx, client, run, int(i), rep, &mu); err != nil {
 					fail(fmt.Errorf("job %d: %w", i, err))
 					return
 				}
@@ -216,6 +208,9 @@ func drive(ctx context.Context, base, label string, run runConfig, srv *server.S
 	}
 	wg.Wait()
 	rep.wall = time.Since(start)
+	rep.retried429 = client.Retried429.Load()
+	rep.retriedXport = client.RetriedTransport.Load()
+	rep.deadlines = client.DeadlineExceeded.Load()
 	if firstEr != nil {
 		return nil, firstEr
 	}
@@ -229,85 +224,50 @@ func drive(ctx context.Context, base, label string, run runConfig, srv *server.S
 	// Drain the in-process daemon through its own API and snapshot the end
 	// state: every accepted job must be completed.
 	if srv != nil {
-		resp, err := client.Post(base+"/api/v1/drain?wait=1", "", nil)
-		if err != nil {
+		if err := client.Drain(ctx, true); err != nil {
 			return nil, fmt.Errorf("drain: %w", err)
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if err := getJSON(ctx, client, base+"/api/v1/state", &rep.state); err != nil {
-			return nil, err
-		}
-		if rep.state.Completed != run.jobs {
-			return nil, fmt.Errorf("daemon completed %d of %d jobs", rep.state.Completed, run.jobs)
-		}
-	} else if err := getJSON(ctx, client, base+"/api/v1/state", &rep.state); err != nil {
+	}
+	var err error
+	if rep.state, err = client.State(ctx); err != nil {
 		return nil, err
+	}
+	if srv != nil && rep.state.Completed != run.jobs {
+		return nil, fmt.Errorf("daemon completed %d of %d jobs", rep.state.Completed, run.jobs)
 	}
 	return rep, nil
 }
 
 // runOne is one closed-loop iteration: submit job i, wait for completion,
-// validate the final status.
-func runOne(ctx context.Context, client *http.Client, base string, run runConfig, i int, rep *report, mu *sync.Mutex) error {
+// validate the final status. The client retries 429s and transport failures
+// internally, with a deterministic per-job idempotency key so a retried
+// submit never double-admits.
+func runOne(ctx context.Context, client *server.Client, run runConfig, i int, rep *report, mu *sync.Mutex) error {
 	spec := run.spec
 	spec.Name = fmt.Sprintf("load-%d", i)
 	spec.Seed = run.seed + uint64(i)
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return err
-	}
+	spec.Key = fmt.Sprintf("load-%d-%d", run.seed, i)
 
-	// Submit, backing off on 429: backpressure is an expected answer under
-	// overload, not a failure.
-	var id int
-	for attempt := 0; ; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		t0 := time.Now()
-		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/v1/jobs", bytes.NewReader(body))
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		raw, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		ms := float64(time.Since(t0).Microseconds()) / 1000
-		if resp.StatusCode == http.StatusTooManyRequests {
-			atomic.AddInt64(&rep.retried429, 1)
-			select {
-			case <-time.After(time.Duration(1+attempt) * 5 * time.Millisecond):
-			case <-ctx.Done():
-				return ctx.Err()
-			}
-			continue
-		}
-		if resp.StatusCode != http.StatusAccepted {
-			return fmt.Errorf("submit: status %d: %s", resp.StatusCode, raw)
-		}
-		var ack submitAck
-		if err := json.Unmarshal(raw, &ack); err != nil || len(ack.IDs) != 1 {
-			return fmt.Errorf("corrupt submit ack %q", raw)
-		}
-		id = ack.IDs[0]
-		atomic.AddInt64(&rep.submitted, 1)
-		mu.Lock()
-		rep.submitMS = append(rep.submitMS, ms)
-		mu.Unlock()
-		break
+	t0 := time.Now()
+	ack, err := client.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
 	}
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+	id := ack.IDs[0]
+	atomic.AddInt64(&rep.submitted, 1)
+	mu.Lock()
+	rep.submitMS = append(rep.submitMS, ms)
+	mu.Unlock()
 
 	// Closed loop: poll this job until the scheduler finishes it.
-	url := fmt.Sprintf("%s/api/v1/jobs/%d", base, id)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		t0 := time.Now()
-		var st jobStatus
-		if err := getJSON(ctx, client, url, &st); err != nil {
+		st, err := client.JobStatus(ctx, id)
+		if err != nil {
 			return err
 		}
 		ms := float64(time.Since(t0).Microseconds()) / 1000
@@ -338,24 +298,6 @@ func runOne(ctx context.Context, client *http.Client, base string, run runConfig
 	}
 }
 
-// getJSON fetches url into out.
-func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, raw)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
 // render prints the run's report.
 func (r *report) render(w io.Writer) {
 	fmt.Fprintf(w, "=== %s (scheduler %s) ===\n", r.label, r.state.Scheduler)
@@ -369,6 +311,8 @@ func (r *report) render(w io.Writer) {
 	tb.AddRowf("wall time", r.wall.Round(time.Millisecond))
 	tb.AddRowf("throughput (jobs/s)", float64(r.submitted)/r.wall.Seconds())
 	tb.AddRowf("429 retries", r.retried429)
+	tb.AddRowf("transport retries", r.retriedXport)
+	tb.AddRowf("deadline exceeded", r.deadlines)
 	tb.AddRowf("status polls", r.polls)
 	tb.AddRowf("submit ms p50/p90/max", fmt.Sprintf("%.2f / %.2f / %.2f", sub.Median, sub.P90, sub.Max))
 	tb.AddRowf("status ms p50/p90/max", fmt.Sprintf("%.2f / %.2f / %.2f", sta.Median, sta.P90, sta.Max))

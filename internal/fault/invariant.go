@@ -171,6 +171,22 @@ func (c *Checker) OnEvent(e obs.Event) {
 	}
 }
 
+// Resume primes job i's accounting from a crash-recovery snapshot: the
+// job's current deprivation state and the work executed since its last
+// (re)start. A service that restores an engine mid-run subscribes a fresh
+// Checker that never saw the earlier events — without priming, the first
+// EvSatisfied after restore would report a bogus transition and the next
+// EvJobRestarted a bogus conservation mismatch. The job's admission record
+// is deliberately left unset: pre-snapshot executed work is unknown, so the
+// end-of-job conservation check stays disarmed for resumed jobs.
+func (c *Checker) Resume(i int, deprived bool, attempt int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.job(i)
+	a.deprived = deprived
+	a.attempt = attempt
+}
+
 // Count returns the number of violations seen (including any beyond the
 // retention cap).
 func (c *Checker) Count() int {

@@ -237,3 +237,39 @@ func TestCheckerCleanRuns(t *testing.T) {
 		}
 	})
 }
+
+// TestCheckerResume pins the crash-recovery priming: a checker subscribed
+// after an engine restore never saw the job's earlier transitions, so
+// Resume must carry the deprivation state and attempt work forward — and
+// without it the same events are (correctly) flagged.
+func TestCheckerResume(t *testing.T) {
+	resumeEvents := []obs.Event{
+		{Kind: obs.EvQuantumEnd, Job: 0, Quantum: 9, Steps: 50, Work: 70, Parallelism: 1.4},
+		{Kind: obs.EvSatisfied, Job: 0, Quantum: 9},
+		{Kind: obs.EvJobRestarted, Job: 0, Quantum: 10, Work: 570},
+	}
+
+	fresh := NewChecker(8, false)
+	for _, e := range resumeEvents {
+		fresh.OnEvent(e)
+	}
+	if fresh.Count() != 2 {
+		t.Fatalf("unprimed checker recorded %d violations, want 2 (transition + conservation): %v",
+			fresh.Count(), fresh.Violations())
+	}
+
+	primed := NewChecker(8, false)
+	primed.Resume(0, true, 500) // deprived at snapshot, 500 work this attempt
+	for _, e := range resumeEvents {
+		primed.OnEvent(e)
+	}
+	if err := primed.Err(); err != nil {
+		t.Fatalf("primed checker flagged a clean resume: %v", err)
+	}
+	// Completion conservation stays disarmed for resumed jobs: the checker
+	// cannot know pre-snapshot executed work.
+	primed.OnEvent(obs.Event{Kind: obs.EvJobCompleted, Job: 0, Work: 999})
+	if err := primed.Err(); err != nil {
+		t.Fatalf("resumed job completion flagged: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"fmt"
+
+	"abg/internal/feedback"
+	"abg/internal/persist"
+)
+
+// stateTagLossy versions the lossy-channel decorator's snapshot layout.
+const stateTagLossy byte = 10
+
+// MarshalState implements feedback.StateCodec for the lossy-channel
+// decorator: the per-attempt quantum counter (which keys the stateless
+// fault hashes), the last request the allocator received, the in-flight
+// delayed/duplicated messages, and the wrapped policy's own state. The
+// plan itself is configuration, re-armed from the journaled spec.
+func (f *faultPolicy) MarshalState() ([]byte, error) {
+	inner, err := feedback.MarshalState(f.inner)
+	if err != nil {
+		return nil, fmt.Errorf("fault: lossy channel inner policy: %w", err)
+	}
+	e := persist.Enc{}
+	e.Int(f.q)
+	e.Float(f.delivered)
+	e.Int(len(f.pending))
+	for _, m := range f.pending {
+		e.Int(m.due)
+		e.Float(m.val)
+	}
+	e.BytesField(inner)
+	return append([]byte{stateTagLossy}, e.Bytes()...), nil
+}
+
+// UnmarshalState implements feedback.StateCodec.
+func (f *faultPolicy) UnmarshalState(data []byte) error {
+	if len(data) < 1 || data[0] != stateTagLossy {
+		return fmt.Errorf("fault: lossy channel: bad state tag (%d bytes)", len(data))
+	}
+	d := persist.NewDec(data[1:])
+	q := d.Int()
+	delivered := d.Float()
+	n := d.Int()
+	if d.Err() == nil && (n < 0 || n > d.Len()) {
+		return fmt.Errorf("fault: lossy channel: implausible pending count %d", n)
+	}
+	pending := make([]message, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		pending = append(pending, message{due: d.Int(), val: d.Float()})
+	}
+	inner := d.BytesField()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("fault: lossy channel state: %w", err)
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("fault: lossy channel state: %d trailing bytes", d.Len())
+	}
+	if err := feedback.UnmarshalState(f.inner, inner); err != nil {
+		return err
+	}
+	f.q = q
+	f.delivered = delivered
+	f.pending = pending
+	return nil
+}
+
+var _ feedback.StateCodec = (*faultPolicy)(nil)

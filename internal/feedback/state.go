@@ -1,0 +1,173 @@
+package feedback
+
+import (
+	"fmt"
+
+	"abg/internal/persist"
+)
+
+// StateCodec is implemented by policies whose mutable controller state can
+// be captured and restored for crash recovery. The contract is behavioural
+// equivalence: after fresh.UnmarshalState(old.MarshalState()), fresh must
+// produce bit-identical requests to old for every subsequent QuantumStats
+// sequence. Configuration (rates, thresholds) is NOT part of the state —
+// the restoring side constructs the policy with the same parameters first
+// (they are journaled with the daemon configuration), then loads the state.
+type StateCodec interface {
+	// MarshalState returns the policy's mutable state.
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores state captured by MarshalState on a policy
+	// constructed with the same configuration.
+	UnmarshalState(data []byte) error
+}
+
+// MarshalState captures pol's controller state, failing for policies that
+// do not support snapshots.
+func MarshalState(pol Policy) ([]byte, error) {
+	c, ok := pol.(StateCodec)
+	if !ok {
+		return nil, fmt.Errorf("feedback: policy %s does not support state snapshots", pol.Name())
+	}
+	return c.MarshalState()
+}
+
+// UnmarshalState restores controller state captured by MarshalState.
+func UnmarshalState(pol Policy, data []byte) error {
+	c, ok := pol.(StateCodec)
+	if !ok {
+		return fmt.Errorf("feedback: policy %s does not support state snapshots", pol.Name())
+	}
+	return c.UnmarshalState(data)
+}
+
+// Per-policy state versions: each codec leads with a tag byte so a snapshot
+// restored onto the wrong policy type or a future layout fails loudly
+// instead of misparsing.
+const (
+	stateTagAControl  byte = 1
+	stateTagAGreedy   byte = 2
+	stateTagFixedGain byte = 3
+	stateTagStatic    byte = 4
+	stateTagAutoRate  byte = 5
+)
+
+// decodeTagged validates the leading tag byte and returns a decoder over
+// the rest.
+func decodeTagged(data []byte, tag byte, name string) (*persist.Dec, error) {
+	if len(data) < 1 || data[0] != tag {
+		return nil, fmt.Errorf("feedback: %s: bad state tag (got %d bytes)", name, len(data))
+	}
+	return persist.NewDec(data[1:]), nil
+}
+
+// finish checks the decoder consumed cleanly.
+func finish(d *persist.Dec, name string) error {
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("feedback: %s state: %w", name, err)
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("feedback: %s state: %d trailing bytes", name, d.Len())
+	}
+	return nil
+}
+
+// MarshalState implements StateCodec: the continuous request d(q).
+func (c *AControl) MarshalState() ([]byte, error) {
+	e := persist.Enc{}
+	e.Float(c.d)
+	return append([]byte{stateTagAControl}, e.Bytes()...), nil
+}
+
+// UnmarshalState implements StateCodec.
+func (c *AControl) UnmarshalState(data []byte) error {
+	d, err := decodeTagged(data, stateTagAControl, "A-Control")
+	if err != nil {
+		return err
+	}
+	v := d.Float()
+	if err := finish(d, "A-Control"); err != nil {
+		return err
+	}
+	c.d = v
+	return nil
+}
+
+// MarshalState implements StateCodec: the current request d(q).
+func (g *AGreedy) MarshalState() ([]byte, error) {
+	e := persist.Enc{}
+	e.Float(g.d)
+	return append([]byte{stateTagAGreedy}, e.Bytes()...), nil
+}
+
+// UnmarshalState implements StateCodec.
+func (g *AGreedy) UnmarshalState(data []byte) error {
+	d, err := decodeTagged(data, stateTagAGreedy, "A-Greedy")
+	if err != nil {
+		return err
+	}
+	v := d.Float()
+	if err := finish(d, "A-Greedy"); err != nil {
+		return err
+	}
+	g.d = v
+	return nil
+}
+
+// MarshalState implements StateCodec: the integral state d(q).
+func (f *FixedGain) MarshalState() ([]byte, error) {
+	e := persist.Enc{}
+	e.Float(f.d)
+	return append([]byte{stateTagFixedGain}, e.Bytes()...), nil
+}
+
+// UnmarshalState implements StateCodec.
+func (f *FixedGain) UnmarshalState(data []byte) error {
+	d, err := decodeTagged(data, stateTagFixedGain, "FixedGain")
+	if err != nil {
+		return err
+	}
+	v := d.Float()
+	if err := finish(d, "FixedGain"); err != nil {
+		return err
+	}
+	f.d = v
+	return nil
+}
+
+// MarshalState implements StateCodec. Static has no mutable state; the tag
+// alone round-trips so the generic snapshot path treats it uniformly.
+func (s *Static) MarshalState() ([]byte, error) {
+	return []byte{stateTagStatic}, nil
+}
+
+// UnmarshalState implements StateCodec.
+func (s *Static) UnmarshalState(data []byte) error {
+	if len(data) != 1 || data[0] != stateTagStatic {
+		return fmt.Errorf("feedback: Static: bad state (%d bytes)", len(data))
+	}
+	return nil
+}
+
+// MarshalState implements StateCodec: request, previous-parallelism memory
+// and the Ĉ_L estimate driving the rate schedule.
+func (a *AutoRate) MarshalState() ([]byte, error) {
+	e := persist.Enc{}
+	e.Float(a.d)
+	e.Float(a.prevA)
+	e.Float(a.clHat)
+	return append([]byte{stateTagAutoRate}, e.Bytes()...), nil
+}
+
+// UnmarshalState implements StateCodec.
+func (a *AutoRate) UnmarshalState(data []byte) error {
+	d, err := decodeTagged(data, stateTagAutoRate, "AutoRate")
+	if err != nil {
+		return err
+	}
+	dv, prevA, clHat := d.Float(), d.Float(), d.Float()
+	if err := finish(d, "AutoRate"); err != nil {
+		return err
+	}
+	a.d, a.prevA, a.clHat = dv, prevA, clHat
+	return nil
+}

@@ -1,0 +1,82 @@
+package job
+
+import (
+	"fmt"
+
+	"abg/internal/persist"
+)
+
+// Stateful is implemented by job instances whose execution cursor can be
+// captured and restored for crash recovery. The contract mirrors
+// feedback.StateCodec: restore the blob onto a fresh instance of the *same*
+// job description and every subsequent Step behaves bit-identically to the
+// original. The description itself (the Profile) is not part of the state —
+// it is rebuilt deterministically from the journaled workload spec.
+type Stateful interface {
+	// MarshalState returns the instance's execution cursor.
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores a cursor captured on an instance of the same
+	// job description.
+	UnmarshalState(data []byte) error
+}
+
+// runStateTag versions the Run cursor layout.
+const runStateTag byte = 20
+
+// MarshalState implements Stateful: the per-level completion counts plus
+// the derived cursors (frontier, head, done) that make Step O(active
+// window).
+func (r *Run) MarshalState() ([]byte, error) {
+	e := persist.Enc{}
+	e.Int(len(r.completed))
+	for _, c := range r.completed {
+		e.Int(c)
+	}
+	e.Int(r.frontier)
+	e.Int(r.head)
+	e.Varint(r.done)
+	return append([]byte{runStateTag}, e.Bytes()...), nil
+}
+
+// UnmarshalState implements Stateful. The cursor must match this run's
+// profile shape: a level-count mismatch means the blob belongs to a
+// different job and is rejected.
+func (r *Run) UnmarshalState(data []byte) error {
+	if len(data) < 1 || data[0] != runStateTag {
+		return fmt.Errorf("job: run cursor: bad state tag (%d bytes)", len(data))
+	}
+	d := persist.NewDec(data[1:])
+	n := d.Int()
+	if d.Err() == nil && n != len(r.completed) {
+		return fmt.Errorf("job: run cursor for %d levels, profile has %d", n, len(r.completed))
+	}
+	completed := make([]int, len(r.completed))
+	for i := 0; i < n && d.Err() == nil; i++ {
+		completed[i] = d.Int()
+	}
+	frontier, head, done := d.Int(), d.Int(), d.Varint()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("job: run cursor: %w", err)
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("job: run cursor: %d trailing bytes", d.Len())
+	}
+	for i, c := range completed {
+		if c < 0 || c > r.p.levels[i].Width {
+			return fmt.Errorf("job: run cursor: level %d completion %d outside [0,%d]",
+				i, c, r.p.levels[i].Width)
+		}
+	}
+	if frontier < 0 || frontier > len(completed) || head < -1 || head >= len(completed) ||
+		done < 0 || done > r.p.work {
+		return fmt.Errorf("job: run cursor: implausible frontier=%d head=%d done=%d",
+			frontier, head, done)
+	}
+	copy(r.completed, completed)
+	r.frontier = frontier
+	r.head = head
+	r.done = done
+	return nil
+}
+
+var _ Stateful = (*Run)(nil)

@@ -1,0 +1,80 @@
+package job
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stateTestProfile builds a small fork-join profile with both level kinds.
+func stateTestProfile(t *testing.T) *Profile {
+	t.Helper()
+	return MustProfile([]Level{
+		{Kind: Sync, Width: 1},
+		{Kind: Chain, Width: 1},
+		{Kind: Sync, Width: 8},
+		{Kind: Chain, Width: 8},
+		{Kind: Chain, Width: 8},
+		{Kind: Sync, Width: 2},
+	})
+}
+
+// TestRunStateRoundTrip pins the crash-recovery contract of the execution
+// cursor: capture mid-run, restore onto a fresh Run of the same profile,
+// and stepping both onward yields identical completions and final state.
+func TestRunStateRoundTrip(t *testing.T) {
+	p := stateTestProfile(t)
+	for cut := 0; cut < 12; cut++ {
+		orig := NewRun(p)
+		for s := 0; s < cut && !orig.Done(); s++ {
+			orig.Step(3, BreadthFirst, nil)
+		}
+		blob, err := orig.MarshalState()
+		if err != nil {
+			t.Fatalf("cut %d: marshal: %v", cut, err)
+		}
+		restored := NewRun(p)
+		if err := restored.UnmarshalState(blob); err != nil {
+			t.Fatalf("cut %d: unmarshal: %v", cut, err)
+		}
+		if !reflect.DeepEqual(orig, restored) {
+			t.Fatalf("cut %d: restored run differs:\n got %+v\nwant %+v", cut, restored, orig)
+		}
+		for !orig.Done() {
+			n1, _ := orig.Step(3, BreadthFirst, nil)
+			n2, _ := restored.Step(3, BreadthFirst, nil)
+			if n1 != n2 {
+				t.Fatalf("cut %d: step completions diverge: %d != %d", cut, n2, n1)
+			}
+		}
+		if !restored.Done() || restored.Remaining() != 0 {
+			t.Fatalf("cut %d: restored run did not finish with the original", cut)
+		}
+	}
+}
+
+// TestRunStateRejectsMismatch pins that a cursor cannot land on the wrong
+// profile or carry implausible values.
+func TestRunStateRejectsMismatch(t *testing.T) {
+	p := stateTestProfile(t)
+	other := MustProfile([]Level{{Kind: Sync, Width: 4}})
+	r := NewRun(p)
+	r.Step(4, BreadthFirst, nil)
+	blob, err := r.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRun(other).UnmarshalState(blob); err == nil {
+		t.Error("cursor accepted by a different profile")
+	}
+	if err := NewRun(p).UnmarshalState(nil); err == nil {
+		t.Error("accepted empty cursor")
+	}
+	if err := NewRun(p).UnmarshalState(blob[:len(blob)/2]); err == nil {
+		t.Error("accepted truncated cursor")
+	}
+	mut := append([]byte{}, blob...)
+	mut[0] = 99
+	if err := NewRun(p).UnmarshalState(mut); err == nil {
+		t.Error("accepted wrong tag")
+	}
+}

@@ -1,0 +1,71 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzScanBytes throws arbitrary bytes — seeded with valid journals, torn
+// tails, and bit flips — at the journal decoder. The contract under attack:
+// the scan never panics, never over-reads, and either returns whole,
+// checksum-verified records or reports the rest as truncation. Every clean
+// record it does return must re-encode to exactly the bytes it came from
+// (no silent misparse).
+func FuzzScanBytes(f *testing.F) {
+	// Seed: a valid three-record journal.
+	valid := encodeJournal([][2]any{
+		{KindHeader, []byte(`{"p":16,"l":100}`)},
+		{KindSubmit, []byte(`{"base":0,"count":4}`)},
+		{KindAdmit, []byte(`{"boundary":7,"ids":[0,1,2,3]}`)},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])      // torn tail
+	f.Add(valid[:9])                 // mid-first-record
+	f.Add([]byte{})                  // empty
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // huge bogus length prefix
+	flipped := append([]byte{}, valid...)
+	flipped[12] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := ScanBytes(data)
+		if res.CleanLen+res.TruncatedBytes != int64(len(data)) {
+			t.Fatalf("accounting broken: clean %d + truncated %d != len %d",
+				res.CleanLen, res.TruncatedBytes, len(data))
+		}
+		if res.CleanLen < 0 || res.TruncatedBytes < 0 {
+			t.Fatalf("negative lengths: %+v", res)
+		}
+		// Re-encoding the accepted records must reproduce the clean prefix
+		// byte for byte: the scan may only ever accept what a writer wrote.
+		var rebuilt []byte
+		for _, r := range res.Records {
+			payload := append([]byte{r.Kind}, r.Body...)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+			rebuilt = append(rebuilt, hdr[:]...)
+			rebuilt = append(rebuilt, payload...)
+		}
+		if !bytes.Equal(rebuilt, data[:res.CleanLen]) {
+			t.Fatalf("clean prefix does not round-trip:\n got %x\nwant %x",
+				rebuilt, data[:res.CleanLen])
+		}
+	})
+}
+
+// encodeJournal builds a journal image from (kind, body) pairs.
+func encodeJournal(records [][2]any) []byte {
+	var out []byte
+	for _, r := range records {
+		payload := append([]byte{r[0].(byte)}, r[1].([]byte)...)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+		out = append(out, hdr[:]...)
+		out = append(out, payload...)
+	}
+	return out
+}

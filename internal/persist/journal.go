@@ -1,0 +1,210 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JournalFile is the file name the journal lives under inside its directory.
+const JournalFile = "abgd.wal"
+
+// maxRecordLen bounds a single record so a corrupt length prefix cannot make
+// a reader attempt a multi-gigabyte allocation. Snapshots of very large job
+// sets are the biggest records; 1 GiB is far above any realistic one.
+const maxRecordLen = 1 << 30
+
+// castagnoli is the CRC32-C table used for every record checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when the journal fsyncs.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every appended record: an acknowledged
+	// submission survives even a kernel or power crash.
+	SyncAlways SyncPolicy = "always"
+	// SyncSnapshot fsyncs only after snapshot records; other records reach
+	// the OS page cache immediately (surviving process death) but may be
+	// lost to a machine crash.
+	SyncSnapshot SyncPolicy = "snapshot"
+	// SyncNever never fsyncs explicitly; durability against machine crash
+	// is left to the OS writeback. Process-death durability still holds.
+	SyncNever SyncPolicy = "never"
+)
+
+// ParseSyncPolicy validates a -fsync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case "", SyncAlways:
+		return SyncAlways, nil
+	case SyncSnapshot, SyncNever:
+		return SyncPolicy(s), nil
+	default:
+		return "", fmt.Errorf("persist: unknown fsync policy %q (want always, snapshot or never)", s)
+	}
+}
+
+// ScanResult reports what a journal scan found.
+type ScanResult struct {
+	// Records is the clean prefix of the journal, in order.
+	Records []Record
+	// CleanLen is the byte offset after the last whole record.
+	CleanLen int64
+	// TruncatedBytes is the length of the torn or corrupt tail beyond
+	// CleanLen (zero for a clean journal).
+	TruncatedBytes int64
+}
+
+// ScanBytes decodes the record stream from an in-memory journal image. It
+// never fails: a torn or corrupt tail terminates the scan and is reported
+// in TruncatedBytes. Record bodies alias data.
+func ScanBytes(data []byte) ScanResult {
+	var res ScanResult
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n < 1 || n > maxRecordLen || uint64(len(rest)-8) < uint64(n) {
+			break
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break
+		}
+		res.Records = append(res.Records, Record{Kind: payload[0], Body: payload[1:]})
+		off += 8 + int64(n)
+	}
+	res.CleanLen = off
+	res.TruncatedBytes = int64(len(data)) - off
+	return res
+}
+
+// ScanFile reads and decodes the journal file at path. A missing file is an
+// empty journal, not an error.
+func ScanFile(path string) (ScanResult, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ScanResult{}, nil
+	}
+	if err != nil {
+		return ScanResult{}, fmt.Errorf("persist: read journal: %w", err)
+	}
+	return ScanBytes(data), nil
+}
+
+// Journal is the append side of the write-ahead log. Appends are serialised
+// internally, so HTTP handlers and the quantum-clock driver can share one
+// Journal.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	policy SyncPolicy
+	path   string
+	synced bool // no unsynced bytes since the last fsync
+}
+
+// Open opens (creating if needed) the journal in dir for appending,
+// truncating any torn tail left by a crash first. It returns the journal
+// and the scan of the existing clean records, which recovery replays.
+func Open(dir string, policy SyncPolicy) (*Journal, ScanResult, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, ScanResult{}, fmt.Errorf("persist: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, JournalFile)
+	scan, err := ScanFile(path)
+	if err != nil {
+		return nil, ScanResult{}, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, ScanResult{}, fmt.Errorf("persist: open journal: %w", err)
+	}
+	if scan.TruncatedBytes > 0 {
+		if err := f.Truncate(scan.CleanLen); err != nil {
+			f.Close()
+			return nil, ScanResult{}, fmt.Errorf("persist: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(scan.CleanLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, ScanResult{}, fmt.Errorf("persist: seek journal end: %w", err)
+	}
+	return &Journal{f: f, policy: policy, path: path, synced: true}, scan, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record (kind + body) and applies the sync policy. The
+// record is on disk — or at least in the OS page cache, surviving process
+// death — when Append returns, so callers can acknowledge clients after it.
+func (j *Journal) Append(kind byte, body []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("persist: journal closed")
+	}
+	payload := make([]byte, 0, 1+len(body))
+	payload = append(payload, kind)
+	payload = append(payload, body...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	// One write call for header+payload keeps the torn-write window to a
+	// single record.
+	rec := append(hdr[:], payload...)
+	if _, err := j.f.Write(rec); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	j.synced = false
+	if j.policy == SyncAlways || (j.policy == SyncSnapshot && kind == KindSnapshot) {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy (used at clean shutdown).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.synced {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("persist: fsync: %w", err)
+	}
+	j.synced = true
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.syncLocked()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

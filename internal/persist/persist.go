@@ -1,0 +1,213 @@
+// Package persist is the crash-safety layer of the repository: a write-ahead
+// journal plus a compact binary codec for engine snapshots.
+//
+// The service layer (abg/internal/server) keeps all scheduler state in
+// memory; this package makes that state survive process death. The design
+// leans on the one property the simulator already guarantees — bit-identical
+// replay determinism — so the journal only has to record the externally
+// sourced nondeterminism of a run:
+//
+//   - the configuration the daemon booted with (machine, scheduler, armed
+//     fault plan, seed) — the header record;
+//   - every accepted job submission, with its generator spec and client
+//     idempotency key, written before the submission is acknowledged;
+//   - every admission decision: which job ids became schedulable at which
+//     quantum boundary;
+//   - drain commands;
+//   - periodic engine snapshots, so recovery is snapshot + replay-tail
+//     rather than re-execution from boundary zero.
+//
+// Everything else — allotments, quantum measurements, controller updates,
+// fault decisions — is a pure function of that log and is recomputed
+// bit-identically during recovery.
+//
+// # Record format
+//
+// The journal is a single append-only file of length-prefixed records:
+//
+//	[4 bytes little-endian payload length]
+//	[4 bytes CRC32-Castagnoli of the payload]
+//	[payload: 1 kind byte + kind-specific body]
+//
+// A reader stops at the first record that does not check out — short
+// header, short payload, or checksum mismatch — and reports the clean
+// prefix length, so a torn tail write (the normal crash artifact) truncates
+// to the last whole record instead of poisoning recovery. Corruption is
+// never silently skipped: everything after the first bad byte is discarded.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Record kinds. The byte values are part of the on-disk format; append new
+// kinds, never renumber.
+const (
+	// KindHeader is the first record of every journal: the daemon
+	// configuration the log was written under.
+	KindHeader byte = 1
+	// KindSubmit is one accepted submission (ids reserved, client acked).
+	KindSubmit byte = 2
+	// KindAdmit records that a set of job ids became schedulable at a
+	// quantum boundary.
+	KindAdmit byte = 3
+	// KindDrain records that admission closed.
+	KindDrain byte = 4
+	// KindSnapshot is a full engine + server state snapshot.
+	KindSnapshot byte = 5
+)
+
+// Record is one decoded journal entry.
+type Record struct {
+	Kind byte
+	Body []byte
+}
+
+// ---------------------------------------------------------------- binary enc
+
+// Enc builds a length-delimited little-endian binary payload. The zero
+// value is ready to use; Bytes returns the accumulated buffer.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Enc) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed (zigzag) varint.
+func (e *Enc) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Int appends an int as a signed varint.
+func (e *Enc) Int(v int) { e.Varint(int64(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float appends a float64 by its exact IEEE-754 bits — snapshots must
+// round-trip controller state bit-identically.
+func (e *Enc) Float(v float64) { e.Uvarint(math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Enc) BytesField(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Dec decodes a payload written by Enc. Decoding never panics: the first
+// malformed field puts the decoder in an error state and every later read
+// returns zero values, so callers may decode a whole struct and check Err
+// once at the end.
+type Dec struct {
+	buf []byte
+	err error
+}
+
+// NewDec returns a decoder over the buffer.
+func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Len returns the number of unread bytes.
+func (d *Dec) Len() int { return len(d.buf) }
+
+// fail records the first error.
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: "+format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Dec) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// Int reads an int-sized signed varint.
+func (d *Dec) Int() int {
+	v := d.Varint()
+	if int64(int(v)) != v {
+		d.fail("varint %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads one boolean byte.
+func (d *Dec) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.buf) < 1 {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	if v > 1 {
+		d.fail("bad bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// Float reads a float64 stored as IEEE-754 bits.
+func (d *Dec) Float() float64 { return math.Float64frombits(d.Uvarint()) }
+
+// BytesField reads a length-prefixed byte slice (aliasing the input).
+func (d *Dec) BytesField() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("byte field length %d exceeds remaining %d", n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string { return string(d.BytesField()) }

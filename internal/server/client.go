@@ -1,0 +1,445 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a hardened HTTP client for the abgd API, shared by abgload and
+// the crash-soak harness. Every request runs under its own deadline and is
+// retried with exponential backoff plus jitter when the daemon answers 429
+// or 5xx, or when the connection fails outright (refused, reset, died
+// mid-response) — the shapes a crash-restarting daemon produces. A 429's
+// Retry-After header, when present, becomes the floor of the next backoff.
+//
+// Submissions are made idempotent by a client-generated key: if the caller
+// did not set JobRequest.Key, Submit generates one, so a retry after an
+// ambiguous failure (request sent, ack lost, daemon crashed) can never
+// double-admit — the recovered daemon answers the retry with the original
+// ids and State "duplicate".
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:7133".
+	Base string
+	// HTTP is the underlying transport client. Its Timeout is ignored;
+	// per-request deadlines come from Timeout below.
+	HTTP *http.Client
+	// MaxAttempts bounds tries per request (first attempt included).
+	MaxAttempts int
+	// BaseDelay and MaxDelay shape the exponential backoff.
+	BaseDelay, MaxDelay time.Duration
+	// Timeout is the per-request (per-attempt) deadline.
+	Timeout time.Duration
+
+	// Counters, readable concurrently while requests are in flight.
+	Retried429       atomic.Int64 // attempts retried after a 429
+	RetriedTransport atomic.Int64 // attempts retried after 5xx / connection failure
+	DeadlineExceeded atomic.Int64 // attempts abandoned at the per-request deadline
+	Reconnects       atomic.Int64 // SSE stream reconnections
+}
+
+// NewClient returns a Client with production defaults against base
+// (scheme optional; "host:port" is promoted to http).
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		Base:        strings.TrimRight(base, "/"),
+		HTTP:        &http.Client{},
+		MaxAttempts: 10,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Timeout:     10 * time.Second,
+	}
+}
+
+// APIError is a non-retryable HTTP error answer from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("abgd: status %d: %s", e.Status, e.Message)
+}
+
+// NewKey returns a fresh idempotency key for JobRequest.Key.
+func NewKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to math/rand rather
+		// than panicking a load generator.
+		return fmt.Sprintf("k-%08x%08x", mrand.Uint32(), mrand.Uint32())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// retryable classifies one attempt's outcome. resp is nil on transport
+// errors. floor is a server-requested minimum backoff (Retry-After).
+func retryable(resp *http.Response, err error) (retry bool, floor time.Duration) {
+	if err != nil {
+		// Connection refused/reset, EOF mid-response, attempt deadline:
+		// all shapes of "the daemon is (re)starting" — worth retrying.
+		return true, 0
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+				floor = time.Duration(secs) * time.Second
+			}
+		}
+		return true, floor
+	case resp.StatusCode >= 500:
+		return true, 0
+	}
+	return false, 0
+}
+
+// backoff returns the jittered delay before attempt (0-based counts the
+// retries already taken), at least floor.
+func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
+	d := c.BaseDelay << uint(attempt)
+	if d > c.MaxDelay || d <= 0 {
+		d = c.MaxDelay
+	}
+	// Full jitter over [d/2, d): keeps retry storms from synchronising
+	// while preserving the exponential envelope.
+	d = d/2 + time.Duration(mrand.Int63n(int64(d/2)+1))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// do runs one API request with retries. body non-nil implies POST with a
+// JSON payload. out, when non-nil, receives the decoded success body. ok
+// lists the statuses accepted as success (default 200).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, ok ...int) (int, error) {
+	if len(ok) == 0 {
+		ok = []int{http.StatusOK}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			floor, _ := lastErr.(*retryAfterErr)
+			var fd time.Duration
+			if floor != nil {
+				fd = floor.floor
+			}
+			select {
+			case <-time.After(c.backoff(attempt-1, fd)):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, c.Timeout)
+		status, err := c.attempt(actx, method, path, body, out, ok)
+		cancel()
+		if err == nil {
+			return status, nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return status, err // non-retryable answer
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err() // caller's deadline, not ours
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			c.DeadlineExceeded.Add(1)
+		}
+		var ra *retryAfterErr
+		if errors.As(err, &ra) {
+			c.Retried429.Add(1)
+		} else {
+			c.RetriedTransport.Add(1)
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("%s %s: giving up after %d attempts: %w", method, path, c.MaxAttempts, lastErr)
+}
+
+// retryAfterErr marks a retryable status answer, carrying the server's
+// Retry-After floor for the next backoff.
+type retryAfterErr struct {
+	status int
+	floor  time.Duration
+}
+
+func (e *retryAfterErr) Error() string {
+	return fmt.Sprintf("status %d (retry-after %s)", e.status, e.floor)
+}
+
+// attempt is a single request/response cycle.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, ok []int) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err // died mid-response: retryable transport failure
+	}
+	for _, s := range ok {
+		if resp.StatusCode == s {
+			if out != nil {
+				if err := json.Unmarshal(raw, out); err != nil {
+					return resp.StatusCode, fmt.Errorf("%s %s: corrupt body %q: %w", method, path, raw, err)
+				}
+			}
+			return resp.StatusCode, nil
+		}
+	}
+	if retry, floor := retryable(resp, nil); retry {
+		return resp.StatusCode, &retryAfterErr{status: resp.StatusCode, floor: floor}
+	}
+	msg := strings.TrimSpace(string(raw))
+	var e errorDTO
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return resp.StatusCode, &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+// Submit posts one job request. A missing idempotency key is generated so
+// retries are safe; the returned response's State distinguishes a fresh
+// acceptance ("queued") from a replayed one ("duplicate").
+func (c *Client) Submit(ctx context.Context, req JobRequest) (SubmitResponse, error) {
+	if req.Key == "" {
+		req.Key = NewKey()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	var ack SubmitResponse
+	_, err = c.do(ctx, http.MethodPost, "/api/v1/jobs", body, &ack,
+		http.StatusAccepted, http.StatusOK)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	if len(ack.IDs) == 0 {
+		return ack, fmt.Errorf("submit: ack carries no ids")
+	}
+	return ack, nil
+}
+
+// JobStatus fetches one job's live status.
+func (c *Client) JobStatus(ctx context.Context, id int) (JobStatusDTO, error) {
+	var st JobStatusDTO
+	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/jobs/%d", id), nil, &st)
+	return st, err
+}
+
+// Jobs fetches every known job's status.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatusDTO, error) {
+	var sts []JobStatusDTO
+	_, err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &sts)
+	return sts, err
+}
+
+// State fetches the scheduler-wide snapshot.
+func (c *Client) State(ctx context.Context) (StateDTO, error) {
+	var st StateDTO
+	_, err := c.do(ctx, http.MethodGet, "/api/v1/state", nil, &st)
+	return st, err
+}
+
+// Recovery fetches the boot-time recovery report.
+func (c *Client) Recovery(ctx context.Context) (RecoveryDTO, error) {
+	var rec RecoveryDTO
+	_, err := c.do(ctx, http.MethodGet, "/api/v1/recovery", nil, &rec)
+	return rec, err
+}
+
+// Drain asks the daemon to drain; wait blocks until the drain completes.
+func (c *Client) Drain(ctx context.Context, wait bool) error {
+	path := "/api/v1/drain"
+	if wait {
+		path += "?wait=1"
+	}
+	// A drain can legitimately outlast the per-request deadline; the wait
+	// variant runs without retries under the caller's context alone.
+	if wait {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("drain: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	_, err := c.do(ctx, http.MethodPost, path, []byte("{}"), nil,
+		http.StatusOK, http.StatusAccepted)
+	return err
+}
+
+// Health probes /healthz once (no retries): the crash harness uses it to
+// detect daemon liveness transitions.
+func (c *Client) Health(ctx context.Context) error {
+	actx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// SSEEvent is one frame from the event stream.
+type SSEEvent struct {
+	ID   uint64
+	Type string // "" for data events, "resync" when the replay ring evicted us
+	Data []byte
+}
+
+// ErrStopStream, returned by a StreamEvents callback, ends the stream
+// without error.
+var ErrStopStream = errors.New("stop event stream")
+
+// StreamEvents subscribes to /api/v1/events after event id afterID and
+// calls fn for every frame. On disconnect it backs off and reconnects with
+// Last-Event-ID set to the last id seen, so the daemon's replay ring fills
+// any gap; a "resync" frame tells fn the gap was unrecoverable and absolute
+// state must be refetched (the stream then continues from the frame's id).
+// Returns when ctx ends, fn returns ErrStopStream (nil) or another error
+// (propagated), or reconnection attempts are exhausted.
+func (c *Client) StreamEvents(ctx context.Context, afterID uint64, fn func(SSEEvent) error) error {
+	last := afterID
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := c.streamOnce(ctx, &last, fn)
+		if errors.Is(err, ErrStopStream) {
+			return nil
+		}
+		if err != nil && ctx.Err() == nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) {
+				return err
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if n > 0 {
+			failures = 0 // progress: reset the backoff ladder
+		}
+		failures++
+		if failures > c.MaxAttempts {
+			return fmt.Errorf("event stream: giving up after %d reconnects: %w", failures-1, err)
+		}
+		c.Reconnects.Add(1)
+		select {
+		case <-time.After(c.backoff(failures-1, 0)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// streamOnce is one SSE connection: subscribe after *last, dispatch frames,
+// and keep *last current so the caller can resume. Returns the number of
+// frames dispatched.
+func (c *Client) streamOnce(ctx context.Context, last *uint64, fn func(SSEEvent) error) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/events", nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*last, 10))
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+
+	n := 0
+	var ev SSEEvent
+	var haveData bool
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if haveData || ev.Type != "" {
+				if ev.ID > 0 {
+					*last = ev.ID
+				}
+				n++
+				if err := fn(ev); err != nil {
+					return n, err
+				}
+			}
+			ev, haveData = SSEEvent{}, false
+		case strings.HasPrefix(line, "id: "):
+			id, perr := strconv.ParseUint(line[4:], 10, 64)
+			if perr != nil {
+				return n, fmt.Errorf("event stream: bad id line %q", line)
+			}
+			ev.ID = id
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = append(ev.Data, line[6:]...)
+			haveData = true
+		case strings.HasPrefix(line, ":"), strings.HasPrefix(line, "retry: "):
+			// comments and reconnect hints carry no payload
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, io.EOF // server closed the stream (drain)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"abg/internal/job"
+	"abg/internal/persist"
 	"abg/internal/sim"
 )
 
@@ -24,12 +25,18 @@ import (
 // regardless of clock mode. The drained channel closes last, releasing
 // Server.Wait and any /api/v1/drain?wait=1 callers.
 func (s *Server) drive(ctx context.Context) {
+	defer close(s.stopped)
 	var tick *time.Ticker
 	if s.cfg.Clock == ClockWall {
 		tick = time.NewTicker(s.cfg.Tick)
 		defer tick.Stop()
 	}
 	for {
+		if s.killed.Load() {
+			// Crash simulation (tests only): stop dead, no drain, no final
+			// journal flush — exactly what SIGKILL leaves behind.
+			return
+		}
 		if s.draining.Load() {
 			break
 		}
@@ -93,12 +100,17 @@ func (s *Server) stepOnce(idleOK bool) {
 		return
 	}
 	s.admitLocked()
+	if s.fatal != nil {
+		return
+	}
 	if !idleOK && s.eng.Done() {
 		return
 	}
 	if _, err := s.eng.Step(); err != nil {
 		s.failLocked(err)
+		return
 	}
+	s.maybeSnapshotLocked()
 }
 
 // admitLocked hands every queued job to the engine at the current boundary.
@@ -106,7 +118,22 @@ func (s *Server) stepOnce(idleOK bool) {
 // so the engine's id for each job must equal the id the submission handler
 // promised the client; any divergence is a server bug worth dying loudly
 // over.
+//
+// The admit record is journaled before the engine sees the jobs: events for
+// this boundary only flow once Step runs, so a crash anywhere in between
+// recovers to "admitted at this boundary" without ever having exposed
+// observable state that the replay would contradict.
 func (s *Server) admitLocked() {
+	if len(s.queue) == 0 {
+		return
+	}
+	rec := admitRecord{boundary: s.eng.Boundary()}
+	for _, p := range s.queue {
+		rec.ids = append(rec.ids, p.id)
+	}
+	if s.appendJournal(persist.KindAdmit, encodeAdmit(rec)) != nil {
+		return // fatal; failLocked already fired
+	}
 	for _, p := range s.queue {
 		spec := s.jobSpec(p)
 		id, err := s.eng.Submit(spec)
@@ -120,6 +147,39 @@ func (s *Server) admitLocked() {
 		}
 	}
 	s.queue = s.queue[:0]
+}
+
+// maybeSnapshotLocked writes an engine snapshot once enough quanta have
+// executed since the last one. The record carries the SSE sequence counter
+// captured at the same instant, so a recovered daemon numbers the replayed
+// event stream identically. Caller holds s.mu, on the driver goroutine.
+func (s *Server) maybeSnapshotLocked() {
+	if s.journal == nil || s.fatal != nil {
+		return
+	}
+	q := s.eng.QuantaElapsed()
+	if q-s.lastSnapQ < s.cfg.SnapshotEvery {
+		return
+	}
+	if s.eng.Done() && len(s.queue) == 0 && s.hub.Seq() == s.lastSnapSeq {
+		// Idle wall-clock boundaries change nothing a recovery would replay;
+		// snapshotting them would grow the journal without bound.
+		return
+	}
+	blob, err := s.eng.MarshalBinary()
+	if err != nil {
+		s.failLocked(fmt.Errorf("snapshot: %w", err))
+		return
+	}
+	rec := snapshotRecord{
+		boundary: s.eng.Boundary(), quanta: q,
+		sseSeq: s.hub.Seq(), engine: blob,
+	}
+	if s.appendJournal(persist.KindSnapshot, encodeSnapshot(rec)) == nil {
+		s.lastSnapQ = q
+		s.lastSnapSeq = rec.sseSeq
+		s.snapshotCount++
+	}
 }
 
 // jobSpec builds the engine-facing spec for one queued job: a fresh instance
@@ -165,11 +225,20 @@ func (s *Server) drain() {
 		return
 	}
 	s.admitLocked() // flush the queue before the engine closes admission
+	if s.fatal != nil {
+		return
+	}
 	s.eng.Drain()
 	for !s.eng.Done() {
 		if _, err := s.eng.Step(); err != nil {
 			s.failLocked(err)
 			return
+		}
+		s.maybeSnapshotLocked()
+	}
+	if s.journal != nil {
+		if err := s.journal.Sync(); err != nil {
+			s.log.Error("journal sync at drain", "err", err)
 		}
 	}
 }

@@ -45,7 +45,7 @@ func TestE2EVirtualMatchesBatch(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	var live []jobStatusDTO
+	var live []JobStatusDTO
 	getJSON(t, base+"/api/v1/jobs", &live)
 	if len(live) != jobs {
 		t.Fatalf("daemon has %d jobs, want %d", len(live), jobs)
@@ -95,7 +95,7 @@ func TestE2EVirtualMatchesBatch(t *testing.T) {
 	if liveMakespan != batch.Makespan {
 		t.Fatalf("live makespan %d (origin %d) != batch makespan %d", liveMakespan, t0, batch.Makespan)
 	}
-	var st stateDTO
+	var st StateDTO
 	getJSON(t, base+"/api/v1/state", &st)
 	if st.TotalWaste != batch.TotalWaste {
 		t.Fatalf("live total waste %d != batch %d", st.TotalWaste, batch.TotalWaste)

@@ -17,6 +17,7 @@ const (
 	maxWidth  = 1 << 12
 	maxQuanta = 1 << 10
 	maxCL     = 1000
+	maxKeyLen = 128
 )
 
 // JobRequest is the JSON body of POST /api/v1/jobs: a workload-generator
@@ -41,6 +42,10 @@ type JobRequest struct {
 	Shrink int    `json:"shrink,omitempty"`
 	Seed   uint64 `json:"seed,omitempty"`
 	Count  int    `json:"count,omitempty"`
+	// Key is an optional client-chosen idempotency key. Submitting the same
+	// key twice returns the first submission's ids instead of new jobs, so a
+	// client that lost the ack to a crash or timeout can retry safely.
+	Key string `json:"key,omitempty"`
 }
 
 // normalize fills defaults and validates ranges; the error text is returned
@@ -80,6 +85,9 @@ func (r *JobRequest) normalize() error {
 	}
 	if r.Kind == "batch" && r.CL < 2 {
 		return fmt.Errorf("cl %d < 2: a fork-join job needs a parallel phase", r.CL)
+	}
+	if len(r.Key) > maxKeyLen {
+		return fmt.Errorf("idempotency key longer than %d bytes", maxKeyLen)
 	}
 	return nil
 }

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"abg/internal/persist"
+)
+
+// The daemon's write-ahead journal records every externally-sourced piece of
+// nondeterminism, so that snapshot + replay reconstructs the exact engine a
+// crashed daemon was running:
+//
+//	header    the configuration fingerprint the journal was written under —
+//	          replaying under a different machine or scheduler would diverge
+//	          silently, so recovery refuses a mismatched journal
+//	submit    one acked POST /api/v1/jobs: the normalized request (which
+//	          pins the generated profiles), the ids promised to the client,
+//	          and the idempotency key; written BEFORE the ack goes out
+//	admit     the quantum boundary at which a batch of queued jobs entered
+//	          the engine — the one scheduling decision the clock makes
+//	drain     admission closed (operator intent survives a crash)
+//	snapshot  a sim.Engine snapshot plus the SSE sequence counter, letting
+//	          recovery replay only the journal tail
+//
+// Everything else the daemon does is a deterministic function of these
+// records, so nothing else is journaled.
+
+// headerRecord fingerprints the configuration a journal belongs to.
+type headerRecord struct {
+	p, l      int
+	scheduler string
+	r         float64
+	rho       float64
+	delta     float64
+	faultSpec string
+	seed      uint64
+}
+
+const journalFormatVersion byte = 1
+
+func (s *Server) headerRecord() headerRecord {
+	return headerRecord{
+		p: s.cfg.P, l: s.cfg.L, scheduler: s.cfg.Scheduler,
+		r: s.cfg.R, rho: s.cfg.Rho, delta: s.cfg.Delta,
+		faultSpec: s.cfg.FaultSpec, seed: s.cfg.Seed,
+	}
+}
+
+func encodeHeader(h headerRecord) []byte {
+	e := persist.Enc{}
+	e.Uvarint(uint64(journalFormatVersion))
+	e.Int(h.p)
+	e.Int(h.l)
+	e.String(h.scheduler)
+	e.Float(h.r)
+	e.Float(h.rho)
+	e.Float(h.delta)
+	e.String(h.faultSpec)
+	e.Uvarint(h.seed)
+	return e.Bytes()
+}
+
+func decodeHeader(body []byte) (headerRecord, error) {
+	d := persist.NewDec(body)
+	if v := d.Uvarint(); d.Err() == nil && v != uint64(journalFormatVersion) {
+		return headerRecord{}, fmt.Errorf("journal format version %d, this build reads %d",
+			v, journalFormatVersion)
+	}
+	h := headerRecord{
+		p: d.Int(), l: d.Int(), scheduler: d.String(),
+		r: d.Float(), rho: d.Float(), delta: d.Float(),
+		faultSpec: d.String(), seed: d.Uvarint(),
+	}
+	if err := d.Err(); err != nil {
+		return headerRecord{}, fmt.Errorf("journal header: %w", err)
+	}
+	return h, nil
+}
+
+// submitRecord is one acknowledged submission: the ids handed to the client
+// and the normalized request that deterministically regenerates the jobs.
+type submitRecord struct {
+	firstID int
+	count   int
+	key     string
+	req     JobRequest
+}
+
+func encodeSubmit(rec submitRecord) ([]byte, error) {
+	body, err := json.Marshal(rec.req)
+	if err != nil {
+		return nil, fmt.Errorf("journal submit record: %w", err)
+	}
+	e := persist.Enc{}
+	e.Int(rec.firstID)
+	e.Int(rec.count)
+	e.String(rec.key)
+	e.BytesField(body)
+	return e.Bytes(), nil
+}
+
+func decodeSubmit(body []byte) (submitRecord, error) {
+	d := persist.NewDec(body)
+	rec := submitRecord{firstID: d.Int(), count: d.Int(), key: d.String()}
+	raw := d.BytesField()
+	if err := d.Err(); err != nil {
+		return submitRecord{}, fmt.Errorf("journal submit record: %w", err)
+	}
+	if err := json.Unmarshal(raw, &rec.req); err != nil {
+		return submitRecord{}, fmt.Errorf("journal submit record: %w", err)
+	}
+	if rec.firstID < 0 || rec.count < 1 || rec.count != rec.req.Count {
+		return submitRecord{}, fmt.Errorf("journal submit record: implausible ids %d+%d (req count %d)",
+			rec.firstID, rec.count, rec.req.Count)
+	}
+	return rec, nil
+}
+
+// admitRecord pins the quantum boundary at which a batch of queued jobs was
+// handed to the engine.
+type admitRecord struct {
+	boundary int
+	ids      []int
+}
+
+func encodeAdmit(rec admitRecord) []byte {
+	e := persist.Enc{}
+	e.Int(rec.boundary)
+	e.Int(len(rec.ids))
+	for _, id := range rec.ids {
+		e.Int(id)
+	}
+	return e.Bytes()
+}
+
+func decodeAdmit(body []byte) (admitRecord, error) {
+	d := persist.NewDec(body)
+	rec := admitRecord{boundary: d.Int()}
+	n := d.Int()
+	if d.Err() == nil && (n < 1 || n > d.Len()) {
+		return admitRecord{}, fmt.Errorf("journal admit record: implausible id count %d", n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		rec.ids = append(rec.ids, d.Int())
+	}
+	if err := d.Err(); err != nil {
+		return admitRecord{}, fmt.Errorf("journal admit record: %w", err)
+	}
+	if rec.boundary < 0 {
+		return admitRecord{}, fmt.Errorf("journal admit record: negative boundary %d", rec.boundary)
+	}
+	return rec, nil
+}
+
+// snapshotRecord carries one engine snapshot plus the server-side counters
+// that must survive with it.
+type snapshotRecord struct {
+	boundary int
+	quanta   int
+	sseSeq   uint64
+	engine   []byte
+}
+
+func encodeSnapshot(rec snapshotRecord) []byte {
+	e := persist.Enc{}
+	e.Int(rec.boundary)
+	e.Int(rec.quanta)
+	e.Uvarint(rec.sseSeq)
+	e.BytesField(rec.engine)
+	return e.Bytes()
+}
+
+func decodeSnapshot(body []byte) (snapshotRecord, error) {
+	d := persist.NewDec(body)
+	rec := snapshotRecord{
+		boundary: d.Int(), quanta: d.Int(), sseSeq: d.Uvarint(),
+	}
+	rec.engine = append([]byte(nil), d.BytesField()...)
+	if err := d.Err(); err != nil {
+		return snapshotRecord{}, fmt.Errorf("journal snapshot record: %w", err)
+	}
+	return rec, nil
+}
+
+// appendJournal appends one record, treating a write failure as fatal: a
+// daemon that cannot journal can no longer promise recoverability, so it
+// drains rather than keep acking submissions it might forget. No-op without
+// a journal. Caller holds s.mu.
+func (s *Server) appendJournal(kind byte, body []byte) error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.Append(kind, body); err != nil {
+		s.failLocked(fmt.Errorf("journal append: %w", err))
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"abg/internal/persist"
+)
+
+// startCrashable boots a journaled server whose lifecycle the test manages
+// explicitly: no automatic drain or Wait, so the test can crash it.
+func startCrashable(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Start(ctx); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(cancel)
+	return s, "http://" + s.Addr()
+}
+
+// crash simulates SIGKILL on an in-process daemon: the driver loop stops
+// dead (no drain, no final events), client connections are severed, and the
+// journal file is released — exactly the state a killed process leaves on
+// disk, since every append already went straight to the file.
+func crash(t *testing.T, s *Server) {
+	t.Helper()
+	s.killed.Store(true)
+	s.notify()
+	select {
+	case <-s.stopped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("driver did not stop after kill")
+	}
+	s.hsrv.Close()
+	s.mu.Lock()
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	s.mu.Unlock()
+}
+
+// submitKeyed posts one keyed batch job and asserts the acked id is dense.
+func submitKeyed(t *testing.T, base string, i int) {
+	t.Helper()
+	code, ack, bad := postJobs(t, base, JobRequest{
+		Kind: "batch", Name: fmt.Sprintf("rec-%d", i),
+		Seed: uint64(100 + i), Key: fmt.Sprintf("rec-key-%d", i),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit %d: status %d (%q)", i, code, bad.Error)
+	}
+	if len(ack.IDs) != 1 || ack.IDs[0] != i {
+		t.Fatalf("submit %d: ids %v, want [%d]", i, ack.IDs, i)
+	}
+}
+
+// waitQuanta polls until the engine has executed at least q quanta or every
+// submitted job completed (idle — no more quanta will come).
+func waitQuanta(t *testing.T, s *Server, q, submitted int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.snapshot()
+		if st.QuantaElapsed >= q || (submitted > 0 && st.Completed >= submitted) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck at quantum %d (want %d, %d/%d done)",
+				st.QuantaElapsed, q, st.Completed, submitted)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// liveStatuses reads the final per-job statuses straight off the engine
+// (valid after Wait: the driver is parked).
+func liveStatuses(s *Server) []JobStatusDTO {
+	sts := s.eng.Statuses()
+	out := make([]JobStatusDTO, len(sts))
+	for i, st := range sts {
+		out[i] = statusDTO(st)
+	}
+	return out
+}
+
+// crashCfg is the shared shape of the recovery tests: a small machine on a
+// fast wall clock (so crashes land mid-run), snapshotting aggressively.
+func crashCfg(dir, faultSpec string) Config {
+	return Config{
+		P: 16, L: 50, Scheduler: "abg",
+		Clock: ClockWall, Tick: time.Millisecond,
+		QueueLimit: 100, Seed: 7,
+		JournalDir: dir, SnapshotEvery: 4,
+		FaultSpec: faultSpec,
+	}
+}
+
+// TestRecoveryMatchesReference crashes a journaled daemon twice mid-run —
+// once per fault-spec clause, plus fault-free and the A-Greedy scheduler —
+// and checks the final per-job results equal ReferenceResult's
+// uninterrupted replay of the same journal.
+func TestRecoveryMatchesReference(t *testing.T) {
+	specs := []struct{ name, fault, sched string }{
+		{"nofault", "", "abg"},
+		{"agreedy", "", "agreedy"},
+		{"drop", "drop=0.3,seed=5", "abg"},
+		{"delay", "delay=2:0.3,seed=5", "abg"},
+		{"dup", "dup=0.3,seed=5", "abg"},
+		{"noise", "noise=0.5,seed=5", "abg"},
+		{"restart", "restart=0.3,restartat=1,maxrestarts=2,seed=5", "abg"},
+		{"churn", "cap=churn:0.5:4,seed=5", "abg"},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			cfg := crashCfg(dir, tc.fault)
+			cfg.Scheduler = tc.sched
+
+			s1, base := startCrashable(t, cfg)
+			for i := 0; i < 4; i++ {
+				submitKeyed(t, base, i)
+			}
+			waitQuanta(t, s1, 3, 4)
+			crash(t, s1)
+
+			s2, base2 := startCrashable(t, cfg)
+			var rec RecoveryDTO
+			getJSON(t, base2+"/api/v1/recovery", &rec)
+			if !rec.Recovered {
+				t.Fatalf("first restart did not recover: %+v", rec)
+			}
+			for i := 4; i < 8; i++ {
+				submitKeyed(t, base2, i)
+			}
+			waitQuanta(t, s2, s2.snapshot().QuantaElapsed+3, 8)
+			crash(t, s2)
+
+			s3, base3 := startCrashable(t, cfg)
+			getJSON(t, base3+"/api/v1/recovery", &rec)
+			if !rec.Recovered {
+				t.Fatalf("second restart did not recover: %+v", rec)
+			}
+			for i := 8; i < 10; i++ {
+				submitKeyed(t, base3, i)
+			}
+			s3.Drain()
+			if err := s3.Wait(); err != nil {
+				t.Fatalf("final drain: %v", err)
+			}
+
+			live := liveStatuses(s3)
+			ref, err := ReferenceResult(dir)
+			if err != nil {
+				t.Fatalf("ReferenceResult: %v", err)
+			}
+			if len(live) != 10 || len(ref) != 10 {
+				t.Fatalf("job counts: live %d, reference %d, want 10", len(live), len(ref))
+			}
+			for i := range ref {
+				if !reflect.DeepEqual(live[i], ref[i]) {
+					t.Errorf("job %d diverged:\n live %+v\n ref  %+v", i, live[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryIdempotentResubmit: a submission retried after a crash (same
+// idempotency key) must answer with the original ids instead of admitting a
+// second copy, and fresh submissions must continue the dense id sequence.
+func TestRecoveryIdempotentResubmit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := crashCfg(dir, "")
+
+	s1, base := startCrashable(t, cfg)
+	for i := 0; i < 3; i++ {
+		submitKeyed(t, base, i)
+	}
+	waitQuanta(t, s1, 2, 3)
+	crash(t, s1)
+
+	_, base2 := startCrashable(t, cfg)
+	req := JobRequest{Kind: "batch", Name: "rec-1", Seed: 101, Key: "rec-key-1"}
+	code, ack, bad := postJobs(t, base2, req)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d (%q), want 200 duplicate", code, bad.Error)
+	}
+	if ack.State != "duplicate" || len(ack.IDs) != 1 || ack.IDs[0] != 1 {
+		t.Fatalf("resubmit: got %+v, want duplicate of id 1", ack)
+	}
+	submitKeyed(t, base2, 3) // fresh key continues at the next dense id
+}
+
+// TestRecoveryTornTail: garbage appended to the journal (a torn write from
+// the crash) is truncated at boot, and recovery proceeds from the clean
+// prefix.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := crashCfg(dir, "")
+
+	s1, base := startCrashable(t, cfg)
+	for i := 0; i < 3; i++ {
+		submitKeyed(t, base, i)
+	}
+	waitQuanta(t, s1, 3, 3)
+	crash(t, s1)
+
+	// A torn record: plausible length prefix, missing most of its payload.
+	path := filepath.Join(dir, persist.JournalFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if _, err := f.Write([]byte{40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 2, 7}); err != nil {
+		t.Fatalf("append torn tail: %v", err)
+	}
+	f.Close()
+
+	s2, base2 := startCrashable(t, cfg)
+	var rec RecoveryDTO
+	getJSON(t, base2+"/api/v1/recovery", &rec)
+	if !rec.Recovered || rec.TruncatedBytes != 10 {
+		t.Fatalf("recovery = %+v, want recovered with 10 truncated bytes", rec)
+	}
+	s2.Drain()
+	if err := s2.Wait(); err != nil {
+		t.Fatalf("drain after torn-tail recovery: %v", err)
+	}
+	live := liveStatuses(s2)
+	ref, err := ReferenceResult(dir)
+	if err != nil {
+		t.Fatalf("ReferenceResult: %v", err)
+	}
+	if !reflect.DeepEqual(live, ref) {
+		t.Fatalf("torn-tail recovery diverged:\n live %+v\n ref  %+v", live, ref)
+	}
+}
+
+// TestSSEReconnectWithoutLoss: a subscriber that disconnects and reconnects
+// with Last-Event-ID receives exactly the events it missed, contiguously,
+// with no resync marker.
+func TestSSEReconnectWithoutLoss(t *testing.T) {
+	_, base := startServer(t, Config{
+		P: 8, L: 20, Clock: ClockVirtual, QueueLimit: 50,
+	})
+	client := NewClient(base)
+	ctx := context.Background()
+
+	if _, err := client.Submit(ctx, JobRequest{Kind: "batch", Seed: 1}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitCompleted(t, base, 1)
+
+	// First connection: take the first three events, then hang up.
+	var first []SSEEvent
+	last := uint64(0)
+	_, err := client.streamOnce(ctx, &last, func(ev SSEEvent) error {
+		first = append(first, ev)
+		if len(first) == 3 {
+			return ErrStopStream
+		}
+		return nil
+	})
+	if err != ErrStopStream {
+		t.Fatalf("first stream: %v", err)
+	}
+	if len(first) != 3 || first[0].ID != 1 || first[2].ID != 3 {
+		t.Fatalf("first events: %+v", first)
+	}
+
+	// Reconnect where we left off: ids continue at 4 with no gap and no
+	// resync, through the ring replay.
+	var second []SSEEvent
+	_, err = client.streamOnce(ctx, &last, func(ev SSEEvent) error {
+		if ev.Type == "resync" {
+			t.Errorf("unexpected resync frame at id %d", ev.ID)
+		}
+		second = append(second, ev)
+		if len(second) == 5 {
+			return ErrStopStream
+		}
+		return nil
+	})
+	if err != ErrStopStream {
+		t.Fatalf("second stream: %v", err)
+	}
+	for i, ev := range second {
+		if want := uint64(4 + i); ev.ID != want {
+			t.Fatalf("reconnect event %d has id %d, want %d (events %+v)", i, ev.ID, want, second)
+		}
+	}
+}
+
+// TestSSEReconnectAfterEviction: with a tiny replay ring, a subscriber too
+// far behind receives a resync frame telling it to refetch absolute state,
+// and the stream resumes from what the ring still holds.
+func TestSSEReconnectAfterEviction(t *testing.T) {
+	_, base := startServer(t, Config{
+		P: 8, L: 20, Clock: ClockVirtual, QueueLimit: 50, EventRing: 8,
+	})
+	client := NewClient(base)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Submit(ctx, JobRequest{Kind: "batch", Seed: uint64(i)}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	st := waitCompleted(t, base, 3)
+	if st.LastEventID <= 8+1 {
+		t.Fatalf("only %d events; ring cannot have evicted", st.LastEventID)
+	}
+
+	// Pretend we saw event 1 and vanished: far more than 8 events later,
+	// the ring has evicted our position.
+	last := uint64(1)
+	var got []SSEEvent
+	_, err := client.streamOnce(ctx, &last, func(ev SSEEvent) error {
+		got = append(got, ev)
+		if len(got) == 9 {
+			return ErrStopStream
+		}
+		return nil
+	})
+	if err != ErrStopStream {
+		t.Fatalf("stream: %v", err)
+	}
+	if got[0].Type != "resync" {
+		t.Fatalf("first frame %+v, want resync", got[0])
+	}
+	// The resync contract: refetch absolute state, then trust the stream.
+	var stNow StateDTO
+	getJSON(t, base+"/api/v1/state", &stNow)
+	if stNow.LastEventID < got[0].ID {
+		t.Fatalf("state lastEventId %d behind resync id %d", stNow.LastEventID, got[0].ID)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Type != "" {
+			t.Fatalf("frame %d: unexpected type %q", i, got[i].Type)
+		}
+		if got[i].ID <= got[i-1].ID && got[i-1].Type == "" {
+			t.Fatalf("ids not increasing: %+v", got)
+		}
+	}
+	// Replay resumes inside the ring: the first data frame is one of the
+	// last 8 ids, nowhere near our stale position.
+	if got[1].ID <= stNow.LastEventID-8 {
+		t.Fatalf("replay started at %d, outside the %d-entry ring ending at %d",
+			got[1].ID, 8, stNow.LastEventID)
+	}
+}

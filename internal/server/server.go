@@ -42,6 +42,7 @@ import (
 	"abg/internal/fault"
 	"abg/internal/job"
 	"abg/internal/obs"
+	"abg/internal/persist"
 	"abg/internal/sim"
 )
 
@@ -82,6 +83,22 @@ type Config struct {
 	// MaxQuanta caps one job set's boundaries (effectively unlimited when
 	// zero — a service bound, unlike the batch simulator's default).
 	MaxQuanta int
+	// JournalDir enables crash safety: a write-ahead journal plus periodic
+	// engine snapshots under this directory. On boot the daemon recovers to
+	// the journaled state — same job ids, same results, same SSE sequence
+	// numbers. Empty disables persistence.
+	JournalDir string
+	// SnapshotEvery is the snapshot cadence in executed quanta (default 64).
+	// Smaller values shorten recovery replay; larger ones shrink the journal.
+	SnapshotEvery int
+	// Fsync selects the journal's fsync policy: "always" (default),
+	// "snapshot", or "never". See persist.SyncPolicy for the durability
+	// trade-off.
+	Fsync string
+	// EventRing bounds the SSE replay ring: how many recent events a
+	// reconnecting subscriber can catch up on before it must resync
+	// (default 4096).
+	EventRing int
 	// Bus receives the run's instrumentation events; one is created when
 	// nil. The server always attaches its own subscribers (SSE, history).
 	Bus *obs.Bus
@@ -132,6 +149,15 @@ func (c *Config) normalize() error {
 	if c.MaxQuanta <= 0 {
 		c.MaxQuanta = math.MaxInt - 1
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 64
+	}
+	if c.EventRing <= 0 {
+		c.EventRing = 4096
+	}
+	if _, err := persist.ParseSyncPolicy(c.Fsync); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
 	if c.Bus == nil {
 		c.Bus = obs.NewBus()
 	}
@@ -158,15 +184,24 @@ type Server struct {
 	checker *fault.Checker
 	log     *slog.Logger
 
-	mu     sync.Mutex
-	eng    *sim.Engine
-	queue  []pendingJob
-	nextID int
-	fatal  error
+	mu            sync.Mutex
+	eng           *sim.Engine
+	queue         []pendingJob
+	nextID        int
+	keys          map[string][]int // idempotency key → promised ids
+	fatal         error
+	recovery      RecoveryDTO
+	lastSnapQ     int    // QuantaElapsed at the last written snapshot
+	lastSnapSeq   uint64 // SSE sequence captured by the last snapshot
+	snapshotCount int
+
+	journal *persist.Journal
 
 	draining atomic.Bool
+	killed   atomic.Bool // test hook: crash the driver without draining
 	wake     chan struct{}
 	drained  chan struct{}
+	stopped  chan struct{}
 	started  time.Time
 
 	ln   net.Listener
@@ -203,18 +238,25 @@ func New(cfg Config) (*Server, error) {
 		sched:   scheduler,
 		plan:    plan,
 		bus:     cfg.Bus,
-		hub:     newSSEHub(),
+		hub:     newSSEHub(cfg.EventRing),
 		hist:    newHistory(256),
 		log:     obs.Component("server"),
 		eng:     eng,
+		keys:    make(map[string][]int),
 		wake:    make(chan struct{}, 1),
 		drained: make(chan struct{}),
+		stopped: make(chan struct{}),
 	}
 	s.bus.Subscribe(s.hub)
 	s.bus.Subscribe(s.hist)
 	if cfg.FaultSpec != "" {
 		s.checker = fault.NewChecker(cfg.P, false)
 		s.bus.Subscribe(s.checker)
+	}
+	if cfg.JournalDir != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -251,10 +293,15 @@ func (s *Server) Addr() string {
 
 // Drain initiates a graceful drain: admission stops (submissions get 503),
 // accepted jobs run to completion at fast-forward speed, then the listener
-// shuts down. Idempotent; Wait blocks until the drain completes.
+// shuts down. Idempotent; Wait blocks until the drain completes. The
+// command is journaled, so a daemon restarted on this journal finishes the
+// drain instead of reopening admission.
 func (s *Server) Drain() {
 	if s.draining.CompareAndSwap(false, true) {
 		s.log.Info("drain initiated")
+		s.mu.Lock()
+		_ = s.appendJournal(persist.KindDrain, nil)
+		s.mu.Unlock()
 	}
 	s.notify()
 }
@@ -270,6 +317,9 @@ func (s *Server) Wait() error {
 	}
 	s.mu.Lock()
 	err := s.fatal
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -298,6 +348,7 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/state", s.handleState)
 	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
 	mux.HandleFunc("POST /api/v1/drain", s.handleDrain)
+	mux.HandleFunc("GET /api/v1/recovery", s.handleRecovery)
 	mux.HandleFunc("GET /api/v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -315,8 +366,10 @@ type errorDTO struct {
 	Error string `json:"error"`
 }
 
-// submitResponse acknowledges an accepted submission.
-type submitResponse struct {
+// SubmitResponse acknowledges an accepted submission. State is "queued"
+// for a fresh acceptance and "duplicate" when the request's idempotency key
+// matched an earlier submission — IDs then repeats the original ids.
+type SubmitResponse struct {
 	IDs    []int  `json:"ids"`
 	State  string `json:"state"`
 	Queued int    `json:"queued"`
@@ -348,6 +401,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	if req.Key != "" {
+		if ids, ok := s.keys[req.Key]; ok {
+			// Seen before — possibly acked into a journal whose ack the
+			// client never received. Same key, same jobs, no double admit.
+			depth := len(s.queue)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, SubmitResponse{IDs: ids, State: "duplicate", Queued: depth})
+			return
+		}
+	}
 	if len(s.queue)+req.Count > s.cfg.QueueLimit {
 		depth := len(s.queue)
 		s.mu.Unlock()
@@ -355,6 +418,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorDTO{
 			fmt.Sprintf("admission queue full (%d/%d)", depth, s.cfg.QueueLimit)})
 		return
+	}
+	firstID := s.nextID
+	// The journal record precedes the ack: once the client hears 202, the
+	// submission is recoverable. The reverse order would let a crash forget
+	// an acked job.
+	if s.journal != nil {
+		body, err := encodeSubmit(submitRecord{firstID: firstID, count: req.Count, key: req.Key, req: req})
+		if err == nil {
+			err = s.appendJournal(persist.KindSubmit, body)
+		}
+		if err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusServiceUnavailable, errorDTO{"journal write failed: " + err.Error()})
+			return
+		}
 	}
 	ids := make([]int, req.Count)
 	for i := range profiles {
@@ -365,14 +443,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			id: id, name: req.jobName(i, id), profile: profiles[i],
 		})
 	}
+	if req.Key != "" {
+		s.keys[req.Key] = ids
+	}
 	depth := len(s.queue)
 	s.mu.Unlock()
 	s.notify()
-	writeJSON(w, http.StatusAccepted, submitResponse{IDs: ids, State: "queued", Queued: depth})
+	writeJSON(w, http.StatusAccepted, SubmitResponse{IDs: ids, State: "queued", Queued: depth})
 }
 
-// jobStatusDTO is the JSON wire form of one job's live status.
-type jobStatusDTO struct {
+// JobStatusDTO is the JSON wire form of one job's live status.
+type JobStatusDTO struct {
 	ID             int            `json:"id"`
 	Name           string         `json:"name"`
 	State          string         `json:"state"`
@@ -391,12 +472,12 @@ type jobStatusDTO struct {
 	Restarts       int            `json:"restarts,omitempty"`
 	LostWork       int64          `json:"lostWork,omitempty"`
 	Waste          int64          `json:"waste"`
-	History        []historyEntry `json:"history,omitempty"`
+	History        []HistoryEntry `json:"history,omitempty"`
 }
 
 // statusDTO converts an engine snapshot.
-func statusDTO(st sim.JobStatus) jobStatusDTO {
-	return jobStatusDTO{
+func statusDTO(st sim.JobStatus) JobStatusDTO {
+	return JobStatusDTO{
 		ID: st.ID, Name: st.Name, State: st.State.String(),
 		Release: st.Release, Completion: st.Completion, Response: st.Response,
 		Work: st.Work, CriticalPath: st.CriticalPath,
@@ -410,7 +491,7 @@ func statusDTO(st sim.JobStatus) jobStatusDTO {
 
 // lookupJob resolves a job id to its status: engine-owned, still queued, or
 // unknown.
-func (s *Server) lookupJob(id int) (jobStatusDTO, bool) {
+func (s *Server) lookupJob(id int) (JobStatusDTO, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st, ok := s.eng.JobStatus(id); ok {
@@ -418,14 +499,14 @@ func (s *Server) lookupJob(id int) (jobStatusDTO, bool) {
 	}
 	for _, p := range s.queue {
 		if p.id == id {
-			return jobStatusDTO{
+			return JobStatusDTO{
 				ID: id, Name: p.name, State: "queued",
 				Work:         p.profile.Work(),
 				CriticalPath: p.profile.CriticalPathLen(),
 			}, true
 		}
 	}
-	return jobStatusDTO{}, false
+	return JobStatusDTO{}, false
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -446,15 +527,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	sts := s.eng.Statuses()
-	queued := make([]jobStatusDTO, 0, len(s.queue))
+	queued := make([]JobStatusDTO, 0, len(s.queue))
 	for _, p := range s.queue {
-		queued = append(queued, jobStatusDTO{
+		queued = append(queued, JobStatusDTO{
 			ID: p.id, Name: p.name, State: "queued",
 			Work: p.profile.Work(), CriticalPath: p.profile.CriticalPathLen(),
 		})
 	}
 	s.mu.Unlock()
-	out := make([]jobStatusDTO, 0, len(sts)+len(queued))
+	out := make([]JobStatusDTO, 0, len(sts)+len(queued))
 	for _, st := range sts {
 		out = append(out, statusDTO(st))
 	}
@@ -462,8 +543,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// stateDTO is the scheduler-wide snapshot served at /api/v1/state.
-type stateDTO struct {
+// StateDTO is the scheduler-wide snapshot served at /api/v1/state.
+type StateDTO struct {
 	Version       string  `json:"version"`
 	Scheduler     string  `json:"scheduler"`
 	P             int     `json:"p"`
@@ -484,17 +565,18 @@ type stateDTO struct {
 	MeanResponse  float64 `json:"meanResponse"`
 	SSEClients    int64   `json:"sseClients"`
 	SSEDropped    int64   `json:"sseDropped"`
+	LastEventID   uint64  `json:"lastEventId"`
 	Fault         string  `json:"fault,omitempty"`
 	Error         string  `json:"error,omitempty"`
 	UptimeSec     float64 `json:"uptimeSec"`
 }
 
 // snapshot assembles the scheduler-wide state.
-func (s *Server) snapshot() stateDTO {
+func (s *Server) snapshot() StateDTO {
 	s.mu.Lock()
 	sts := s.eng.Statuses()
 	res := s.eng.Result()
-	st := stateDTO{
+	st := StateDTO{
 		Version:       cli.Version,
 		Scheduler:     s.sched.Name(),
 		P:             s.cfg.P,
@@ -532,6 +614,7 @@ func (s *Server) snapshot() stateDTO {
 	}
 	st.SSEClients = s.hub.n.Load()
 	st.SSEDropped = s.hub.dropped.Load()
+	st.LastEventID = s.hub.Seq()
 	if !s.plan.IsZero() {
 		st.Fault = s.plan.String()
 	}
@@ -585,31 +668,67 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleEvents streams the instrumentation event feed as Server-Sent
-// Events: every obs event of the live run as one `data:` JSON line. The
-// stream ends when the client disconnects or the server finishes draining.
+// Events: every obs event of the live run as one `id:` + `data:` JSON
+// frame. Event ids are monotonic and — because the counter rides in engine
+// snapshots and the event stream is replay-deterministic — stable across a
+// crash-restart. A client that reconnects with Last-Event-ID resumes from
+// the bounded replay ring without loss; one whose position has been evicted
+// receives an `event: resync` frame first and must refetch absolute state
+// (GET /api/v1/state). The stream ends when the client disconnects or the
+// server finishes draining.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorDTO{"streaming unsupported"})
 		return
 	}
-	ch, unsubscribe := s.hub.subscribe(1024)
+	var afterID uint64
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("lastEventID")
+	}
+	if lastID != "" {
+		v, err := strconv.ParseUint(lastID, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDTO{"bad Last-Event-ID: " + lastID})
+			return
+		}
+		afterID = v
+	}
+	replay, ch, resync, unsubscribe := s.hub.subscribe(1024, afterID)
 	defer unsubscribe()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, ": abgd event stream (%s)\n\n", s.sched.Name())
+	fmt.Fprintf(w, "retry: %d\n: abgd event stream (%s)\n\n",
+		sseRetryHintMillis, s.sched.Name())
 	flusher.Flush()
 	if ch == nil { // hub already closed (drained)
 		return
 	}
+	if resync {
+		// The id accompanying the marker is the position just before the
+		// replay (or the current head when nothing is replayable), so the
+		// client's next reconnect carries on from what it actually saw.
+		rid := s.hub.Seq()
+		if len(replay) > 0 {
+			rid = replay[0].id - 1
+		}
+		fmt.Fprintf(w, "id: %d\nevent: resync\ndata: {\"reason\":\"replay ring evicted, refetch /api/v1/state\"}\n\n", rid)
+	}
+	for _, m := range replay {
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", m.id, m.data); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
 	for {
 		select {
-		case b, open := <-ch:
+		case m, open := <-ch:
 			if !open {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", m.id, m.data); err != nil {
 				return
 			}
 			flusher.Flush()
@@ -618,3 +737,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 }
+
+// sseRetryHintMillis is the reconnect delay hint sent at stream start.
+const sseRetryHintMillis = 1000

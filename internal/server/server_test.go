@@ -36,7 +36,7 @@ func startServer(t *testing.T, cfg Config) (*Server, string) {
 }
 
 // postJobs submits a JobRequest and returns status code and decoded body.
-func postJobs(t *testing.T, base string, req JobRequest) (int, submitResponse, errorDTO) {
+func postJobs(t *testing.T, base string, req JobRequest) (int, SubmitResponse, errorDTO) {
 	t.Helper()
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
@@ -44,12 +44,12 @@ func postJobs(t *testing.T, base string, req JobRequest) (int, submitResponse, e
 		t.Fatalf("POST /api/v1/jobs: %v", err)
 	}
 	defer resp.Body.Close()
-	var ok submitResponse
+	var ok SubmitResponse
 	var bad errorDTO
 	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode == http.StatusAccepted {
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
 		if err := json.Unmarshal(raw, &ok); err != nil {
-			t.Fatalf("bad 202 body %q: %v", raw, err)
+			t.Fatalf("bad ack body %q: %v", raw, err)
 		}
 	} else if err := json.Unmarshal(raw, &bad); err != nil {
 		t.Fatalf("bad error body %q: %v", raw, err)
@@ -75,10 +75,10 @@ func getJSON(t *testing.T, url string, out any) int {
 
 // waitCompleted polls /api/v1/state until n jobs completed or the deadline
 // passes.
-func waitCompleted(t *testing.T, base string, n int) stateDTO {
+func waitCompleted(t *testing.T, base string, n int) StateDTO {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
-	var st stateDTO
+	var st StateDTO
 	for time.Now().Before(deadline) {
 		getJSON(t, base+"/api/v1/state", &st)
 		if st.Completed >= n {
@@ -113,7 +113,7 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 		t.Fatalf("state metadata missing: %+v", st)
 	}
 
-	var dto jobStatusDTO
+	var dto JobStatusDTO
 	if code := getJSON(t, base+"/api/v1/jobs/1", &dto); code != http.StatusOK {
 		t.Fatalf("GET job 1 = %d", code)
 	}
@@ -130,7 +130,7 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 		t.Fatalf("job 1 history = %+v", dto.History)
 	}
 
-	var all []jobStatusDTO
+	var all []JobStatusDTO
 	getJSON(t, base+"/api/v1/jobs", &all)
 	if len(all) != 3 {
 		t.Fatalf("job list has %d entries, want 3", len(all))
@@ -176,7 +176,7 @@ func TestBackpressure429(t *testing.T) {
 		t.Fatalf("overflow: status %d (%q), want 429", code, bad.Error)
 	}
 	// Queued jobs are visible with state "queued" before admission.
-	var dto jobStatusDTO
+	var dto JobStatusDTO
 	getJSON(t, base+"/api/v1/jobs/2", &dto)
 	if dto.State != "queued" {
 		t.Fatalf("job 2 state = %q, want queued", dto.State)
@@ -193,7 +193,7 @@ func TestBackpressure429(t *testing.T) {
 	if !dr["draining"] || !dr["done"] {
 		t.Fatalf("drain response = %v", dr)
 	}
-	var st stateDTO
+	var st StateDTO
 	getJSON(t, base+"/api/v1/state", &st)
 	if st.Completed != 4 || st.Queued != 0 || !st.Draining {
 		t.Fatalf("state after drain = %+v", st)
@@ -224,8 +224,11 @@ func TestSSEStreamsEvents(t *testing.T) {
 		t.Fatalf("content type = %q", ct)
 	}
 	sc := bufio.NewScanner(resp.Body)
-	// The handler sends a comment line first; once that arrives the
-	// subscription is live and no submission events can be missed.
+	// The handler opens with a reconnect hint and a comment line; once they
+	// arrive the subscription is live and no submission events can be missed.
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "retry: ") {
+		t.Fatalf("no SSE retry hint: %q (err %v)", sc.Text(), sc.Err())
+	}
 	if !sc.Scan() || !strings.HasPrefix(sc.Text(), ":") {
 		t.Fatalf("no SSE preamble: %q (err %v)", sc.Text(), sc.Err())
 	}
@@ -265,7 +268,7 @@ func TestFaultSpecWiresCheckerAndRestarts(t *testing.T) {
 		t.Fatal("submit failed")
 	}
 	waitCompleted(t, base, 1)
-	var dto jobStatusDTO
+	var dto JobStatusDTO
 	getJSON(t, base+"/api/v1/jobs/0", &dto)
 	if dto.Restarts != 1 || dto.LostWork <= 0 {
 		t.Fatalf("restart not injected: %+v", dto)
@@ -279,7 +282,7 @@ func TestFaultSpecWiresCheckerAndRestarts(t *testing.T) {
 	if !found {
 		t.Fatalf("history missing job_restarted: %+v", dto.History)
 	}
-	var st stateDTO
+	var st StateDTO
 	getJSON(t, base+"/api/v1/state", &st)
 	if st.Fault == "" {
 		t.Fatalf("state does not report fault plan: %+v", st)
@@ -294,7 +297,7 @@ func TestWallClockAdvancesIdleTime(t *testing.T) {
 		P: 8, L: 100, Clock: ClockWall, Tick: time.Millisecond,
 	})
 	deadline := time.Now().Add(5 * time.Second)
-	var st stateDTO
+	var st StateDTO
 	for time.Now().Before(deadline) {
 		getJSON(t, base+"/api/v1/state", &st)
 		if st.Now >= 300 {

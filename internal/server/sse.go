@@ -44,34 +44,54 @@ func marshalEvent(e obs.Event) []byte {
 	return b
 }
 
+// sseMsg is one stream item: a marshalled event plus its monotonic id.
+type sseMsg struct {
+	id   uint64
+	data []byte
+}
+
 // sseHub fans instrumentation events out to the connected SSE clients. It
 // subscribes to the run's obs bus, so OnEvent is called synchronously from
 // the simulation driver: sends are non-blocking, and a client that cannot
 // keep up loses events (counted in dropped) rather than stalling the
 // scheduler — backpressure never propagates into the quantum clock.
+//
+// Every event carries a monotonic sequence id, assigned whether or not a
+// client is connected, and the newest events are retained in a bounded
+// replay ring. A client that reconnects with Last-Event-ID resumes from the
+// ring without loss; one that fell behind the ring is told to resync.
+// Because the ids count the deterministic event stream itself (and the
+// counter is persisted in engine snapshots), a recovered daemon re-issues
+// the same events under the same ids — reconnecting subscribers cannot tell
+// a crash-restart from a slow network.
 type sseHub struct {
 	mu      sync.Mutex
-	clients map[chan []byte]struct{}
+	clients map[chan sseMsg]struct{}
+	seq     uint64   // id of the most recently published event
+	ring    []sseMsg // newest ringCap events, oldest first
+	ringCap int
 	n       atomic.Int64 // len(clients), readable without the lock
 	dropped atomic.Int64
 	closed  bool
 }
 
-func newSSEHub() *sseHub {
-	return &sseHub{clients: make(map[chan []byte]struct{})}
+func newSSEHub(ringCap int) *sseHub {
+	return &sseHub{clients: make(map[chan sseMsg]struct{}), ringCap: ringCap}
 }
 
-// OnEvent implements obs.Subscriber. Marshalling happens once per event and
-// only while someone is listening.
+// OnEvent implements obs.Subscriber.
 func (h *sseHub) OnEvent(e obs.Event) {
-	if h.n.Load() == 0 {
-		return
-	}
-	b := marshalEvent(e)
 	h.mu.Lock()
+	h.seq++
+	m := sseMsg{id: h.seq, data: marshalEvent(e)}
+	if len(h.ring) == h.ringCap {
+		copy(h.ring, h.ring[1:])
+		h.ring = h.ring[:len(h.ring)-1]
+	}
+	h.ring = append(h.ring, m)
 	for ch := range h.clients {
 		select {
-		case ch <- b:
+		case ch <- m:
 		default:
 			h.dropped.Add(1)
 		}
@@ -79,29 +99,66 @@ func (h *sseHub) OnEvent(e obs.Event) {
 	h.mu.Unlock()
 }
 
-// subscribe registers a client and returns its event channel plus an
-// unsubscribe func. A nil channel is returned after the hub closed.
-func (h *sseHub) subscribe(buffer int) (<-chan []byte, func()) {
-	ch := make(chan []byte, buffer)
+// setSeq restores the sequence counter from a snapshot (recovery only,
+// before any event flows).
+func (h *sseHub) setSeq(seq uint64) {
+	h.mu.Lock()
+	h.seq = seq
+	h.mu.Unlock()
+}
+
+// subscribe registers a client that has seen events up to afterID (zero for
+// a fresh client). It returns the events the ring still holds beyond
+// afterID, the live channel, and an unsubscribe func — registered and
+// replayed under one lock acquisition, so no event can fall between the
+// replay slice and the channel. resync reports that afterID has already
+// been evicted from the ring: the replay starts later than the client's
+// position and it must refetch absolute state. A nil channel is returned
+// after the hub closed.
+func (h *sseHub) subscribe(buffer int, afterID uint64) (replay []sseMsg, ch <-chan sseMsg, resync bool, unsub func()) {
+	c := make(chan sseMsg, buffer)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return nil, func() {}
+		return nil, nil, false, func() {}
 	}
-	h.clients[ch] = struct{}{}
+	switch {
+	case afterID > h.seq:
+		// The client is ahead of us: it saw events from a journal tail that
+		// did not survive the crash. Only absolute state can reconcile that.
+		resync = true
+	case afterID < h.seq:
+		oldest := h.seq - uint64(len(h.ring)) + 1
+		if len(h.ring) == 0 || afterID+1 < oldest {
+			resync = true
+		}
+		for _, m := range h.ring {
+			if m.id > afterID {
+				replay = append(replay, m)
+			}
+		}
+	}
+	h.clients[c] = struct{}{}
 	h.n.Store(int64(len(h.clients)))
 	var once sync.Once
-	return ch, func() {
+	return replay, c, resync, func() {
 		once.Do(func() {
 			h.mu.Lock()
-			if _, ok := h.clients[ch]; ok {
-				delete(h.clients, ch)
-				close(ch)
+			if _, ok := h.clients[c]; ok {
+				delete(h.clients, c)
+				close(c)
 			}
 			h.n.Store(int64(len(h.clients)))
 			h.mu.Unlock()
 		})
 	}
+}
+
+// Seq returns the id of the most recently published event.
+func (h *sseHub) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
 }
 
 // closeAll disconnects every client (end of drain): their channels close,
@@ -123,18 +180,18 @@ func (h *sseHub) closeAll() {
 type history struct {
 	mu    sync.Mutex
 	max   int
-	byJob map[int][]historyEntry
+	byJob map[int][]HistoryEntry
 }
 
-// historyEntry is one lifecycle transition of a job.
-type historyEntry struct {
+// HistoryEntry is one lifecycle transition of a job.
+type HistoryEntry struct {
 	Quantum int    `json:"quantum,omitempty"`
 	Time    int64  `json:"time"`
 	Event   string `json:"event"`
 }
 
 func newHistory(maxPerJob int) *history {
-	return &history{max: maxPerJob, byJob: make(map[int][]historyEntry)}
+	return &history{max: maxPerJob, byJob: make(map[int][]HistoryEntry)}
 }
 
 // OnEvent implements obs.Subscriber.
@@ -154,15 +211,15 @@ func (h *history) OnEvent(e obs.Event) {
 		copy(entries, entries[1:])
 		entries = entries[:len(entries)-1]
 	}
-	h.byJob[e.Job] = append(entries, historyEntry{
+	h.byJob[e.Job] = append(entries, HistoryEntry{
 		Quantum: e.Quantum, Time: e.Time, Event: e.Kind.String(),
 	})
 	h.mu.Unlock()
 }
 
 // get returns a copy of the job's transition history.
-func (h *history) get(job int) []historyEntry {
+func (h *history) get(job int) []HistoryEntry {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return append([]historyEntry(nil), h.byJob[job]...)
+	return append([]HistoryEntry(nil), h.byJob[job]...)
 }

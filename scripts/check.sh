@@ -14,10 +14,13 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs, sim, fault, feedback, alloc, server, cli)"
+echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli)"
 go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
     ./internal/feedback/... ./internal/alloc/... ./internal/server/... \
-    ./internal/cli/...
+    ./internal/persist/... ./internal/cli/...
+
+echo "== journal decoder fuzz (5s)"
+go test -run '^$' -fuzz FuzzScanBytes -fuzztime 5s ./internal/persist/
 
 echo "== deterministic replay guard (same seed+spec => identical chaos report)"
 a="$(go run ./cmd/abgexp -exp chaos -scale small)"
@@ -38,5 +41,17 @@ go test -run 'TestE2E' -count=1 ./internal/server/
 
 echo "== load-generator smoke (>=1000 closed-loop submissions, ABG vs A-Greedy)"
 go run ./cmd/abgload -selftest -jobs 1000 -clients 32 -kind batch -shrink 8 -P 64 -L 200
+
+echo "== kill-recover smoke (SIGKILL abgd mid-run, recover from journal, compare to reference)"
+# Builds the real binaries, crashes the daemon at random quanta, and asserts
+# the recovered run's per-job results DeepEqual an uninterrupted replay of
+# the journal — fault-free and under an active fault plan.
+bindir="$(mktemp -d)"
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir/abgd" ./cmd/abgd
+go build -o "$bindir/abgload" ./cmd/abgload
+"$bindir/abgload" -crash -abgd "$bindir/abgd" -jobs 30 -crashes 3 -timeout 3m
+"$bindir/abgload" -crash -abgd "$bindir/abgd" -jobs 30 -crashes 3 -timeout 3m \
+    -fault "drop=0.15,delay=2:0.1,dup=0.1,noise=0.3,restart=0.1,restartat=2,maxrestarts=2,cap=churn:0.5:4,seed=11"
 
 echo "== all checks passed"
