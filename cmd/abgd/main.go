@@ -11,6 +11,9 @@
 //	curl localhost:7133/api/v1/jobs/0          # request/allotment/history
 //	curl localhost:7133/api/v1/state           # scheduler-wide snapshot
 //	curl -N localhost:7133/api/v1/events       # SSE instrumentation stream
+//	curl localhost:7133/metrics                # Prometheus text exposition
+//	curl localhost:7133/api/v1/jobs/0/timeline # per-quantum controller loop
+//	curl localhost:7133/healthz                # ok | degraded | failing
 //	curl -X POST 'localhost:7133/api/v1/drain?wait=1'
 //
 // SIGINT/SIGTERM drain gracefully: admission closes (503), accepted jobs run
@@ -56,6 +59,9 @@ func main() {
 		fsync     = flag.String("fsync", "always", "journal durability: always (fsync per record) | snapshot | never")
 		logSpec   = flag.String("log", "info", `log levels: "info" or "info,server=debug,events=debug"`)
 		debugAddr = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. :6060)")
+		ring      = flag.Int("timeline-ring", 0, "per-job quantum-timeline ring depth behind /api/v1/jobs/{id}/timeline (0 = default 256, negative disables)")
+		lagMax    = flag.Int("healthz-lag-max", 0, "journal-lag ceiling before /healthz degrades (0 = default 1024)")
+		ageMax    = flag.Int("healthz-snapshot-age-max", 0, "snapshot-age ceiling in quanta before /healthz degrades (0 = 8× -snapshot-every)")
 		version   = cli.VersionFlag()
 	)
 	flag.Parse()
@@ -67,7 +73,8 @@ func main() {
 
 	bus := obs.NewBus()
 	if *debugAddr != "" {
-		bus.Subscribe(obs.NewMetricsSubscriber(obs.Default))
+		// The server attaches engine metrics to its registry (obs.Default
+		// below), so /debug/vars and /metrics read the same numbers.
 		dbg, err := obs.StartDebugServer(*debugAddr, nil)
 		if err != nil {
 			fatal(err)
@@ -82,7 +89,8 @@ func main() {
 		Clock: server.ClockMode(*clock), Tick: *tick,
 		QueueLimit: *queue, FaultSpec: *faultSpec, Seed: *seed,
 		JournalDir: *journal, SnapshotEvery: *snapEvery, Fsync: *fsync,
-		Bus: bus,
+		Bus: bus, Metrics: obs.Default, TimelineRing: *ring,
+		JournalLagMax: *lagMax, SnapshotAgeMax: *ageMax,
 	})
 	if err != nil {
 		fatal(err)

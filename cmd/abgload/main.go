@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +59,7 @@ func main() {
 		journal  = flag.String("journal", "", "journal directory for -crash mode (default: a fresh temp dir)")
 		crashes  = flag.Int("crashes", 3, "SIGKILL/restart cycles in -crash mode")
 		faultArg = flag.String("fault", "", "fault-injection spec passed to the spawned daemon (-crash mode)")
+		jsonOut  = flag.Bool("json", false, "emit the run summary as JSON on stdout instead of tables (not with -crash)")
 		version  = cli.VersionFlag()
 	)
 	flag.Parse()
@@ -84,7 +86,11 @@ func main() {
 	run := runConfig{jobs: *jobs, clients: *clients, spec: spec, seed: *seed}
 
 	failed := false
+	var reports []*report
 	if *crash {
+		if *jsonOut {
+			fatal(fmt.Errorf("-json is not supported in -crash mode"))
+		}
 		cfg := crashConfig{
 			abgd: *abgdBin, journal: *journal, crashes: *crashes,
 			fault: *faultArg, p: *p, l: *l, run: run,
@@ -101,7 +107,7 @@ func main() {
 				failed = true
 				continue
 			}
-			rep.render(os.Stdout)
+			reports = append(reports, rep)
 		}
 	} else {
 		rep, err := drive(ctx, *addr, "abgd@"+*addr, run, nil)
@@ -109,6 +115,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "abgload: %v\n", err)
 			failed = true
 		} else {
+			reports = append(reports, rep)
+		}
+	}
+	if *jsonOut {
+		if err := writeJSONSummary(os.Stdout, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "abgload: %v\n", err)
+			failed = true
+		}
+	} else {
+		for _, rep := range reports {
 			rep.render(os.Stdout)
 		}
 	}
@@ -296,6 +312,107 @@ func runOne(ctx context.Context, client *server.Client, run runConfig, i int, re
 			return ctx.Err()
 		}
 	}
+}
+
+// LoadSummary is the machine-readable form of one run, emitted by -json so
+// scripts and dashboards can consume abgload output without scraping tables.
+type LoadSummary struct {
+	Label     string `json:"label"`
+	Scheduler string `json:"scheduler"`
+
+	JobsCompleted int64   `json:"jobsCompleted"`
+	WallMs        float64 `json:"wallMs"`
+	JobsPerSec    float64 `json:"jobsPerSec"`
+
+	Retried429       int64 `json:"retried429"`
+	RetriedTransport int64 `json:"retriedTransport"`
+	DeadlineExceeded int64 `json:"deadlineExceeded"`
+	StatusPolls      int64 `json:"statusPolls"`
+
+	SubmitMs      Quantiles `json:"submitMs"`
+	StatusMs      Quantiles `json:"statusMs"`
+	ResponseSteps Quantiles `json:"responseSteps"`
+
+	DeprivedFraction float64 `json:"deprivedFraction"`
+	MakespanSteps    int64   `json:"makespanSteps"`
+	TotalWaste       int64   `json:"totalWaste"`
+	SSEDropped       int64   `json:"sseDropped"`
+}
+
+// Quantiles summarises one latency-style sample set via obs.Histogram's
+// bucket-interpolated estimator — the same estimator behind the daemon's
+// /metrics histograms and /api/v1/state percentiles, so the client-side and
+// server-side numbers are comparable.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// quantiles folds samples into a histogram with the given bucket bounds and
+// reads the summary back out.
+func quantiles(samples []float64, bounds []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{}
+	}
+	h := obs.NewRegistry().Histogram("q", bounds)
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	return Quantiles{
+		Count: h.Count(),
+		P50:   h.Quantile(0.5), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		Max: h.Max(),
+	}
+}
+
+// summary converts the report to its JSON form.
+func (r *report) summary() LoadSummary {
+	// Sub-10µs to ~80s for HTTP round trips; 100 steps to ~50M for
+	// scheduler response times.
+	msBuckets := obs.ExponentialBuckets(0.01, 2, 24)
+	stepBuckets := obs.ExponentialBuckets(100, 2, 20)
+	depr := 0.0
+	for _, f := range r.deprivedFrac {
+		depr += f
+	}
+	if n := len(r.deprivedFrac); n > 0 {
+		depr /= float64(n)
+	}
+	return LoadSummary{
+		Label: r.label, Scheduler: r.state.Scheduler,
+		JobsCompleted: int64(len(r.responses)),
+		WallMs:        float64(r.wall.Microseconds()) / 1000,
+		JobsPerSec:    float64(r.submitted) / r.wall.Seconds(),
+
+		Retried429: r.retried429, RetriedTransport: r.retriedXport,
+		DeadlineExceeded: r.deadlines, StatusPolls: r.polls,
+
+		SubmitMs:      quantiles(r.submitMS, msBuckets),
+		StatusMs:      quantiles(r.statusMS, msBuckets),
+		ResponseSteps: quantiles(r.responses, stepBuckets),
+
+		DeprivedFraction: depr,
+		MakespanSteps:    r.state.Makespan,
+		TotalWaste:       r.state.TotalWaste,
+		SSEDropped:       r.state.SSEDropped,
+	}
+}
+
+// writeJSONSummary emits every run's summary under a stable schema tag.
+func writeJSONSummary(w io.Writer, reports []*report) error {
+	doc := struct {
+		Schema string        `json:"schema"`
+		Runs   []LoadSummary `json:"runs"`
+	}{Schema: "abg-load/v1"}
+	for _, r := range reports {
+		doc.Runs = append(doc.Runs, r.summary())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // render prints the run's report.

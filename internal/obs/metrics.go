@@ -97,6 +97,70 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the bucket that contains the
+// target rank. The estimate is exact at bucket boundaries and degrades
+// gracefully inside wide buckets — the same trade-off Prometheus's
+// histogram_quantile makes, so abgd's /metrics consumers and the in-process
+// consumers (abgload -json, /api/v1/state) agree on the estimator.
+//
+// Interpolation treats each finite bucket as uniform over (lower, upper].
+// The first bucket interpolates from min(0, bound) to its bound so
+// latency-style histograms (all-positive) do not report negative quantiles.
+// A rank landing in the +Inf overflow bucket clamps to the largest
+// observation. NaN is returned for an empty histogram or q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := q * float64(n)
+	cum := float64(0)
+	for i := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if h.bounds[i] < lo { // all-negative first bucket
+				lo = h.bounds[i]
+			}
+			frac := (rank - cum) / c
+			v := lo + (h.bounds[i]-lo)*frac
+			// Clamp to the observed range: interpolation cannot know the
+			// sample's true extremes, but the histogram tracked them.
+			if min := math.Float64frombits(h.min.Load()); v < min {
+				v = min
+			}
+			if max := math.Float64frombits(h.max.Load()); v > max {
+				v = max
+			}
+			return v
+		}
+		cum += c
+	}
+	// Rank lands in the overflow bucket (or rounding left it past the finite
+	// ones): the best estimate the histogram holds is the maximum.
+	return math.Float64frombits(h.max.Load())
+}
+
+// Min returns the smallest observation (NaN when empty).
+func (h *Histogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return math.NaN()
+	}
+	return math.Float64frombits(h.min.Load())
+}
+
+// Max returns the largest observation (NaN when empty).
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return math.NaN()
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
@@ -204,6 +268,33 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Visit calls f once per registered metric with its name and the live
+// metric value (*Counter, *Gauge, or *Histogram). The registration map is
+// copied under the lock and f runs outside it, so f may take arbitrary time
+// (e.g. render an exposition page) without stalling metric lookups.
+// Iteration order is unspecified; exporters sort.
+func (r *Registry) Visit(f func(name string, metric any)) {
+	r.mu.Lock()
+	type entry struct {
+		name string
+		m    any
+	}
+	entries := make([]entry, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		entries = append(entries, entry{name, c})
+	}
+	for name, g := range r.gauges {
+		entries = append(entries, entry{name, g})
+	}
+	for name, h := range r.histograms {
+		entries = append(entries, entry{name, h})
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		f(e.name, e.m)
+	}
+}
+
 // Reset drops every registered metric (tests).
 func (r *Registry) Reset() {
 	r.mu.Lock()
@@ -305,18 +396,36 @@ func (r *Registry) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
-// publishMu serialises the expvar existence check against Publish, which
+// publishMu serialises the publication table against expvar.Publish, which
 // panics on duplicates.
-var publishMu sync.Mutex
+var (
+	publishMu sync.Mutex
+	published = make(map[string]*atomic.Pointer[Registry])
+)
 
 // PublishExpvar publishes the registry as a single expvar variable holding
-// the Snapshot map. Publishing an already-taken name is a no-op rather than
-// the expvar panic, so CLIs and tests can call it unconditionally.
+// the Snapshot map. expvar variables cannot be unpublished, so the name is
+// bound through an indirection the registry can be swapped behind:
+// publishing a second registry under the same name rebinds the variable to
+// the new registry instead of panicking (expvar's behaviour) or silently
+// serving the stale one (this function's old behaviour). A daemon that
+// tears an engine down and builds a fresh one — e.g. abgd restarting after
+// crash recovery, or back-to-back in-process servers in tests — therefore
+// always exposes the live registry, never a dead engine's counters.
 func (r *Registry) PublishExpvar(name string) {
 	publishMu.Lock()
 	defer publishMu.Unlock()
-	if expvar.Get(name) != nil {
+	if holder, ok := published[name]; ok {
+		holder.Store(r)
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	if expvar.Get(name) != nil {
+		// The name was taken outside this registry mechanism (e.g. the
+		// stdlib's own vars); leave it alone rather than panic.
+		return
+	}
+	holder := &atomic.Pointer[Registry]{}
+	holder.Store(r)
+	published[name] = holder
+	expvar.Publish(name, expvar.Func(func() any { return holder.Load().Snapshot() }))
 }

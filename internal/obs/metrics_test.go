@@ -115,6 +115,86 @@ func TestSnapshotAndWriteSnapshot(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LinearBuckets(10, 10, 10)) // 10, 20, …, 100
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram must report NaN quantiles")
+	}
+	// 100 uniform samples 1..100: every value v lands in bucket ⌈v/10⌉.
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 1},   // exact at a bucket boundary
+		{0.95, 95, 1},  // interpolated inside (90, 100]
+		{0.99, 99, 1},  //
+		{0.1, 10, 1},   //
+		{0, 1, 1},      // clamped to the observed min
+		{1, 100, 1e-9}, // clamped to the observed max
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q must report NaN")
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := NewRegistry().Histogram("x", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(40) // overflow bucket
+	// p99 rank lands in +Inf: the histogram's best estimate is the max.
+	if got := h.Quantile(0.99); got != 40 {
+		t.Fatalf("overflow quantile = %v, want 40", got)
+	}
+	if got := h.Min(); got != 0.5 {
+		t.Fatalf("min = %v, want 0.5", got)
+	}
+	if got := h.Max(); got != 40 {
+		t.Fatalf("max = %v, want 40", got)
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	h := NewRegistry().Histogram("x", ExponentialBuckets(1, 2, 8))
+	h.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) = %v, want 7 (clamped to the only sample)", q, got)
+		}
+	}
+}
+
+func TestVisit(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(5)
+	r.Histogram("h", []float64{1}).Observe(3)
+	seen := map[string]string{}
+	r.Visit(func(name string, m any) {
+		switch m.(type) {
+		case *Counter:
+			seen[name] = "counter"
+		case *Gauge:
+			seen[name] = "gauge"
+		case *Histogram:
+			seen[name] = "histogram"
+		default:
+			t.Fatalf("Visit(%q): unexpected metric type %T", name, m)
+		}
+	})
+	want := map[string]string{"c": "counter", "g": "gauge", "h": "histogram"}
+	for name, kind := range want {
+		if seen[name] != kind {
+			t.Fatalf("Visit saw %v, want %v", seen, want)
+		}
+	}
+}
+
 func TestPublishExpvar(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("published_counter").Add(3)
@@ -130,6 +210,25 @@ func TestPublishExpvar(t *testing.T) {
 	}
 	if decoded["published_counter"] != float64(3) {
 		t.Fatalf("expvar snapshot = %v", decoded)
+	}
+}
+
+func TestPublishExpvarRebind(t *testing.T) {
+	// Regression: publishing a second registry under an already-published
+	// name must rebind the expvar to the new registry (a daemon that
+	// rebuilt its engine after recovery), not keep serving the stale one.
+	a := NewRegistry()
+	a.Counter("generation").Add(1)
+	a.PublishExpvar("abg_test_rebind")
+	b := NewRegistry()
+	b.Counter("generation").Add(2)
+	b.PublishExpvar("abg_test_rebind") // must not panic, must win
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(expvar.Get("abg_test_rebind").String()), &decoded); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if decoded["generation"] != float64(2) {
+		t.Fatalf("expvar still serves the stale registry: %v", decoded)
 	}
 }
 

@@ -43,6 +43,7 @@ type traceEvent struct {
 	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -50,6 +51,60 @@ type traceEvent struct {
 type traceFile struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Span is one interval (Dur > 0) or instant (Dur == 0) of a request trace,
+// the generic unit behind the daemon's end-to-end tracing: submit → admit →
+// per-quantum execution → complete. Start and Dur are in simulation steps
+// (one step = one trace microsecond, matching Timeline's convention), and
+// Track groups spans onto named rows within one process group.
+type Span struct {
+	Name  string         `json:"name"`
+	Track string         `json:"track"`
+	Cat   string         `json:"cat,omitempty"`
+	Start int64          `json:"start"`
+	Dur   int64          `json:"dur"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteSpans renders one trace's spans as Chrome trace-event JSON loadable
+// at https://ui.perfetto.dev: a single process group labelled name, one
+// thread track per distinct Span.Track (in first-appearance order), spans
+// as duration slices and zero-duration spans as thread-scoped instants.
+func WriteSpans(w io.Writer, name string, spans []Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("obs: empty span trace")
+	}
+	const pid = 1
+	var out traceFile
+	out.DisplayTimeUnit = "ms"
+	out.TraceEvents = append(out.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+	tids := make(map[string]int)
+	for _, sp := range spans {
+		tid, ok := tids[sp.Track]
+		if !ok {
+			tid = len(tids) + 1
+			tids[sp.Track] = tid
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": sp.Track},
+			})
+		}
+		ev := traceEvent{
+			Name: sp.Name, Cat: sp.Cat, Ts: sp.Start,
+			Pid: pid, Tid: tid, Args: sp.Args,
+		}
+		if sp.Dur > 0 {
+			ev.Ph, ev.Dur = "X", sp.Dur
+		} else {
+			ev.Ph, ev.S = "i", "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	return json.NewEncoder(w).Encode(out)
 }
 
 // Track ids within each job's process group.

@@ -83,6 +83,58 @@ func TestTimelineWriteTraceEvents(t *testing.T) {
 	}
 }
 
+func TestWriteSpans(t *testing.T) {
+	spans := []Span{
+		{Name: "queued", Track: "lifecycle", Cat: "queue", Start: 0, Dur: 1000},
+		{Name: "q1 a=4", Track: "quanta", Cat: "quantum", Start: 1000, Dur: 200,
+			Args: map[string]any{"allotment": 4}},
+		{Name: "complete", Track: "lifecycle", Start: 1200, Dur: 0},
+	}
+	var sb strings.Builder
+	if err := WriteSpans(&sb, "trace abc", spans); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("span trace is not valid JSON: %v", err)
+	}
+	threads := map[string]int{}
+	var durations, instants int
+	for _, e := range decoded.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			threads[e.Args["name"].(string)] = e.Tid
+		case e.Ph == "X":
+			durations++
+		case e.Ph == "i":
+			instants++
+			if e.S != "t" {
+				t.Fatalf("instant scope = %q, want thread", e.S)
+			}
+		}
+	}
+	if len(threads) != 2 || threads["lifecycle"] == 0 || threads["quanta"] == 0 {
+		t.Fatalf("threads = %v", threads)
+	}
+	if durations != 2 || instants != 1 {
+		t.Fatalf("durations=%d instants=%d, want 2/1", durations, instants)
+	}
+	if err := WriteSpans(&strings.Builder{}, "x", nil); err == nil {
+		t.Fatal("empty span set exported without error")
+	}
+}
+
 func TestTimelineEmpty(t *testing.T) {
 	var tl Timeline
 	if err := tl.WriteTraceEvents(&strings.Builder{}); err == nil {

@@ -1,0 +1,251 @@
+// Package promexport renders an obs.Registry in the Prometheus text
+// exposition format (version 0.0.4), the format behind abgd's GET /metrics:
+//
+//	# TYPE sim_quanta_total counter
+//	sim_quanta_total 42
+//	# TYPE abgd_http_request_seconds histogram
+//	abgd_http_request_seconds_bucket{route="/api/v1/jobs",le="0.001"} 7
+//	abgd_http_request_seconds_bucket{route="/api/v1/jobs",le="+Inf"} 9
+//	abgd_http_request_seconds_sum{route="/api/v1/jobs"} 0.0123
+//	abgd_http_request_seconds_count{route="/api/v1/jobs"} 9
+//
+// The obs registry is a flat name → metric map with no label concept, which
+// is exactly right for its lock-free hot path; labels are layered on top as
+// a naming convention instead. A registry key produced by Name — e.g.
+// `abgd_http_requests_total{code="202",route="/api/v1/jobs"}` — is parsed
+// back into (family, labels) at exposition time, and all series of one
+// family are grouped under a single # TYPE header as Prometheus requires.
+// Keys without braces are plain single-series families.
+//
+// Counters map to counter, gauges to gauge, histograms to histogram with
+// the cumulative le-bucket encoding (obs.Histogram already stores
+// fixed-bound buckets, so the conversion is a running sum). Metric and
+// label names are sanitised to the Prometheus charset; label values are
+// escaped per the text-format rules.
+package promexport
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"abg/internal/obs"
+)
+
+// Name builds a registry key carrying Prometheus labels: family plus
+// alternating label key/value pairs, rendered in sorted-key canonical form
+// so the same label set always produces the same registry key (and thus the
+// same obs metric). Odd trailing arguments and empty keys are ignored.
+//
+//	Name("abgd_http_requests_total", "route", "/api/v1/jobs", "code", "202")
+//	  → `abgd_http_requests_total{code="202",route="/api/v1/jobs"}`
+//
+// Hot paths should build the key once and cache the returned metric, as
+// with any registry lookup.
+func Name(family string, kv ...string) string {
+	if len(kv) < 2 {
+		return family
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		if kv[i] == "" {
+			continue
+		}
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	if len(pairs) == 0 {
+		return family
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(family)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(sanitizeLabelName(p.k))
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// series is one parsed registry entry: family, rendered label block, and
+// the metric it carries.
+type series struct {
+	family string
+	labels string // canonical `{k="v",…}` block, empty for unlabelled
+	metric any
+}
+
+// splitKey parses a registry key into family and label block. The label
+// block is kept verbatim (Name already canonicalised it); a key with
+// malformed braces is treated as an unlabelled family of its sanitised
+// whole.
+func splitKey(key string) (family, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return sanitizeMetricName(key), ""
+	}
+	return sanitizeMetricName(key[:i]), key[i:]
+}
+
+// Write renders every metric of the given registries in the Prometheus text
+// format. Later registries win family-type conflicts silently skipped —
+// a family must have one type, so a name that is a counter in one registry
+// and a gauge in another keeps its first type and drops the clashing
+// series (the exposition stays parseable, which matters more than the
+// conflicting series; fix the naming instead).
+func Write(w io.Writer, regs ...*obs.Registry) error {
+	byFamily := make(map[string][]series)
+	famType := make(map[string]string)
+	var order []string
+	for _, reg := range regs {
+		if reg == nil {
+			continue
+		}
+		reg.Visit(func(key string, metric any) {
+			fam, labels := splitKey(key)
+			typ := typeOf(metric)
+			if prev, ok := famType[fam]; ok && prev != typ {
+				return // family-type conflict: keep the first type
+			}
+			if _, ok := famType[fam]; !ok {
+				famType[fam] = typ
+				order = append(order, fam)
+			}
+			byFamily[fam] = append(byFamily[fam], series{fam, labels, metric})
+		})
+	}
+	sort.Strings(order)
+	for _, fam := range order {
+		all := byFamily[fam]
+		sort.Slice(all, func(i, j int) bool { return all[i].labels < all[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, famType[fam]); err != nil {
+			return err
+		}
+		for _, s := range all {
+			if err := writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// typeOf maps an obs metric to its Prometheus type keyword.
+func typeOf(metric any) string {
+	switch metric.(type) {
+	case *obs.Counter:
+		return "counter"
+	case *obs.Gauge:
+		return "gauge"
+	case *obs.Histogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// writeSeries renders one series (one registry entry).
+func writeSeries(w io.Writer, s series) error {
+	switch m := s.metric.(type) {
+	case *obs.Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.family, s.labels, m.Value())
+		return err
+	case *obs.Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.family, s.labels, m.Value())
+		return err
+	case *obs.Histogram:
+		return writeHistogram(w, s.family, s.labels, m)
+	default:
+		return nil
+	}
+}
+
+// writeHistogram renders the cumulative bucket series plus _sum and _count.
+// The le label is appended to (or merged into) the series' label block.
+func writeHistogram(w io.Writer, family, labels string, h *obs.Histogram) error {
+	bounds, counts := h.Buckets()
+	cum := int64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		le := "+Inf"
+		if !math.IsInf(b, 1) {
+			le = formatFloat(b)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			family, mergeLabels(labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, h.Count())
+	return err
+}
+
+// mergeLabels appends one `k="v"` item to an existing label block.
+func mergeLabels(labels, item string) string {
+	if labels == "" {
+		return "{" + item + "}"
+	}
+	return labels[:len(labels)-1] + "," + item + "}"
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with NaN/Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a name onto [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	return sanitize(name, true)
+}
+
+// sanitizeLabelName maps a name onto [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	return sanitize(name, false)
+}
+
+func sanitize(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9') || (allowColon && r == ':')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// text-format rules.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}

@@ -1,0 +1,237 @@
+package promexport
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"abg/internal/obs"
+)
+
+func TestName(t *testing.T) {
+	for _, tc := range []struct {
+		family string
+		kv     []string
+		want   string
+	}{
+		{"plain", nil, "plain"},
+		{"one", []string{"k", "v"}, `one{k="v"}`},
+		{"sorted", []string{"route", "/x", "code", "200"},
+			`sorted{code="200",route="/x"}`},
+		{"odd", []string{"k"}, "odd"},
+		{"emptykey", []string{"", "v"}, "emptykey"},
+		{"esc", []string{"k", `a"b\c`}, `esc{k="a\"b\\c"}`},
+		{"badlabel", []string{"la-bel", "v"}, `badlabel{la_bel="v"}`},
+	} {
+		if got := Name(tc.family, tc.kv...); got != tc.want {
+			t.Errorf("Name(%q, %v) = %q, want %q", tc.family, tc.kv, got, tc.want)
+		}
+	}
+	// Canonical form: label order in the call must not matter.
+	a := Name("f", "b", "2", "a", "1")
+	b := Name("f", "a", "1", "b", "2")
+	if a != b {
+		t.Fatalf("Name is order-sensitive: %q vs %q", a, b)
+	}
+}
+
+// parseExposition is a miniature Prometheus text-format parser: it checks
+// structural validity (TYPE before samples, one TYPE per family, parseable
+// sample lines) and returns samples keyed by full series name (with label
+// block) plus the family → type map.
+func parseExposition(t *testing.T, text string) (map[string]float64, map[string]string) {
+	t.Helper()
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			fam, typ := parts[2], parts[3]
+			if _, dup := types[fam]; dup {
+				t.Fatalf("line %d: duplicate TYPE for family %q", ln+1, fam)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			types[fam] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "NaN" && valStr != "+Inf" && valStr != "-Inf" {
+			t.Fatalf("line %d: unparseable value %q: %v", ln+1, valStr, err)
+		}
+		fam := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unclosed label block in %q", ln+1, series)
+			}
+			fam = series[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(fam,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := types[fam]; !ok {
+			if _, ok := types[base]; !ok {
+				t.Fatalf("line %d: sample %q before its TYPE line", ln+1, series)
+			}
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("line %d: duplicate series %q", ln+1, series)
+		}
+		samples[series] = val
+	}
+	return samples, types
+}
+
+func TestWriteCountersGaugesLabels(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("jobs_total").Add(7)
+	reg.Gauge("inflight").Set(3)
+	reg.Counter(Name("http_requests_total", "route", "/jobs", "code", "202")).Add(5)
+	reg.Counter(Name("http_requests_total", "route", "/jobs", "code", "429")).Add(2)
+	reg.Counter(Name("http_requests_total", "route", "/state", "code", "200")).Inc()
+
+	var sb strings.Builder
+	if err := Write(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, sb.String())
+	if types["jobs_total"] != "counter" || types["inflight"] != "gauge" ||
+		types["http_requests_total"] != "counter" {
+		t.Fatalf("types = %v", types)
+	}
+	want := map[string]float64{
+		"jobs_total": 7,
+		"inflight":   3,
+		`http_requests_total{code="202",route="/jobs"}`:  5,
+		`http_requests_total{code="429",route="/jobs"}`:  2,
+		`http_requests_total{code="200",route="/state"}`: 1,
+	}
+	for series, wv := range want {
+		if got, ok := samples[series]; !ok || got != wv {
+			t.Errorf("%s = %v (present=%v), want %v", series, got, ok, wv)
+		}
+	}
+}
+
+func TestWriteHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram(Name("req_seconds", "route", "/jobs"), []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.06, 0.5, 3} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples, types := parseExposition(t, text)
+	if types["req_seconds"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+	// Cumulative buckets: ≤0.01:1, ≤0.1:3, ≤1:4, +Inf:5.
+	want := map[string]float64{
+		`req_seconds_bucket{route="/jobs",le="0.01"}`: 1,
+		`req_seconds_bucket{route="/jobs",le="0.1"}`:  3,
+		`req_seconds_bucket{route="/jobs",le="1"}`:    4,
+		`req_seconds_bucket{route="/jobs",le="+Inf"}`: 5,
+		`req_seconds_count{route="/jobs"}`:            5,
+	}
+	for series, wv := range want {
+		if got, ok := samples[series]; !ok || got != wv {
+			t.Errorf("%s = %v (present=%v), want %v\n%s", series, got, ok, wv, text)
+		}
+	}
+	sum := samples[`req_seconds_sum{route="/jobs"}`]
+	if wantSum := 0.005 + 0.05 + 0.06 + 0.5 + 3; sum < wantSum-1e-9 || sum > wantSum+1e-9 {
+		t.Errorf("sum = %v, want %v", sum, wantSum)
+	}
+}
+
+func TestWriteUnlabelledHistogramAndOrdering(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("zz_lat", []float64{1}).Observe(0.5)
+	reg.Counter("aa_total").Inc()
+	var sb strings.Builder
+	if err := Write(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `zz_lat_bucket{le="1"} 1`) {
+		t.Fatalf("unlabelled histogram bucket missing:\n%s", text)
+	}
+	// Families sorted; repeated Write is byte-identical (deterministic).
+	if strings.Index(text, "aa_total") > strings.Index(text, "zz_lat") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+	var sb2 strings.Builder
+	if err := Write(&sb2, reg); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Fatal("Write is not deterministic across calls")
+	}
+}
+
+func TestWriteMultipleRegistriesAndSanitize(t *testing.T) {
+	a := obs.NewRegistry()
+	a.Counter("from_a").Inc()
+	b := obs.NewRegistry()
+	b.Counter("bad-name.total").Add(2)
+	var sb strings.Builder
+	if err := Write(&sb, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := parseExposition(t, sb.String())
+	if samples["from_a"] != 1 {
+		t.Fatalf("missing series from first registry: %v", samples)
+	}
+	if samples["bad_name_total"] != 2 {
+		t.Fatalf("name not sanitised: %v", samples)
+	}
+}
+
+func TestWriteTypeConflictKeepsFirst(t *testing.T) {
+	// Same family name as counter in one registry and gauge in another:
+	// exposition must stay parseable with exactly one TYPE for the family.
+	a := obs.NewRegistry()
+	a.Counter("clash").Add(1)
+	b := obs.NewRegistry()
+	b.Gauge("clash").Set(9)
+	var sb strings.Builder
+	if err := Write(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, sb.String())
+	if n := strings.Count(sb.String(), "# TYPE clash"); n != 1 {
+		t.Fatalf("family emitted %d TYPE lines:\n%s", n, sb.String())
+	}
+	if types["clash"] != "counter" || samples["clash"] != 1 {
+		t.Fatalf("conflict resolution wrong: types=%v samples=%v", types, samples)
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, obs.NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty registry produced output: %q", sb.String())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // JournalFile is the file name the journal lives under inside its directory.
@@ -102,15 +103,48 @@ func ScanFile(path string) (ScanResult, error) {
 	return ScanBytes(data), nil
 }
 
+// Metrics receives the journal's low-level I/O measurements. The journal
+// calls it synchronously from the append path, so implementations must be
+// cheap and concurrency-safe (atomic counters, not I/O). persist stays free
+// of an obs dependency; the server layer adapts this interface onto its
+// metric registry.
+type Metrics interface {
+	// JournalAppend reports one appended record: its kind byte, on-disk
+	// size including the length/CRC header, and the write duration
+	// (excluding any fsync).
+	JournalAppend(kind byte, bytes int, d time.Duration)
+	// JournalSync reports one fsync and its duration.
+	JournalSync(d time.Duration)
+}
+
 // Journal is the append side of the write-ahead log. Appends are serialised
 // internally, so HTTP handlers and the quantum-clock driver can share one
 // Journal.
 type Journal struct {
-	mu     sync.Mutex
-	f      *os.File
-	policy SyncPolicy
-	path   string
-	synced bool // no unsynced bytes since the last fsync
+	mu      sync.Mutex
+	f       *os.File
+	policy  SyncPolicy
+	path    string
+	synced  bool // no unsynced bytes since the last fsync
+	lag     int  // records appended since the last fsync
+	metrics Metrics
+}
+
+// SetMetrics installs (or, with nil, removes) the I/O measurement sink.
+func (j *Journal) SetMetrics(m Metrics) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.metrics = m
+}
+
+// Lag returns the number of records appended since the last successful
+// fsync — the journal's durability debt. Zero under SyncAlways; under the
+// laxer policies it is the count of acknowledged records a machine crash
+// could lose, which /healthz compares against its configured ceiling.
+func (j *Journal) Lag() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lag
 }
 
 // Open opens (creating if needed) the journal in dir for appending,
@@ -163,10 +197,18 @@ func (j *Journal) Append(kind byte, body []byte) error {
 	// One write call for header+payload keeps the torn-write window to a
 	// single record.
 	rec := append(hdr[:], payload...)
+	var start time.Time
+	if j.metrics != nil {
+		start = time.Now()
+	}
 	if _, err := j.f.Write(rec); err != nil {
 		return fmt.Errorf("persist: append: %w", err)
 	}
+	if j.metrics != nil {
+		j.metrics.JournalAppend(kind, len(rec), time.Since(start))
+	}
 	j.synced = false
+	j.lag++
 	if j.policy == SyncAlways || (j.policy == SyncSnapshot && kind == KindSnapshot) {
 		return j.syncLocked()
 	}
@@ -187,10 +229,18 @@ func (j *Journal) syncLocked() error {
 	if j.synced {
 		return nil
 	}
+	var start time.Time
+	if j.metrics != nil {
+		start = time.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("persist: fsync: %w", err)
 	}
+	if j.metrics != nil {
+		j.metrics.JournalSync(time.Since(start))
+	}
 	j.synced = true
+	j.lag = 0
 	return nil
 }
 

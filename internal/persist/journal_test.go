@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestEncDecRoundTrip pins the binary codec: every field type round-trips
@@ -225,5 +226,103 @@ func TestParseSyncPolicy(t *testing.T) {
 	}
 	if _, err := ParseSyncPolicy("sometimes"); err == nil {
 		t.Error("ParseSyncPolicy accepted garbage")
+	}
+}
+
+// countingMetrics is a test Metrics sink recording every callback.
+type countingMetrics struct {
+	appends int
+	bytes   int
+	kinds   []byte
+	syncs   int
+}
+
+func (m *countingMetrics) JournalAppend(kind byte, n int, _ time.Duration) {
+	m.appends++
+	m.bytes += n
+	m.kinds = append(m.kinds, kind)
+}
+
+func (m *countingMetrics) JournalSync(_ time.Duration) { m.syncs++ }
+
+func TestJournalLagAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var m countingMetrics
+	j.SetMetrics(&m)
+
+	body := []byte("payload")
+	for i := 0; i < 3; i++ {
+		if err := j.Append(KindSubmit, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Lag(); got != 3 {
+		t.Fatalf("lag under SyncNever = %d, want 3", got)
+	}
+	if m.appends != 3 || m.syncs != 0 {
+		t.Fatalf("appends=%d syncs=%d, want 3/0", m.appends, m.syncs)
+	}
+	// On-disk size per record: 8-byte header + kind + body.
+	if want := 3 * (8 + 1 + len(body)); m.bytes != want {
+		t.Fatalf("bytes = %d, want %d", m.bytes, want)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Lag(); got != 0 {
+		t.Fatalf("lag after Sync = %d, want 0", got)
+	}
+	if m.syncs != 1 {
+		t.Fatalf("syncs = %d, want 1", m.syncs)
+	}
+	// A redundant Sync with no new bytes is a no-op, not another fsync.
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if m.syncs != 1 {
+		t.Fatalf("redundant sync fsynced anyway: %d", m.syncs)
+	}
+}
+
+func TestJournalLagByPolicy(t *testing.T) {
+	// SyncAlways never accumulates lag.
+	ja, _, err := Open(t.TempDir(), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ja.Close()
+	var ma countingMetrics
+	ja.SetMetrics(&ma)
+	if err := ja.Append(KindSubmit, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if ja.Lag() != 0 || ma.syncs != 1 {
+		t.Fatalf("SyncAlways lag=%d syncs=%d, want 0/1", ja.Lag(), ma.syncs)
+	}
+	// SyncSnapshot accumulates until a snapshot record flushes the debt.
+	js, _, err := Open(t.TempDir(), SyncSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer js.Close()
+	if err := js.Append(KindSubmit, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Append(KindAdmit, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got := js.Lag(); got != 2 {
+		t.Fatalf("SyncSnapshot pre-snapshot lag = %d, want 2", got)
+	}
+	if err := js.Append(KindSnapshot, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if got := js.Lag(); got != 0 {
+		t.Fatalf("SyncSnapshot post-snapshot lag = %d, want 0", got)
 	}
 }

@@ -59,6 +59,25 @@ const (
 	KindSnapshot byte = 5
 )
 
+// KindName returns a record kind's lowercase name (metric labels, logs);
+// unknown kinds render as "unknown".
+func KindName(k byte) string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindSubmit:
+		return "submit"
+	case KindAdmit:
+		return "admit"
+	case KindDrain:
+		return "drain"
+	case KindSnapshot:
+		return "snapshot"
+	default:
+		return "unknown"
+	}
+}
+
 // Record is one decoded journal entry.
 type Record struct {
 	Kind byte

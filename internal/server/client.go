@@ -126,9 +126,11 @@ func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 }
 
 // do runs one API request with retries. body non-nil implies POST with a
-// JSON payload. out, when non-nil, receives the decoded success body. ok
-// lists the statuses accepted as success (default 200).
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, ok ...int) (int, error) {
+// JSON payload. hdr, when non-nil, is added to every attempt (so a retried
+// request carries the same trace id). out, when non-nil, receives the
+// decoded success body. ok lists the statuses accepted as success
+// (default 200).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr map[string]string, out any, ok ...int) (int, error) {
 	if len(ok) == 0 {
 		ok = []int{http.StatusOK}
 	}
@@ -147,7 +149,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 		}
 		actx, cancel := context.WithTimeout(ctx, c.Timeout)
-		status, err := c.attempt(actx, method, path, body, out, ok)
+		status, err := c.attempt(actx, method, path, body, hdr, out, ok)
 		cancel()
 		if err == nil {
 			return status, nil
@@ -185,7 +187,7 @@ func (e *retryAfterErr) Error() string {
 }
 
 // attempt is a single request/response cycle.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, ok []int) (int, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr map[string]string, out any, ok []int) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -196,6 +198,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -229,17 +234,22 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 
 // Submit posts one job request. A missing idempotency key is generated so
 // retries are safe; the returned response's State distinguishes a fresh
-// acceptance ("queued") from a replayed one ("duplicate").
+// acceptance ("queued") from a replayed one ("duplicate"). Every submission
+// carries a client-generated trace id (stable across the retries of one
+// call) in the X-Abg-Trace-Id header; the ack echoes it, and the daemon's
+// end-to-end trace is then readable at /api/v1/traces/{traceId}.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (SubmitResponse, error) {
 	if req.Key == "" {
 		req.Key = NewKey()
 	}
+	traceID := NewKey()
 	body, err := json.Marshal(req)
 	if err != nil {
 		return SubmitResponse{}, err
 	}
 	var ack SubmitResponse
-	_, err = c.do(ctx, http.MethodPost, "/api/v1/jobs", body, &ack,
+	_, err = c.do(ctx, http.MethodPost, "/api/v1/jobs", body,
+		map[string]string{TraceHeader: traceID}, &ack,
 		http.StatusAccepted, http.StatusOK)
 	if err != nil {
 		return SubmitResponse{}, err
@@ -253,29 +263,43 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (SubmitResponse, er
 // JobStatus fetches one job's live status.
 func (c *Client) JobStatus(ctx context.Context, id int) (JobStatusDTO, error) {
 	var st JobStatusDTO
-	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/jobs/%d", id), nil, &st)
+	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/jobs/%d", id), nil, nil, &st)
 	return st, err
 }
 
 // Jobs fetches every known job's status.
 func (c *Client) Jobs(ctx context.Context) ([]JobStatusDTO, error) {
 	var sts []JobStatusDTO
-	_, err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &sts)
+	_, err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, nil, &sts)
 	return sts, err
 }
 
 // State fetches the scheduler-wide snapshot.
 func (c *Client) State(ctx context.Context) (StateDTO, error) {
 	var st StateDTO
-	_, err := c.do(ctx, http.MethodGet, "/api/v1/state", nil, &st)
+	_, err := c.do(ctx, http.MethodGet, "/api/v1/state", nil, nil, &st)
 	return st, err
 }
 
 // Recovery fetches the boot-time recovery report.
 func (c *Client) Recovery(ctx context.Context) (RecoveryDTO, error) {
 	var rec RecoveryDTO
-	_, err := c.do(ctx, http.MethodGet, "/api/v1/recovery", nil, &rec)
+	_, err := c.do(ctx, http.MethodGet, "/api/v1/recovery", nil, nil, &rec)
 	return rec, err
+}
+
+// Timeline fetches one job's bounded per-quantum timeline.
+func (c *Client) Timeline(ctx context.Context, id int) (TimelineDTO, error) {
+	var tl TimelineDTO
+	_, err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/jobs/%d/timeline", id), nil, nil, &tl)
+	return tl, err
+}
+
+// Trace fetches one submission trace by the id Submit generated.
+func (c *Client) Trace(ctx context.Context, id string) (TraceDTO, error) {
+	var tr TraceDTO
+	_, err := c.do(ctx, http.MethodGet, "/api/v1/traces/"+id, nil, nil, &tr)
+	return tr, err
 }
 
 // Drain asks the daemon to drain; wait blocks until the drain completes.
@@ -302,7 +326,7 @@ func (c *Client) Drain(ctx context.Context, wait bool) error {
 		}
 		return nil
 	}
-	_, err := c.do(ctx, http.MethodPost, path, []byte("{}"), nil,
+	_, err := c.do(ctx, http.MethodPost, path, []byte("{}"), nil, nil,
 		http.StatusOK, http.StatusAccepted)
 	return err
 }

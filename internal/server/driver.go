@@ -179,6 +179,7 @@ func (s *Server) maybeSnapshotLocked() {
 		s.lastSnapQ = q
 		s.lastSnapSeq = rec.sseSeq
 		s.snapshotCount++
+		s.metrics.snapshots.Inc()
 	}
 }
 

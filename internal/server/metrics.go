@@ -1,0 +1,231 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"abg/internal/obs"
+	"abg/internal/obs/promexport"
+	"abg/internal/persist"
+)
+
+// Server-layer metric families, exposed at GET /metrics in the Prometheus
+// text format (internal/obs/promexport) alongside the engine's sim_*
+// families fed by obs.AttachMetrics:
+//
+//	abgd_http_requests_total{route,method,code}  counter
+//	abgd_http_request_seconds{route}             histogram (wall latency)
+//	abgd_http_inflight_requests                  gauge
+//	abgd_admission_queue_depth                   gauge   (sampled at scrape)
+//	abgd_admission_rejected_total                counter (429 responses)
+//	abgd_sse_subscribers                         gauge   (sampled at scrape)
+//	abgd_sse_dropped_total                       counter (slow-client drops)
+//	abgd_sse_ring_evictions_total                counter
+//	abgd_journal_appends_total{kind}             counter
+//	abgd_journal_append_bytes_total              counter
+//	abgd_journal_append_seconds                  histogram
+//	abgd_journal_fsyncs_total                    counter
+//	abgd_journal_fsync_seconds                   histogram
+//	abgd_journal_lag_records                     gauge   (sampled at scrape)
+//	abgd_snapshot_age_quanta                     gauge   (sampled at scrape)
+//	abgd_snapshots_total                         counter
+//	abgd_recovery_*                              gauges  (set once at boot)
+//
+// Counters and histograms are updated at event time on their own paths;
+// the sampled gauges are refreshed by sampleMetrics under the scrape so
+// one exposition is self-consistent.
+
+// httpBuckets span sub-millisecond state reads to multi-second drains.
+var httpBuckets = obs.ExponentialBuckets(0.001, 4, 7)
+
+// journalBuckets span page-cache writes (~10µs) to slow fsyncs (~1s).
+var journalBuckets = obs.ExponentialBuckets(1e-5, 4, 9)
+
+// serverMetrics bundles the daemon's pre-resolved metric handles. The
+// registry itself may be shared (cmd/abgd passes obs.Default so /debug/vars
+// sees the same numbers); handles are resolved once so hot paths never
+// rebuild label strings.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+	rejected   *obs.Counter
+	sseSubs    *obs.Gauge
+	sseDropped *obs.Counter
+	sseEvicted *obs.Counter
+	lag        *obs.Gauge
+	snapAge    *obs.Gauge
+	snapshots  *obs.Counter
+
+	// agg is the cross-route latency aggregate behind StateDTO's
+	// httpLatencyP* fields. It lives in a private registry: /metrics
+	// consumers aggregate the per-route histograms themselves.
+	agg *obs.Histogram
+
+	mu          sync.Mutex // guards the sampled deltas below
+	droppedSeen int64
+	evictedSeen int64
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &serverMetrics{
+		reg:        reg,
+		inflight:   reg.Gauge("abgd_http_inflight_requests"),
+		queueDepth: reg.Gauge("abgd_admission_queue_depth"),
+		rejected:   reg.Counter("abgd_admission_rejected_total"),
+		sseSubs:    reg.Gauge("abgd_sse_subscribers"),
+		sseDropped: reg.Counter("abgd_sse_dropped_total"),
+		sseEvicted: reg.Counter("abgd_sse_ring_evictions_total"),
+		lag:        reg.Gauge("abgd_journal_lag_records"),
+		snapAge:    reg.Gauge("abgd_snapshot_age_quanta"),
+		snapshots:  reg.Counter("abgd_snapshots_total"),
+		agg:        obs.NewRegistry().Histogram("http_all_seconds", httpBuckets),
+	}
+}
+
+// recordRecovery publishes the boot-time recovery outcome as gauges.
+func (m *serverMetrics) recordRecovery(rec RecoveryDTO) {
+	set := func(name string, v int) { m.reg.Gauge(name).Set(int64(v)) }
+	recovered := 0
+	if rec.Recovered {
+		recovered = 1
+	}
+	set("abgd_recovery_recovered", recovered)
+	set("abgd_recovery_replayed_records", rec.ReplayedRecords)
+	set("abgd_recovery_replayed_boundaries", rec.ReplayedBoundaries)
+	set("abgd_recovery_resumed_jobs", rec.ResumedJobs)
+	set("abgd_recovery_requeued_jobs", rec.RequeuedJobs)
+}
+
+// statusRecorder captures the response status for the request counter while
+// passing Flush through, so the SSE handler keeps streaming when wrapped.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route's handler with the HTTP metric families. The
+// route label is the registration pattern's path — bounded cardinality, not
+// the raw URL.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.metrics
+	hist := m.reg.Histogram(
+		promexport.Name("abgd_http_request_seconds", "route", route), httpBuckets)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		sec := time.Since(start).Seconds()
+		m.inflight.Add(-1)
+		code := rec.code
+		if code == 0 { // handler wrote nothing: net/http sends 200
+			code = http.StatusOK
+		}
+		m.reg.Counter(promexport.Name("abgd_http_requests_total",
+			"route", route, "method", r.Method, "code", strconv.Itoa(code))).Inc()
+		hist.Observe(sec)
+		m.agg.Observe(sec)
+	}
+}
+
+// journalMetrics adapts the registry onto persist.Metrics. Per-kind
+// counters are resolved up front: Append runs on the submission hot path.
+type journalMetrics struct {
+	appends  map[byte]*obs.Counter
+	unknown  *obs.Counter
+	bytes    *obs.Counter
+	writeSec *obs.Histogram
+	fsyncs   *obs.Counter
+	fsyncSec *obs.Histogram
+}
+
+func newJournalMetrics(reg *obs.Registry) *journalMetrics {
+	jm := &journalMetrics{
+		appends:  make(map[byte]*obs.Counter),
+		unknown:  reg.Counter(promexport.Name("abgd_journal_appends_total", "kind", "unknown")),
+		bytes:    reg.Counter("abgd_journal_append_bytes_total"),
+		writeSec: reg.Histogram("abgd_journal_append_seconds", journalBuckets),
+		fsyncs:   reg.Counter("abgd_journal_fsyncs_total"),
+		fsyncSec: reg.Histogram("abgd_journal_fsync_seconds", journalBuckets),
+	}
+	for _, kind := range []byte{persist.KindHeader, persist.KindSubmit,
+		persist.KindAdmit, persist.KindDrain, persist.KindSnapshot} {
+		jm.appends[kind] = reg.Counter(
+			promexport.Name("abgd_journal_appends_total", "kind", persist.KindName(kind)))
+	}
+	return jm
+}
+
+func (jm *journalMetrics) JournalAppend(kind byte, n int, d time.Duration) {
+	c, ok := jm.appends[kind]
+	if !ok {
+		c = jm.unknown
+	}
+	c.Inc()
+	jm.bytes.Add(int64(n))
+	jm.writeSec.Observe(d.Seconds())
+}
+
+func (jm *journalMetrics) JournalSync(d time.Duration) {
+	jm.fsyncs.Inc()
+	jm.fsyncSec.Observe(d.Seconds())
+}
+
+// sampleMetrics refreshes the scrape-sampled gauges and folds the hub's
+// atomic tallies into their counters.
+func (s *Server) sampleMetrics() {
+	m := s.metrics
+	s.mu.Lock()
+	m.queueDepth.Set(int64(len(s.queue)))
+	m.snapAge.Set(int64(s.eng.QuantaElapsed() - s.lastSnapQ))
+	j := s.journal
+	s.mu.Unlock()
+	if j != nil {
+		m.lag.Set(int64(j.Lag()))
+	}
+	m.sseSubs.Set(s.hub.n.Load())
+	m.mu.Lock()
+	if d := s.hub.dropped.Load(); d > m.droppedSeen {
+		m.sseDropped.Add(d - m.droppedSeen)
+		m.droppedSeen = d
+	}
+	if e := s.hub.evicted.Load(); e > m.evictedSeen {
+		m.sseEvicted.Add(e - m.evictedSeen)
+		m.evictedSeen = e
+	}
+	m.mu.Unlock()
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.sampleMetrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = promexport.Write(w, s.metrics.reg)
+}

@@ -241,6 +241,9 @@ func (s *Server) recoverRecords(records []persist.Record) error {
 			MaxQuanta: s.cfg.MaxQuanta,
 			Obs:       s.bus,
 			Capacity:  s.plan.Capacity,
+			// The ring is observational and excluded from snapshots; the
+			// recovered engine records samples for the quanta it replays.
+			TimelineRing: s.cfg.TimelineRing,
 		}, lg.snap.engine, specs)
 		if err != nil {
 			return err

@@ -102,6 +102,26 @@ type Config struct {
 	// Bus receives the run's instrumentation events; one is created when
 	// nil. The server always attaches its own subscribers (SSE, history).
 	Bus *obs.Bus
+	// Metrics receives the daemon's metric families — HTTP, admission, SSE,
+	// journal, snapshot, and recovery, plus the engine's sim_* families via
+	// obs.AttachMetrics — and is rendered at GET /metrics in the Prometheus
+	// text format. cmd/abgd passes obs.Default so /debug/vars shows the same
+	// numbers; a private registry is created when nil.
+	Metrics *obs.Registry
+	// JournalLagMax is the /healthz ceiling on the journal's durability debt
+	// (records appended since the last fsync, persist.Journal.Lag). Above
+	// it the daemon reports degraded. Default 1024; irrelevant under
+	// -fsync=always, where the lag is always zero.
+	JournalLagMax int
+	// SnapshotAgeMax is the /healthz ceiling on executed quanta since the
+	// last snapshot. Above it the daemon reports degraded (recovery replay
+	// is growing unboundedly). Default 8× SnapshotEvery; only meaningful
+	// with JournalDir set.
+	SnapshotAgeMax int
+	// TimelineRing bounds the per-job quantum-timeline ring behind
+	// GET /api/v1/jobs/{id}/timeline (sim.MultiConfig.TimelineRing).
+	// Default 256; negative disables the timeline.
+	TimelineRing int
 }
 
 // normalize fills defaults and validates the configuration.
@@ -155,6 +175,18 @@ func (c *Config) normalize() error {
 	if c.EventRing <= 0 {
 		c.EventRing = 4096
 	}
+	if c.JournalLagMax <= 0 {
+		c.JournalLagMax = 1024
+	}
+	switch {
+	case c.TimelineRing == 0:
+		c.TimelineRing = 256
+	case c.TimelineRing < 0:
+		c.TimelineRing = 0
+	}
+	if c.SnapshotAgeMax <= 0 {
+		c.SnapshotAgeMax = 8 * c.SnapshotEvery
+	}
 	if _, err := persist.ParseSyncPolicy(c.Fsync); err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
@@ -181,7 +213,9 @@ type Server struct {
 	bus     *obs.Bus
 	hub     *sseHub
 	hist    *history
+	traces  *traceStore
 	checker *fault.Checker
+	metrics *serverMetrics
 	log     *slog.Logger
 
 	mu            sync.Mutex
@@ -229,6 +263,8 @@ func New(cfg Config) (*Server, error) {
 		MaxQuanta: cfg.MaxQuanta,
 		Obs:       cfg.Bus,
 		Capacity:  plan.Capacity,
+		// Observational: the ring never perturbs scheduling or snapshots.
+		TimelineRing: cfg.TimelineRing,
 	})
 	if err != nil {
 		return nil, err
@@ -240,6 +276,7 @@ func New(cfg Config) (*Server, error) {
 		bus:     cfg.Bus,
 		hub:     newSSEHub(cfg.EventRing),
 		hist:    newHistory(256),
+		traces:  newTraceStore(),
 		log:     obs.Component("server"),
 		eng:     eng,
 		keys:    make(map[string][]int),
@@ -247,8 +284,14 @@ func New(cfg Config) (*Server, error) {
 		drained: make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
+	s.metrics = newServerMetrics(cfg.Metrics)
 	s.bus.Subscribe(s.hub)
 	s.bus.Subscribe(s.hist)
+	s.bus.Subscribe(s.traces)
+	// Engine-level sim_* families land in the same registry; AttachMetrics
+	// dedupes, so an external site attaching the same (bus, registry) pair
+	// cannot double-count.
+	obs.AttachMetrics(s.bus, s.metrics.reg)
 	if cfg.FaultSpec != "" {
 		s.checker = fault.NewChecker(cfg.P, false)
 		s.bus.Subscribe(s.checker)
@@ -257,7 +300,9 @@ func New(cfg Config) (*Server, error) {
 		if err := s.openJournal(); err != nil {
 			return nil, err
 		}
+		s.journal.SetMetrics(newJournalMetrics(s.metrics.reg))
 	}
+	s.metrics.recordRecovery(s.recovery)
 	return s, nil
 }
 
@@ -342,15 +387,20 @@ func (s *Server) notify() {
 
 func (s *Server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /api/v1/state", s.handleState)
-	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
-	mux.HandleFunc("POST /api/v1/drain", s.handleDrain)
-	mux.HandleFunc("GET /api/v1/recovery", s.handleRecovery)
-	mux.HandleFunc("GET /api/v1/version", s.handleVersion)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Every route is wrapped by s.instrument; the label is the path pattern,
+	// so metric cardinality is bounded by the route table, not client URLs.
+	mux.HandleFunc("POST /api/v1/jobs", s.instrument("/api/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /api/v1/jobs", s.instrument("/api/v1/jobs", s.handleJobs))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.instrument("/api/v1/jobs/{id}", s.handleJob))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/timeline", s.instrument("/api/v1/jobs/{id}/timeline", s.handleTimeline))
+	mux.HandleFunc("GET /api/v1/traces/{id}", s.instrument("/api/v1/traces/{id}", s.handleTrace))
+	mux.HandleFunc("GET /api/v1/state", s.instrument("/api/v1/state", s.handleState))
+	mux.HandleFunc("GET /api/v1/events", s.instrument("/api/v1/events", s.handleEvents))
+	mux.HandleFunc("POST /api/v1/drain", s.instrument("/api/v1/drain", s.handleDrain))
+	mux.HandleFunc("GET /api/v1/recovery", s.instrument("/api/v1/recovery", s.handleRecovery))
+	mux.HandleFunc("GET /api/v1/version", s.instrument("/api/v1/version", s.handleVersion))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
 }
 
@@ -373,6 +423,9 @@ type SubmitResponse struct {
 	IDs    []int  `json:"ids"`
 	State  string `json:"state"`
 	Queued int    `json:"queued"`
+	// TraceID echoes the request's X-Abg-Trace-Id header; the submission's
+	// end-to-end trace is then readable at /api/v1/traces/{traceId}.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -400,20 +453,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		profiles[i] = req.BuildProfile(i, s.cfg.L)
 	}
 
+	traceID := r.Header.Get(TraceHeader)
 	s.mu.Lock()
 	if req.Key != "" {
 		if ids, ok := s.keys[req.Key]; ok {
 			// Seen before — possibly acked into a journal whose ack the
 			// client never received. Same key, same jobs, no double admit.
+			// The original submission's trace (if any) keeps following the
+			// jobs; the duplicate only echoes the id.
 			depth := len(s.queue)
 			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, SubmitResponse{IDs: ids, State: "duplicate", Queued: depth})
+			writeJSON(w, http.StatusOK, SubmitResponse{
+				IDs: ids, State: "duplicate", Queued: depth, TraceID: traceID})
 			return
 		}
 	}
 	if len(s.queue)+req.Count > s.cfg.QueueLimit {
 		depth := len(s.queue)
 		s.mu.Unlock()
+		s.metrics.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorDTO{
 			fmt.Sprintf("admission queue full (%d/%d)", depth, s.cfg.QueueLimit)})
@@ -447,9 +505,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.keys[req.Key] = ids
 	}
 	depth := len(s.queue)
+	now := s.eng.Now()
 	s.mu.Unlock()
+	if traceID != "" {
+		s.traces.register(traceID, ids, now)
+	}
 	s.notify()
-	writeJSON(w, http.StatusAccepted, SubmitResponse{IDs: ids, State: "queued", Queued: depth})
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		IDs: ids, State: "queued", Queued: depth, TraceID: traceID})
 }
 
 // JobStatusDTO is the JSON wire form of one job's live status.
@@ -566,9 +629,16 @@ type StateDTO struct {
 	SSEClients    int64   `json:"sseClients"`
 	SSEDropped    int64   `json:"sseDropped"`
 	LastEventID   uint64  `json:"lastEventId"`
-	Fault         string  `json:"fault,omitempty"`
-	Error         string  `json:"error,omitempty"`
-	UptimeSec     float64 `json:"uptimeSec"`
+	// HTTP request latency percentiles across all routes, estimated from
+	// the server's latency histogram (obs.Histogram.Quantile); zero until
+	// the first request completes.
+	HTTPRequests     int64   `json:"httpRequests"`
+	HTTPLatencyP50Ms float64 `json:"httpLatencyP50Ms,omitempty"`
+	HTTPLatencyP95Ms float64 `json:"httpLatencyP95Ms,omitempty"`
+	HTTPLatencyP99Ms float64 `json:"httpLatencyP99Ms,omitempty"`
+	Fault            string  `json:"fault,omitempty"`
+	Error            string  `json:"error,omitempty"`
+	UptimeSec        float64 `json:"uptimeSec"`
 }
 
 // snapshot assembles the scheduler-wide state.
@@ -615,6 +685,12 @@ func (s *Server) snapshot() StateDTO {
 	st.SSEClients = s.hub.n.Load()
 	st.SSEDropped = s.hub.dropped.Load()
 	st.LastEventID = s.hub.Seq()
+	if agg := s.metrics.agg; agg.Count() > 0 {
+		st.HTTPRequests = agg.Count()
+		st.HTTPLatencyP50Ms = agg.Quantile(0.5) * 1e3
+		st.HTTPLatencyP95Ms = agg.Quantile(0.95) * 1e3
+		st.HTTPLatencyP99Ms = agg.Quantile(0.99) * 1e3
+	}
 	if !s.plan.IsZero() {
 		st.Fault = s.plan.String()
 	}
@@ -653,18 +729,80 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// HealthDTO is the /healthz body. Status is "ok", "degraded" (durability
+// debt or snapshot age over its configured ceiling — the daemon still
+// serves, but an operator should look), or "failing" (fatal engine error or
+// invariant violation). Degraded and failing both answer 503 so probes and
+// load balancers eject the instance; the body says why.
+type HealthDTO struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining,omitempty"`
+	// JournalLag is the journal's current durability debt — records appended
+	// since the last fsync — and LagMax its ceiling. Absent without -journal.
+	JournalLag int `json:"journalLag,omitempty"`
+	LagMax     int `json:"lagMax,omitempty"`
+	// SnapshotAge is executed quanta since the last engine snapshot, AgeMax
+	// its ceiling. Absent without -journal.
+	SnapshotAge int `json:"snapshotAge,omitempty"`
+	AgeMax      int `json:"ageMax,omitempty"`
+	// Invariants is "ok", "violated", or "off" (no checker configured).
+	Invariants string `json:"invariants"`
+	// Reasons lists everything that pushed Status off "ok".
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// health assembles the health verdict and its HTTP status.
+func (s *Server) health() (HealthDTO, int) {
 	s.mu.Lock()
-	err := s.fatal
+	fatal := s.fatal
+	j := s.journal
+	age := s.eng.QuantaElapsed() - s.lastSnapQ
 	s.mu.Unlock()
-	if err == nil && s.checker != nil {
-		err = s.checker.Err()
+
+	dto := HealthDTO{Status: "ok", Invariants: "off", Draining: s.draining.Load()}
+	if s.checker != nil {
+		dto.Invariants = "ok"
+		if err := s.checker.Err(); err != nil {
+			dto.Invariants = "violated"
+			dto.Reasons = append(dto.Reasons, "invariant violated: "+err.Error())
+		}
 	}
-	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorDTO{err.Error()})
-		return
+	if fatal != nil {
+		dto.Reasons = append(dto.Reasons, "fatal: "+fatal.Error())
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if fatal != nil || dto.Invariants == "violated" {
+		dto.Status = "failing"
+	}
+	if j != nil {
+		dto.JournalLag = j.Lag()
+		dto.LagMax = s.cfg.JournalLagMax
+		dto.SnapshotAge = age
+		dto.AgeMax = s.cfg.SnapshotAgeMax
+		if dto.Status == "ok" {
+			if dto.JournalLag > dto.LagMax {
+				dto.Status = "degraded"
+				dto.Reasons = append(dto.Reasons, fmt.Sprintf(
+					"journal lag %d records exceeds %d (unsynced durability debt)",
+					dto.JournalLag, dto.LagMax))
+			}
+			if dto.SnapshotAge > dto.AgeMax {
+				dto.Status = "degraded"
+				dto.Reasons = append(dto.Reasons, fmt.Sprintf(
+					"last snapshot %d quanta old exceeds %d (recovery replay growing)",
+					dto.SnapshotAge, dto.AgeMax))
+			}
+		}
+	}
+	code := http.StatusOK
+	if dto.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	return dto, code
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	dto, code := s.health()
+	writeJSON(w, code, dto)
 }
 
 // handleEvents streams the instrumentation event feed as Server-Sent

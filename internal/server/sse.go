@@ -72,6 +72,7 @@ type sseHub struct {
 	ringCap int
 	n       atomic.Int64 // len(clients), readable without the lock
 	dropped atomic.Int64
+	evicted atomic.Int64 // events pushed out of the replay ring
 	closed  bool
 }
 
@@ -87,6 +88,7 @@ func (h *sseHub) OnEvent(e obs.Event) {
 	if len(h.ring) == h.ringCap {
 		copy(h.ring, h.ring[1:])
 		h.ring = h.ring[:len(h.ring)-1]
+		h.evicted.Add(1)
 	}
 	h.ring = append(h.ring, m)
 	for ch := range h.clients {

@@ -45,6 +45,9 @@ type jobState struct {
 	deprived    bool
 	attemptWork int64 // work completed since the job's last (re)start
 	last        sched.QuantumStats
+	// timeline is the bounded quantum-sample ring (MultiConfig.TimelineRing);
+	// observational only, excluded from snapshots.
+	timeline *timelineRing
 }
 
 // StepInfo reports what one Step processed.
@@ -299,6 +302,13 @@ func (e *Engine) Step() (StepInfo, error) {
 		if a <= 0 {
 			// No processors this quantum (|J| > P); the job stalls and
 			// its request stands.
+			if cfg.TimelineRing > 0 {
+				e.recordSample(i, QuantumSample{
+					Quantum: e.res.Jobs[i].NumQuanta + 1, Boundary: e.k, Time: now,
+					Request: s.request, IntRequest: e.requests[pos],
+					Deprived: true,
+				})
+			}
 			continue
 		}
 		st := sched.RunQuantum(s.spec.Inst, s.spec.Sched, a, cfg.L)
@@ -313,6 +323,15 @@ func (e *Engine) Step() (StepInfo, error) {
 		}
 		if cfg.keepTrace() {
 			e.res.Jobs[i].Quanta = append(e.res.Jobs[i].Quanta, st)
+		}
+		if cfg.TimelineRing > 0 {
+			e.recordSample(i, QuantumSample{
+				Quantum: st.Index, Boundary: e.k, Time: now,
+				Request: st.Request, IntRequest: e.requests[pos],
+				Allotment: a, Steps: st.Steps, Work: st.Work,
+				Parallelism: st.AvgParallelism(),
+				Deprived:    st.Deprived, Completed: st.Completed,
+			})
 		}
 		// The job holds its allotment until the boundary, so the whole
 		// quantum's cycles are charged.

@@ -57,6 +57,13 @@ type MultiConfig struct {
 	// obs.EvCapacity when the value changes. Nil reproduces the fixed
 	// machine bit-for-bit.
 	Capacity alloc.Capacity
+	// TimelineRing, when positive, keeps a bounded per-job ring of the last
+	// TimelineRing quantum samples (desire, allotment, measured parallelism,
+	// verdict — see QuantumSample), readable via Engine.Timeline. Purely
+	// observational: enabling it leaves results, the event stream, and
+	// engine snapshots bit-identical, and unlike KeepTrace its memory is
+	// bounded per job. Zero disables recording.
+	TimelineRing int
 }
 
 // keepTrace resolves the retention flags, honouring the deprecated one.

@@ -1,0 +1,95 @@
+package sim
+
+// QuantumSample is one recorded quantum of a job's in-engine timeline: the
+// desire d(q) the job presented, the allotment a(q) the allocator granted,
+// the measured parallelism A(q) the quantum achieved, and the resulting
+// satisfied/deprived verdict — the per-quantum view behind abgd's
+// GET /api/v1/jobs/{id}/timeline. Stalled quanta (the allocator granted
+// nothing because |J| > P) are recorded too, with zero Steps and Work, so a
+// timeline shows starvation rather than silently skipping it.
+type QuantumSample struct {
+	// Quantum is the job's 1-based executed-quantum index; a stalled sample
+	// carries the index of the quantum the job was waiting to execute, so
+	// consecutive stalls repeat the same value.
+	Quantum int `json:"quantum"`
+	// Boundary is the global boundary index at which the quantum started,
+	// and Time its simulation step (Boundary·L).
+	Boundary int   `json:"boundary"`
+	Time     int64 `json:"time"`
+	// Request is the continuous desire d(q); IntRequest its ceiling as
+	// presented to the allocator.
+	Request    float64 `json:"request"`
+	IntRequest int     `json:"intRequest"`
+	// Allotment is the granted a(q); zero on a stalled quantum.
+	Allotment int `json:"allotment"`
+	// Steps and Work are the executed steps and completed work of the
+	// quantum; Parallelism is the measured A(q) = Work/Steps.
+	Steps       int     `json:"steps"`
+	Work        int64   `json:"work"`
+	Parallelism float64 `json:"parallelism"`
+	// Deprived is the quantum's verdict: a(q) < ⌈d(q)⌉ (always true for a
+	// stalled quantum). Completed marks the job's final quantum.
+	Deprived  bool `json:"deprived"`
+	Completed bool `json:"completed"`
+}
+
+// timelineRing is a bounded per-job ring of QuantumSamples. It is purely
+// observational state: snapshots exclude it (a recovered engine rebuilds
+// samples only for the quanta it replays), and recording never emits events
+// or touches scheduling state.
+type timelineRing struct {
+	buf   []QuantumSample
+	next  int // next write position
+	total int // samples ever recorded
+}
+
+func newTimelineRing(capacity int) *timelineRing {
+	return &timelineRing{buf: make([]QuantumSample, 0, capacity)}
+}
+
+// record appends a sample, evicting the oldest once the ring is full.
+func (r *timelineRing) record(s QuantumSample) {
+	if cap(r.buf) == 0 {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.total++
+}
+
+// samples returns the retained samples in chronological order (a copy).
+func (r *timelineRing) samples() []QuantumSample {
+	out := make([]QuantumSample, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// recordSample stores one quantum sample on job i's ring, allocating the
+// ring lazily so jobs that never run (pending, zero-work) carry no buffer.
+func (e *Engine) recordSample(i int, s QuantumSample) {
+	st := &e.states[i]
+	if st.timeline == nil {
+		st.timeline = newTimelineRing(e.cfg.TimelineRing)
+	}
+	st.timeline.record(s)
+}
+
+// Timeline returns job id's retained quantum samples in chronological order
+// plus the number of older samples the bounded ring has evicted. With
+// MultiConfig.TimelineRing unset, or for a job that has not yet executed or
+// stalled on any quantum, it returns an empty timeline. ok is false only
+// for an unknown id.
+func (e *Engine) Timeline(id int) (samples []QuantumSample, evicted int, ok bool) {
+	if id < 0 || id >= len(e.states) {
+		return nil, 0, false
+	}
+	r := e.states[id].timeline
+	if r == nil {
+		return nil, 0, true
+	}
+	return r.samples(), r.total - len(r.buf), true
+}

@@ -19,6 +19,16 @@ go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
     ./internal/feedback/... ./internal/alloc/... ./internal/server/... \
     ./internal/persist/... ./internal/cli/...
 
+echo "== bench schema smoke (abgbench -quick, validates BENCH format)"
+# The /metrics-scrape-vs-SSE-vs-stepping race test itself runs in the -race
+# block above (TestMetricsConcurrentWithStreamAndStepping, internal/server).
+./scripts/bench.sh -quick
+if ls BENCH_*.json >/dev/null 2>&1; then
+    for f in BENCH_*.json; do
+        go run ./cmd/abgbench -validate "$f"
+    done
+fi
+
 echo "== journal decoder fuzz (5s)"
 go test -run '^$' -fuzz FuzzScanBytes -fuzztime 5s ./internal/persist/
 
