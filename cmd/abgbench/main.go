@@ -23,8 +23,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -52,7 +54,10 @@ type Doc struct {
 	Version   string `json:"version"`
 	Scheduler string `json:"scheduler"`
 	Quick     bool   `json:"quick,omitempty"`
-	Sizes     []Size `json:"sizes"`
+	// StepWorkers records sim.MultiConfig.StepWorkers for the run. Absent in
+	// files written before the knob existed (= 0, serial).
+	StepWorkers int    `json:"stepWorkers,omitempty"`
+	Sizes       []Size `json:"sizes"`
 }
 
 // Size is the measurement at one concurrency level.
@@ -80,6 +85,7 @@ func main() {
 		validate  = flag.String("validate", "", "validate an existing BENCH file's schema and exit")
 		l         = flag.Int("L", 100, "quantum length (steps)")
 		r         = flag.Float64("r", 0.2, "ABG convergence rate")
+		stepWork  = flag.Int("step-workers", 0, "sim.MultiConfig.StepWorkers for the measured engine (0/1 serial, -1 = one per CPU)")
 		version   = cli.VersionFlag()
 	)
 	flag.Parse()
@@ -111,9 +117,10 @@ func main() {
 	doc := Doc{
 		Schema: Schema, Go: runtime.Version(), Version: cli.Version,
 		Scheduler: core.NewABG(*r).Name(), Quick: *quick,
+		StepWorkers: *stepWork,
 	}
 	for _, n := range sizes {
-		sz, err := benchOne(n, *l, *r)
+		sz, err := benchOne(n, *l, *r, *stepWork)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abgbench: %d jobs: %v\n", n, err)
 			os.Exit(1)
@@ -123,44 +130,87 @@ func main() {
 			sz.Jobs, sz.QuantaPerSec, sz.NsPerJobStep, sz.AllocsPerQuantum)
 	}
 
-	path := *out
-	if path == "" {
-		path = nextBenchPath(".")
-	}
-	f, err := os.Create(path)
+	path, err := writeDoc(doc, *out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abgbench: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(f)
+	fmt.Printf("wrote %s\n", path)
+}
+
+// writeDoc persists doc atomically: the document is encoded to a temp file in
+// the destination directory, schema-validated on disk, and only then committed
+// under its final name. Without -out the next free BENCH_<n>.json index is
+// claimed with os.Link, which fails with ErrExist instead of clobbering — two
+// racing abgbench runs get distinct indices, and a half-written or invalid
+// file can never shadow an existing BENCH_<n>.json.
+func writeDoc(doc Doc, out string) (string, error) {
+	dir := "."
+	if out != "" {
+		if dir = filepath.Dir(out); dir == "" {
+			dir = "."
+		}
+	}
+	tmp, err := os.CreateTemp(dir, ".bench-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	enc := json.NewEncoder(tmp)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err == nil {
-		err = f.Close()
+		err = tmp.Close()
+	} else {
+		tmp.Close()
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "abgbench: write %s: %v\n", path, err)
-		os.Exit(1)
+		return "", fmt.Errorf("write %s: %w", tmpName, err)
 	}
-	fmt.Printf("wrote %s\n", path)
+	// Validate what actually landed on disk before committing it.
+	if err := validateFile(tmpName); err != nil {
+		return "", fmt.Errorf("refusing to commit invalid document: %w", err)
+	}
+	if out != "" {
+		return out, os.Rename(tmpName, out)
+	}
+	for n := nextBenchIndex(dir); ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		switch err := os.Link(tmpName, path); {
+		case err == nil:
+			return path, nil
+		case !errors.Is(err, fs.ErrExist):
+			return "", err
+		}
+	}
 }
 
 // benchOne runs one size to completion and measures it. P is 2× the job
 // count: equi-partitioning then guarantees every job ≥2 processors (no
 // stalled boundaries), while the width-4/8 jobs still start deprived — the
 // allocator and the ABG feedback loop both do real work at every scale.
-func benchOne(jobs, l int, r float64) (Size, error) {
+func benchOne(jobs, l int, r float64, stepWorkers int) (Size, error) {
 	p := 2 * jobs
 	scheduler := core.NewABG(r)
 	eng, err := sim.NewEngine(sim.MultiConfig{
 		P: p, L: l, Allocator: alloc.DynamicEquiPartition{},
-		MaxQuanta: 1 << 30,
+		MaxQuanta:   1 << 30,
+		StepWorkers: stepWorkers,
 	})
 	if err != nil {
 		return Size{}, err
 	}
+	// Profiles are immutable run descriptions; per-job cursor state lives in
+	// the job.NewRun instance. Sharing the four distinct profiles instead of
+	// building one per job keeps the 100k-job heap small enough that the
+	// measurement reflects Step, not the GC walking submission garbage.
 	widths := [4]int{1, 2, 4, 8}
+	var profiles [4]*job.Profile
+	for i, w := range widths {
+		profiles[i] = workload.ConstantJob(w, 3, l)
+	}
 	for i := 0; i < jobs; i++ {
-		profile := workload.ConstantJob(widths[i%4], 3, l)
+		profile := profiles[i%4]
 		_, err := eng.Submit(sim.JobSpec{
 			Name:   fmt.Sprintf("bench%d", i),
 			Inst:   job.NewRun(profile),
@@ -205,9 +255,10 @@ func benchOne(jobs, l int, r float64) (Size, error) {
 	}, nil
 }
 
-// nextBenchPath returns BENCH_<n>.json for the smallest n past every
-// existing BENCH file in dir.
-func nextBenchPath(dir string) string {
+// nextBenchIndex returns the smallest index past every existing BENCH file
+// in dir. A starting point only: writeDoc's link loop re-probes forward, so a
+// file created between the scan and the claim is skipped, never overwritten.
+func nextBenchIndex(dir string) int {
 	next := 1
 	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	sort.Strings(matches)
@@ -217,7 +268,7 @@ func nextBenchPath(dir string) string {
 			next = n + 1
 		}
 	}
-	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+	return next
 }
 
 // validateFile checks that path parses as the current BENCH schema with

@@ -62,6 +62,7 @@ func main() {
 		ring      = flag.Int("timeline-ring", 0, "per-job quantum-timeline ring depth behind /api/v1/jobs/{id}/timeline (0 = default 256, negative disables)")
 		lagMax    = flag.Int("healthz-lag-max", 0, "journal-lag ceiling before /healthz degrades (0 = default 1024)")
 		ageMax    = flag.Int("healthz-snapshot-age-max", 0, "snapshot-age ceiling in quanta before /healthz degrades (0 = 8× -snapshot-every)")
+		stepWork  = flag.Int("step-workers", 0, "goroutines stepping independent jobs per quantum (0/1 serial, -1 = one per CPU); results and journals are identical at every setting")
 		version   = cli.VersionFlag()
 	)
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 		JournalDir: *journal, SnapshotEvery: *snapEvery, Fsync: *fsync,
 		Bus: bus, Metrics: obs.Default, TimelineRing: *ring,
 		JournalLagMax: *lagMax, SnapshotAgeMax: *ageMax,
+		StepWorkers: *stepWork,
 	})
 	if err != nil {
 		fatal(err)

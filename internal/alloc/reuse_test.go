@@ -1,0 +1,67 @@
+package alloc
+
+import (
+	"reflect"
+	"testing"
+
+	"abg/internal/xrand"
+)
+
+// TestAllotterMatchesDirect: the scratch-based re-implementations must be
+// bit-identical to the stateless allocators across random request vectors,
+// and reuse across calls must not leak state between quanta.
+func TestAllotterMatchesDirect(t *testing.T) {
+	for _, m := range []Multi{DynamicEquiPartition{}, EqualSplit{}} {
+		t.Run(m.Name(), func(t *testing.T) {
+			a := NewAllotter(m)
+			rng := xrand.New(42)
+			for trial := 0; trial < 500; trial++ {
+				n := rng.Intn(40) // includes n = 0
+				requests := make([]int, n)
+				for i := range requests {
+					requests[i] = rng.Intn(12) - 2 // includes ≤ 0
+				}
+				p := rng.Intn(64) - 4 // includes p ≤ 0
+				want := m.Allot(requests, p)
+				got := a.Allot(requests, p)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("trial %d: requests=%v p=%d\ndirect:   %v\nallotter: %v",
+						trial, requests, p, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAllotterFallback: an allocator the Allotter does not special-case is
+// delegated to verbatim.
+func TestAllotterFallback(t *testing.T) {
+	rr := &RoundRobin{}
+	a := NewAllotter(rr)
+	if a.Name() != rr.Name() {
+		t.Fatalf("Name() = %q, want %q", a.Name(), rr.Name())
+	}
+	ref := &RoundRobin{}
+	for q := 0; q < 5; q++ {
+		requests := []int{3, 1, 4, 1, 5}
+		want := ref.Allot(requests, 8)
+		got := a.Allot(requests, 8)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("quantum %d: delegate %v, direct %v", q, got, want)
+		}
+	}
+}
+
+func BenchmarkAllotterDEQ(b *testing.B) {
+	const n = 10000
+	requests := make([]int, n)
+	for i := range requests {
+		requests[i] = 1 + i%8
+	}
+	a := NewAllotter(DynamicEquiPartition{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Allot(requests, 2*n)
+	}
+}

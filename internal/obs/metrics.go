@@ -108,11 +108,22 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // The first bucket interpolates from min(0, bound) to its bound so
 // latency-style histograms (all-positive) do not report negative quantiles.
 // A rank landing in the +Inf overflow bucket clamps to the largest
-// observation. NaN is returned for an empty histogram or q outside [0, 1].
+// observation.
+//
+// Quantile always returns a defined, finite value for finite observations:
+// an empty histogram reports 0 (a fresh daemon's /state shows zero latency,
+// not NaN — which would also fail JSON encoding), a single observation
+// reports that observation exactly for every q (the min/max clamp), and q
+// outside [0, 1] (or NaN) is clamped into the valid range.
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.count.Load()
-	if n == 0 || q < 0 || q > 1 || math.IsNaN(q) {
-		return math.NaN()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(n)
 	cum := float64(0)

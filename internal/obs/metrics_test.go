@@ -118,8 +118,12 @@ func TestSnapshotAndWriteSnapshot(t *testing.T) {
 func TestHistogramQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", LinearBuckets(10, 10, 10)) // 10, 20, …, 100
-	if !math.IsNaN(h.Quantile(0.5)) {
-		t.Fatal("empty histogram must report NaN quantiles")
+	// Empty histogram: every quantile is a defined 0, never NaN/∞ — these
+	// values flow straight into /state JSON on a fresh daemon.
+	for _, q := range []float64{0, 0.5, 0.95, 1, -3, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
 	}
 	// 100 uniform samples 1..100: every value v lands in bucket ⌈v/10⌉.
 	for v := 1; v <= 100; v++ {
@@ -137,8 +141,52 @@ func TestHistogramQuantile(t *testing.T) {
 			t.Errorf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
 		}
 	}
-	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
-		t.Fatal("out-of-range q must report NaN")
+	// Out-of-range (and NaN) q clamps into [0, 1] instead of going NaN.
+	for _, tc := range []struct{ q, want float64 }{
+		{-0.1, 1}, {1.1, 100}, {math.NaN(), 1},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("clamped Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantileDefined is the table regression for the edge cases
+// that used to leak NaN into /state: empty histograms, single samples (in a
+// finite bucket, at a bucket bound, and in the overflow bucket), and
+// no-bucket histograms. Every combination must yield a defined, finite
+// value.
+func TestHistogramQuantileDefined(t *testing.T) {
+	qs := []float64{0, 0.25, 0.5, 0.95, 0.99, 1}
+	cases := []struct {
+		name   string
+		bounds []float64
+		sample []float64
+		want   func(q float64) float64
+	}{
+		{"empty", LinearBuckets(1, 1, 4), nil, func(float64) float64 { return 0 }},
+		{"empty-no-buckets", nil, nil, func(float64) float64 { return 0 }},
+		{"single-mid-bucket", []float64{10, 20}, []float64{13}, func(float64) float64 { return 13 }},
+		{"single-at-bound", []float64{10, 20}, []float64{10}, func(float64) float64 { return 10 }},
+		{"single-overflow", []float64{1}, []float64{42}, func(float64) float64 { return 42 }},
+		{"single-no-buckets", nil, []float64{5}, func(float64) float64 { return 5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewRegistry().Histogram("h", tc.bounds)
+			for _, v := range tc.sample {
+				h.Observe(v)
+			}
+			for _, q := range qs {
+				got := h.Quantile(q)
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("Quantile(%v) = %v, want a finite value", q, got)
+				}
+				if want := tc.want(q); got != want {
+					t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+				}
+			}
+		})
 	}
 }
 

@@ -1,53 +1,97 @@
-// Package parallel provides the deterministic fan-out primitive used by the
-// experiment harness: independent simulation tasks are executed concurrently
-// across CPUs while results land in input order, so a sweep's output is
-// identical no matter how many cores ran it.
+// Package parallel provides the deterministic fan-out primitives used by the
+// experiment harness and the simulation engine: independent tasks are
+// executed concurrently across CPUs while results land in input order, so
+// output is identical no matter how many cores ran it.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForEach runs fn(i) for every i in [0, n) using up to GOMAXPROCS
 // goroutines. fn must be safe for concurrent invocation on distinct indices;
 // each index is processed exactly once. ForEach returns when all calls have
 // completed. n ≤ 0 is a no-op.
+//
+// A panic in fn does not deadlock the pool or strand sibling goroutines:
+// remaining work is cancelled, every worker is joined, and the first panic
+// value observed is re-raised on the caller's goroutine.
 func ForEach(n int, fn func(i int)) {
+	ForEachShard(n, 0, func(_, i int) { fn(i) })
+}
+
+// ForEachN is ForEach with an explicit worker bound: at most workers
+// goroutines run fn (workers ≤ 0 means GOMAXPROCS, and the count is further
+// capped at n). workers == 1 runs fn inline on the calling goroutine.
+func ForEachN(n, workers int, fn func(i int)) {
+	ForEachShard(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachShard is ForEachN for callers that keep per-worker scratch state:
+// fn additionally receives the worker index in [0, workers), and a given
+// worker index is only ever live on one goroutine at a time, so fn may use
+// scratch[worker] without synchronisation. Index-to-worker assignment is
+// dynamic (load-balanced) and NOT deterministic; only code whose result does
+// not depend on the assignment — per-index outputs, per-worker scratch —
+// belongs in fn.
+func ForEachShard(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
-	next := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64 // next index to claim
+		panicked atomic.Bool  // cancels remaining work
+		panicVal any          // first panic value; published via wg.Wait
+		panicMu  sync.Mutex
+		wg       sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked.Load() {
+						panicVal = r
+						panicked.Store(true)
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for !panicked.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }
 
 // Map runs fn over [0, n) concurrently and returns the results in input
 // order. Errors are collected per index; the first non-nil error (in index
-// order) is returned alongside the full result slice.
+// order) is returned alongside the full result slice. Panics in fn propagate
+// to the caller per ForEach's contract.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)

@@ -17,7 +17,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"abg/internal/job"
 )
@@ -115,27 +114,49 @@ func (s QuantumStats) String() string {
 		s.Index, s.Request, s.Allotment, s.Steps, s.Length, s.Work, s.CPL, s.AvgParallelism())
 }
 
+// Scratch holds the reusable buffers RunQuantumScratch needs: the per-step
+// completion buffer and a dense per-level accumulator. A Scratch belongs to
+// exactly one goroutine at a time (the engine keeps one per step worker);
+// the zero value is ready to use and the buffers grow to the largest job
+// seen, so a long-lived Scratch makes the quantum loop allocation-free.
+type Scratch struct {
+	buf []job.LevelCount
+	// levelDone[l] accumulates tasks completed at level l this quantum.
+	// Invariant between calls: every element is zero — RunQuantumScratch
+	// clears exactly the window it touched before returning, so reuse never
+	// pays for the full slice.
+	levelDone []int
+}
+
 // RunQuantum executes one scheduling quantum: up to length steps of inst
 // with the given allotment, selecting tasks per the scheduler's order, and
 // returns the measured statistics. The Index, Request and Deprived fields
-// are left for the caller (the engine) to fill in.
+// are left for the caller (the engine) to fill in. It allocates fresh
+// scratch; hot loops should hold a Scratch and call RunQuantumScratch.
 func RunQuantum(inst job.Instance, sc Scheduler, allotment, length int) QuantumStats {
+	var scr Scratch
+	return RunQuantumScratch(inst, sc, allotment, length, &scr)
+}
+
+// RunQuantumScratch is RunQuantum with caller-owned scratch buffers, the
+// allocation-free form the engine's hot path uses. The measurement is
+// bit-identical to RunQuantum's: per-level fractions are summed in
+// ascending level order (float addition is not associative, and replay
+// determinism must not hinge on accumulation order), which the dense
+// accumulator gives for free where the old map needed a sort.
+func RunQuantumScratch(inst job.Instance, sc Scheduler, allotment, length int, scr *Scratch) QuantumStats {
 	st := QuantumStats{Allotment: allotment, Length: length}
 	if length <= 0 {
 		return st
 	}
-	var buf []job.LevelCount
-	// Accumulate per-level fractions. Levels touched within a quantum form a
-	// short contiguous-ish window, so a small map is fine here; the hot path
-	// for the big sweeps is the profile Step itself.
-	levelDone := make(map[int]int, 8)
+	lo, hi := int(^uint(0)>>1), -1 // touched level window [lo, hi]
 	for s := 0; s < length; s++ {
 		if inst.Done() {
 			break
 		}
 		var n int
-		buf = buf[:0]
-		n, buf = inst.Step(allotment, sc.order, buf)
+		scr.buf = scr.buf[:0]
+		n, scr.buf = inst.Step(allotment, sc.order, scr.buf)
 		st.Steps++
 		if n == 0 {
 			st.IdleSteps++
@@ -145,25 +166,29 @@ func RunQuantum(inst job.Instance, sc Scheduler, allotment, length int) QuantumS
 		if n < allotment {
 			st.PartialSteps++
 		}
-		for _, lc := range buf {
-			levelDone[lc.Level] += lc.Count
+		for _, lc := range scr.buf {
+			for len(scr.levelDone) <= lc.Level {
+				scr.levelDone = append(scr.levelDone, 0)
+			}
+			scr.levelDone[lc.Level] += lc.Count
+			if lc.Level < lo {
+				lo = lc.Level
+			}
+			if lc.Level > hi {
+				hi = lc.Level
+			}
 		}
 		if inst.Done() {
 			st.Completed = true
 			break
 		}
 	}
-	st.LevelsTouched = len(levelDone)
-	// Sum in level order: float addition is not associative, and replay
-	// determinism (same seed ⇒ bit-identical run) must not hinge on map
-	// iteration order.
-	levels := make([]int, 0, len(levelDone))
-	for level := range levelDone {
-		levels = append(levels, level)
-	}
-	sort.Ints(levels)
-	for _, level := range levels {
-		st.CPL += float64(levelDone[level]) / float64(inst.LevelWidth(level))
+	for l := lo; l <= hi; l++ {
+		if c := scr.levelDone[l]; c > 0 {
+			st.LevelsTouched++
+			st.CPL += float64(c) / float64(inst.LevelWidth(l))
+			scr.levelDone[l] = 0
+		}
 	}
 	return st
 }

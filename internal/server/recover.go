@@ -244,6 +244,7 @@ func (s *Server) recoverRecords(records []persist.Record) error {
 			// The ring is observational and excluded from snapshots; the
 			// recovered engine records samples for the quanta it replays.
 			TimelineRing: s.cfg.TimelineRing,
+			StepWorkers:  s.cfg.StepWorkers,
 		}, lg.snap.engine, specs)
 		if err != nil {
 			return err

@@ -122,6 +122,12 @@ type Config struct {
 	// GET /api/v1/jobs/{id}/timeline (sim.MultiConfig.TimelineRing).
 	// Default 256; negative disables the timeline.
 	TimelineRing int
+	// StepWorkers is sim.MultiConfig.StepWorkers: how many goroutines step
+	// independent jobs within one quantum (0/1 serial, negative = one per
+	// CPU). A pure execution knob — results, events, journal records, and
+	// snapshots are bit-identical at every setting, so it is safe to change
+	// across restarts of the same journal.
+	StepWorkers int
 }
 
 // normalize fills defaults and validates the configuration.
@@ -265,6 +271,7 @@ func New(cfg Config) (*Server, error) {
 		Capacity:  plan.Capacity,
 		// Observational: the ring never perturbs scheduling or snapshots.
 		TimelineRing: cfg.TimelineRing,
+		StepWorkers:  cfg.StepWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -589,20 +596,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
+	// The engine owns the Statuses buffer and reuses it across calls, so
+	// the DTO conversion must happen before the lock is released — another
+	// handler's Statuses call would overwrite it.
 	sts := s.eng.Statuses()
-	queued := make([]JobStatusDTO, 0, len(s.queue))
+	out := make([]JobStatusDTO, 0, len(sts)+len(s.queue))
+	for _, st := range sts {
+		out = append(out, statusDTO(st))
+	}
 	for _, p := range s.queue {
-		queued = append(queued, JobStatusDTO{
+		out = append(out, JobStatusDTO{
 			ID: p.id, Name: p.name, State: "queued",
 			Work: p.profile.Work(), CriticalPath: p.profile.CriticalPathLen(),
 		})
 	}
 	s.mu.Unlock()
-	out := make([]JobStatusDTO, 0, len(sts)+len(queued))
-	for _, st := range sts {
-		out = append(out, statusDTO(st))
-	}
-	out = append(out, queued...)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -665,8 +673,8 @@ func (s *Server) snapshot() StateDTO {
 	if s.fatal != nil {
 		st.Error = s.fatal.Error()
 	}
-	s.mu.Unlock()
-
+	// Aggregate before releasing the lock: the engine owns the Statuses
+	// buffer and a concurrent handler's call would overwrite it in place.
 	var respSum int64
 	for _, j := range sts {
 		switch j.State {
@@ -679,6 +687,7 @@ func (s *Server) snapshot() StateDTO {
 			respSum += j.Response
 		}
 	}
+	s.mu.Unlock()
 	if st.Completed > 0 {
 		st.MeanResponse = float64(respSum) / float64(st.Completed)
 	}

@@ -86,6 +86,7 @@ func RunSingleAdaptiveL(inst job.Instance, pol feedback.Policy, sc sched.Schedul
 	d := pol.InitialRequest()
 	prevD := d
 	deprived := false
+	var scr sched.Scratch // reused across quanta; measurements are identical
 	for q := 1; !inst.Done(); q++ {
 		if q > cfg.MaxQuanta {
 			return res, fmt.Errorf("sim: job did not finish within %d quanta", cfg.MaxQuanta)
@@ -101,7 +102,7 @@ func RunSingleAdaptiveL(inst job.Instance, pol feedback.Policy, sc sched.Schedul
 			bus.Emit(obs.Event{Kind: obs.EvAllotment, Time: start, Quantum: q,
 				IntRequest: req, Allotment: a, Deprived: a < req})
 		}
-		st := sched.RunQuantum(inst, sc, a, l)
+		st := sched.RunQuantumScratch(inst, sc, a, l, &scr)
 		st.Index = q
 		st.Start = start
 		st.Request = d

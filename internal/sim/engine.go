@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"abg/internal/alloc"
 	"abg/internal/obs"
+	"abg/internal/parallel"
 	"abg/internal/sched"
 )
 
@@ -31,9 +33,17 @@ type Engine struct {
 	capNow    int // last emitted effective capacity
 	draining  bool
 
-	// Reusable per-boundary scratch.
+	// Reusable per-boundary scratch. allot wraps the configured allocator
+	// with buffer reuse; qstats holds the execute phase's per-position
+	// measurements; scratch is the per-step-worker quantum scratch (worker w
+	// owns scratch[w] exclusively while a step's execute phase runs);
+	// statusBuf backs Statuses.
 	activeIdx []int
 	requests  []int
+	allot     *alloc.Allotter
+	qstats    []sched.QuantumStats
+	scratch   []sched.Scratch
+	statusBuf []JobStatus
 }
 
 // jobState is the engine's per-job bookkeeping.
@@ -137,7 +147,28 @@ func NewEngine(cfg MultiConfig) (*Engine, error) {
 	if maxQ <= 0 {
 		maxQ = DefaultMaxQuanta
 	}
-	return &Engine{cfg: cfg, maxQ: maxQ, L64: int64(cfg.L), capNow: -1}, nil
+	return &Engine{cfg: cfg, maxQ: maxQ, L64: int64(cfg.L), capNow: -1,
+		allot: alloc.NewAllotter(cfg.Allocator)}, nil
+}
+
+// stepWorkers resolves MultiConfig.StepWorkers against the number of jobs
+// active this boundary: ≤ 0 selects one worker per CPU, and the count never
+// exceeds the active job count.
+func (e *Engine) stepWorkers(active int) int {
+	w := e.cfg.StepWorkers
+	if w <= 0 {
+		if w == 0 {
+			return 1 // default: serial
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > active {
+		w = active
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Submit adds a job to the running simulation and returns its id (dense,
@@ -280,7 +311,7 @@ func (e *Engine) Step() (StepInfo, error) {
 			}
 		}
 	}
-	allots := cfg.Allocator.Allot(e.requests, pEff)
+	allots := e.allot.Allot(e.requests, pEff)
 	if cfg.Obs.Active() {
 		totalReq, totalAllot := 0, 0
 		for pos := range e.requests {
@@ -291,6 +322,35 @@ func (e *Engine) Step() (StepInfo, error) {
 			Quantum: e.res.QuantaElapsed, Job: -1, Name: cfg.Allocator.Name(),
 			P: pEff, IntRequest: totalReq, Allotment: totalAllot})
 	}
+	// Execute phase: run every granted job's quantum. Each execution is
+	// self-contained — the job's own instance plus one per-worker Scratch —
+	// and the measured stats land by position, so the phase parallelises
+	// across jobs without changing any observable output: every read or
+	// write of shared engine state (events, traces, waste, restarts,
+	// completions, feedback) happens in the reduce loop below, serially and
+	// in job-index order, exactly as the serial engine did it.
+	if cap(e.qstats) < len(e.activeIdx) {
+		e.qstats = make([]sched.QuantumStats, len(e.activeIdx))
+	}
+	qstats := e.qstats[:len(e.activeIdx)]
+	workers := e.stepWorkers(len(e.activeIdx))
+	for len(e.scratch) < workers {
+		e.scratch = append(e.scratch, sched.Scratch{})
+	}
+	execOne := func(worker, pos int) {
+		if a := allots[pos]; a > 0 {
+			s := &e.states[e.activeIdx[pos]]
+			qstats[pos] = sched.RunQuantumScratch(s.spec.Inst, s.spec.Sched, a, cfg.L, &e.scratch[worker])
+		}
+	}
+	if workers > 1 {
+		parallel.ForEachShard(len(e.activeIdx), workers, execOne)
+	} else {
+		for pos := range e.activeIdx {
+			execOne(0, pos)
+		}
+	}
+	// Reduce phase, in job-index order.
 	for pos, i := range e.activeIdx {
 		s := &e.states[i]
 		a := allots[pos]
@@ -311,7 +371,7 @@ func (e *Engine) Step() (StepInfo, error) {
 			}
 			continue
 		}
-		st := sched.RunQuantum(s.spec.Inst, s.spec.Sched, a, cfg.L)
+		st := qstats[pos]
 		st.Index = e.res.Jobs[i].NumQuanta + 1
 		st.Start = now
 		st.Request = s.request
@@ -446,9 +506,17 @@ func (e *Engine) JobStatus(id int) (JobStatus, bool) {
 	return st, true
 }
 
-// Statuses returns the live snapshot of every submitted job, by id.
+// Statuses returns the live snapshot of every submitted job, in ascending
+// id order (out[i].ID == i always). The returned slice is owned by the
+// engine and reused by the next Statuses call, so a caller that serialises
+// engine access (the documented contract) can poll it under load without
+// per-call allocation; copy the elements before releasing the lock if they
+// must outlive the next engine call.
 func (e *Engine) Statuses() []JobStatus {
-	out := make([]JobStatus, len(e.states))
+	if cap(e.statusBuf) < len(e.states) {
+		e.statusBuf = make([]JobStatus, len(e.states))
+	}
+	out := e.statusBuf[:len(e.states)]
 	for i := range e.states {
 		out[i], _ = e.JobStatus(i)
 	}

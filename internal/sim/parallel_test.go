@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"abg/internal/alloc"
+	"abg/internal/fault"
+	"abg/internal/obs"
+)
+
+// fullFaultSpec is the disturbance stack the PR 3/4 equivalence suites use:
+// lossy control channel, measurement noise, capacity churn, seeded restarts.
+const fullFaultSpec = "drop=0.15,delay=2:0.1,dup=0.1,noise=0.3,restart=0.1,restartat=2,maxrestarts=2,cap=churn:0.5:4,seed=11"
+
+// runWithWorkers drives the standard equivalence job set through an engine
+// configured with the given StepWorkers and returns the result, the
+// recorded event stream, and a copy of the final statuses.
+func runWithWorkers(t *testing.T, plan fault.Plan, workers int) (MultiResult, []obs.Event, []JobStatus) {
+	t.Helper()
+	bus := obs.NewBus()
+	rec := &obs.Recorder{}
+	bus.Subscribe(rec)
+	cfg := MultiConfig{P: 16, L: 50, Allocator: alloc.DynamicEquiPartition{}, KeepTrace: true,
+		Obs: bus, StepWorkers: workers}
+	if plan.Capacity != nil {
+		cfg.Capacity = plan.Capacity
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range equivSpecs(t, plan, bus) {
+		if _, err := eng.Submit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := 0
+	for !eng.Done() {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if steps++; steps > DefaultMaxQuanta {
+			t.Fatalf("workers=%d: engine did not terminate", workers)
+		}
+	}
+	sts := append([]JobStatus(nil), eng.Statuses()...)
+	return eng.Result(), rec.Events(), sts
+}
+
+// TestParallelStepEquivalence is the parallel-path determinism regression:
+// stepping independent jobs concurrently (workers 2 and 8) must reproduce
+// the serial engine's MultiResult, per-quantum traces, final statuses, and
+// full event stream bit-identically — with and without the complete fault
+// stack (lossy channel, noise, capacity churn, restarts) armed. Run under
+// -race this also proves the execute phase shares no unsynchronised state.
+func TestParallelStepEquivalence(t *testing.T) {
+	plans := map[string]fault.Plan{"fault-free": {}}
+	plan, err := fault.ParseSpec(fullFaultSpec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans["faulted"] = plan
+
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			refRes, refEv, refSts := runWithWorkers(t, plan, 0) // serial reference
+			if refRes.Makespan == 0 || refRes.QuantaElapsed == 0 {
+				t.Fatalf("degenerate reference run: %+v", refRes)
+			}
+			if name == "faulted" {
+				restarts := 0
+				for _, j := range refRes.Jobs {
+					restarts += j.Restarts
+				}
+				if restarts == 0 {
+					t.Fatal("fault plan injected no restarts; equivalence check lost its teeth")
+				}
+			}
+			for _, workers := range []int{1, 2, 8} {
+				res, ev, sts := runWithWorkers(t, plan, workers)
+				if !reflect.DeepEqual(res, refRes) {
+					t.Fatalf("workers=%d: results diverge:\n got %+v\nwant %+v", workers, res, refRes)
+				}
+				if !reflect.DeepEqual(ev, refEv) {
+					t.Fatalf("workers=%d: event streams diverge (%d events, want %d)",
+						workers, len(ev), len(refEv))
+				}
+				if !reflect.DeepEqual(sts, refSts) {
+					t.Fatalf("workers=%d: statuses diverge:\n got %+v\nwant %+v", workers, sts, refSts)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSnapshotRestoreEquivalence: a parallel engine snapshotted
+// mid-run and restored into an engine with a different worker count must
+// continue to the serial reference's exact result and event suffix —
+// StepWorkers is a pure execution knob, invisible to persisted state.
+func TestParallelSnapshotRestoreEquivalence(t *testing.T) {
+	plan, err := fault.ParseSpec(fullFaultSpec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MultiConfig{P: 16, L: 50, Allocator: alloc.DynamicEquiPartition{}, Capacity: plan.Capacity}
+
+	// Serial reference with per-step event counts.
+	busR := obs.NewBus()
+	recR := &obs.Recorder{}
+	busR.Subscribe(recR)
+	cfgR := base
+	cfgR.Obs = busR
+	engR, err := NewEngine(cfgR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range equivSpecs(t, plan, busR) {
+		if _, err := engR.Submit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefix := []int{len(recR.Events())}
+	for !engR.Done() {
+		if _, err := engR.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if prefix = append(prefix, len(recR.Events())); len(prefix) > DefaultMaxQuanta {
+			t.Fatal("reference run did not terminate")
+		}
+	}
+	total := len(prefix) - 1
+	refRes := engR.Result()
+	refEvents := recR.Events()
+
+	for _, cut := range []int{1, total / 2, total - 1} {
+		// Victim runs with 8 workers to the cut, then snapshots.
+		busV := obs.NewBus()
+		cfgV := base
+		cfgV.Obs = busV
+		cfgV.StepWorkers = 8
+		engV, err := NewEngine(cfgV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range equivSpecs(t, plan, busV) {
+			if _, err := engV.Submit(sp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := 0; s < cut; s++ {
+			if _, err := engV.Step(); err != nil {
+				t.Fatalf("cut %d: victim step %d: %v", cut, s, err)
+			}
+		}
+		blob, err := engV.MarshalBinary()
+		if err != nil {
+			t.Fatalf("cut %d: marshal: %v", cut, err)
+		}
+
+		// Survivor restores with 2 workers and runs down.
+		busC := obs.NewBus()
+		recC := &obs.Recorder{}
+		busC.Subscribe(recC)
+		cfgC := base
+		cfgC.Obs = busC
+		cfgC.StepWorkers = 2
+		engC, err := RestoreEngine(cfgC, blob, equivSpecs(t, plan, busC))
+		if err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+		steps := 0
+		for !engC.Done() {
+			if _, err := engC.Step(); err != nil {
+				t.Fatalf("cut %d: restored step: %v", cut, err)
+			}
+			if steps++; steps > total {
+				t.Fatalf("cut %d: restored engine overran the reference", cut)
+			}
+		}
+		if got := engC.Result(); !reflect.DeepEqual(got, refRes) {
+			t.Fatalf("cut %d: restored result diverges:\n got %+v\nwant %+v", cut, got, refRes)
+		}
+		if got, want := recC.Events(), refEvents[prefix[cut]:]; !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: restored event suffix diverges: %d events, want %d",
+				cut, len(got), len(want))
+		}
+	}
+}
+
+// TestStatusesStableOrderAndReuse pins the two Statuses guarantees the
+// /state handler leans on under load: ascending-id order on every call, and
+// no per-call reallocation once the job count is stable.
+func TestStatusesStableOrderAndReuse(t *testing.T) {
+	eng, err := NewEngine(engCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Submit(constSpec("s", 1+i%4, 50+10*i, int64(50*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(e *Engine, sts []JobStatus) {
+		t.Helper()
+		if len(sts) != e.NumJobs() {
+			t.Fatalf("Statuses len %d, want %d", len(sts), e.NumJobs())
+		}
+		for i, st := range sts {
+			if st.ID != i {
+				t.Fatalf("Statuses()[%d].ID = %d, want ascending ids", i, st.ID)
+			}
+		}
+	}
+	first := eng.Statuses()
+	check(eng, first)
+	backing := &first[0]
+	for !eng.Done() {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sts := eng.Statuses()
+		check(eng, sts)
+		if &sts[0] != backing {
+			t.Fatal("Statuses reallocated its buffer with an unchanged job count")
+		}
+	}
+	// Growth keeps the contract: new submissions appear in order.
+	eng2, err := NewEngine(engCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Submit(constSpec("a", 2, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	check(eng2, eng2.Statuses())
+	if _, err := eng2.Submit(constSpec("b", 2, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	check(eng2, eng2.Statuses())
+}

@@ -188,8 +188,9 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 	}
 	d := pol.InitialRequest()
 	deprived := false
-	capNow := -1        // last emitted effective capacity
+	capNow := -1          // last emitted effective capacity
 	var attemptWork int64 // work completed since the last (re)start
+	var scr sched.Scratch // reused across quanta; measurements are identical
 	for q := 1; !inst.Done(); q++ {
 		if q > maxQ {
 			return res, fmt.Errorf("sim: job did not finish within %d quanta", maxQ)
@@ -221,7 +222,7 @@ func RunSingle(inst job.Instance, pol feedback.Policy, sc sched.Scheduler,
 			bus.Emit(obs.Event{Kind: obs.EvAllotment, Time: start, Quantum: q,
 				IntRequest: req, Allotment: a, Deprived: a < req})
 		}
-		st := sched.RunQuantum(inst, sc, a, cfg.L)
+		st := sched.RunQuantumScratch(inst, sc, a, cfg.L, &scr)
 		st.Index = q
 		st.Start = start
 		st.Request = d

@@ -14,10 +14,17 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli)"
+echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli, parallel)"
 go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
     ./internal/feedback/... ./internal/alloc/... ./internal/server/... \
-    ./internal/persist/... ./internal/cli/...
+    ./internal/persist/... ./internal/cli/... ./internal/parallel/...
+
+echo "== parallel-step determinism guard (serial vs workers {1,2,8}, faults + snapshot/restore)"
+# Bit-identical results, event streams, and statuses at every StepWorkers
+# setting — the contract that makes -step-workers a pure execution knob.
+go test -race -count=1 \
+    -run 'TestParallelStepEquivalence|TestParallelSnapshotRestoreEquivalence' \
+    ./internal/sim/
 
 echo "== bench schema smoke (abgbench -quick, validates BENCH format)"
 # The /metrics-scrape-vs-SSE-vs-stepping race test itself runs in the -race
