@@ -27,6 +27,18 @@
 // with the same directory truncates any torn tail, restores the last
 // snapshot, and deterministically replays the rest — same job ids, same
 // results, same SSE event ids. See /api/v1/recovery and DESIGN.md.
+//
+// With -follow URL the daemon boots as a hot standby instead: it tails the
+// leader's journal over /api/v1/journal, applies every record to its own
+// engine, and serves reads (/state, job status, timelines, /metrics, SSE)
+// that are byte-identical to the leader's at the same applied offset.
+// Writes are redirected to the leader with a 307. Followers chain — a
+// follower re-serves /api/v1/journal and the event stream, so relay tiers
+// fan out reads without touching the leader. Promote a follower with
+// POST /api/v1/promote (or automatically after -promote-after of leader
+// silence); it resumes the run on exactly the journal prefix it applied.
+//
+//	abgd -addr :7134 -journal /var/lib/abgd-b -follow http://leader:7133
 package main
 
 import (
@@ -63,6 +75,8 @@ func main() {
 		lagMax    = flag.Int("healthz-lag-max", 0, "journal-lag ceiling before /healthz degrades (0 = default 1024)")
 		ageMax    = flag.Int("healthz-snapshot-age-max", 0, "snapshot-age ceiling in quanta before /healthz degrades (0 = 8× -snapshot-every)")
 		stepWork  = flag.Int("step-workers", 0, "goroutines stepping independent jobs per quantum (0/1 serial, -1 = one per CPU); results and journals are identical at every setting")
+		follow    = flag.String("follow", "", "run as a hot standby tailing this leader URL (requires -journal); serves reads, redirects writes")
+		promAfter = flag.Duration("promote-after", 0, "self-promote after the leader has been unreachable this long (0 = manual /api/v1/promote only)")
 		version   = cli.VersionFlag()
 	)
 	flag.Parse()
@@ -93,6 +107,7 @@ func main() {
 		Bus: bus, Metrics: obs.Default, TimelineRing: *ring,
 		JournalLagMax: *lagMax, SnapshotAgeMax: *ageMax,
 		StepWorkers: *stepWork,
+		FollowURL: *follow, PromoteAfter: *promAfter,
 	})
 	if err != nil {
 		fatal(err)

@@ -40,7 +40,7 @@ type daemonProc struct {
 	done chan error // receives cmd.Wait exactly once
 }
 
-func launchDaemon(cfg crashConfig, dir, addr string) (*daemonProc, error) {
+func launchDaemon(cfg crashConfig, dir, addr string, extra ...string) (*daemonProc, error) {
 	args := []string{
 		"-addr", addr,
 		"-P", fmt.Sprint(cfg.p), "-L", fmt.Sprint(cfg.l),
@@ -53,6 +53,7 @@ func launchDaemon(cfg crashConfig, dir, addr string) (*daemonProc, error) {
 	if cfg.fault != "" {
 		args = append(args, "-fault", cfg.fault)
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(cfg.abgd, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr

@@ -1,0 +1,346 @@
+package main
+
+// Failover soak (-failover): spawn a journaled leader plus two followers
+// tailing it, feed the leader keyed jobs, SIGKILL the leader mid-run, and
+// fail over by hand the way an operator (or orchestrator) would: promote the
+// most-caught-up follower, retarget the other at it, re-point the client,
+// and finish the workload. Reads ride the kill window on the client's
+// follower fallbacks. At the end the promoted daemon's results must
+// DeepEqual an uninterrupted reference replay of ITS journal — the applied
+// prefix is the contract — and the surviving follower's journal must be a
+// byte copy of the promoted leader's. Works with and without -fault.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"time"
+
+	"abg/internal/persist"
+	"abg/internal/server"
+)
+
+// replStatus fetches base's /api/v1/replication.
+func replStatus(ctx context.Context, base string) (role string, journalBytes, promotions int64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/replication", nil)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer resp.Body.Close()
+	var dto struct {
+		Role         string `json:"role"`
+		JournalBytes int64  `json:"journalBytes"`
+		Promotions   int64  `json:"promotions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		return "", 0, 0, err
+	}
+	return dto.Role, dto.JournalBytes, dto.Promotions, nil
+}
+
+// postJSON POSTs a JSON body (nil allowed) and expects a 2xx.
+func postJSON(ctx context.Context, url string, body any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: %d (%s)", url, resp.StatusCode, raw)
+	}
+	return nil
+}
+
+// waitCaughtUp polls the follower until its journal holds at least want bytes.
+func waitCaughtUp(ctx context.Context, base string, want int64) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, got, _, err := replStatus(ctx, base)
+		if err == nil && got >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower %s stuck at %d/%d journal bytes", base, got, want)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// runFailoverSoak is the -failover entry point. It returns a report so the
+// run participates in -json output with its failover counters.
+func runFailoverSoak(ctx context.Context, w io.Writer, cfg crashConfig) (rep *report, err error) {
+	dirs := make([]string, 3) // leader, follower A, follower B
+	for i := range dirs {
+		if dirs[i], err = os.MkdirTemp("", "abgload-failover-"); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		if err == nil {
+			for _, d := range dirs {
+				os.RemoveAll(d)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "abgload: journals kept at %v\n", dirs)
+		}
+	}()
+
+	addrs := make([]string, 3)
+	for i := range addrs {
+		if addrs[i], err = reservePort(); err != nil {
+			return nil, err
+		}
+	}
+	leaderURL := "http://" + addrs[0]
+	followURLs := []string{"http://" + addrs[1], "http://" + addrs[2]}
+
+	procs := make([]*daemonProc, 3)
+	defer func() {
+		for _, d := range procs {
+			if d != nil {
+				d.kill()
+			}
+		}
+	}()
+	if procs[0], err = launchDaemon(cfg, dirs[0], addrs[0]); err != nil {
+		return nil, err
+	}
+	client := server.NewClient(addrs[0])
+	client.Timeout = 5 * time.Second
+	client.Fallbacks = followURLs
+	if err := waitHealthy(ctx, client, procs[0]); err != nil {
+		return nil, err
+	}
+	for i := 1; i < 3; i++ {
+		if procs[i], err = launchDaemon(cfg, dirs[i], addrs[i], "-follow", leaderURL); err != nil {
+			return nil, err
+		}
+		fc := server.NewClient(addrs[i])
+		fc.Timeout = 5 * time.Second
+		if err := waitHealthy(ctx, fc, procs[i]); err != nil {
+			return nil, fmt.Errorf("follower %d: %w", i, err)
+		}
+	}
+	fmt.Fprintf(w, "failover soak: leader %s, followers %s %s\n", addrs[0], addrs[1], addrs[2])
+
+	rep = &report{label: "failover"}
+	submitted := 0
+	submitTo := func(c *server.Client) error {
+		i := submitted
+		spec := cfg.run.spec
+		spec.Name = fmt.Sprintf("failover-%d", i)
+		spec.Seed = cfg.run.seed + uint64(i)
+		spec.Key = fmt.Sprintf("failover-%d-%d", cfg.run.seed, i)
+		t0 := time.Now()
+		ack, err := c.Submit(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		if len(ack.IDs) != 1 || ack.IDs[0] != i {
+			return fmt.Errorf("submit %d: id skew: got ids %v (state %s)", i, ack.IDs, ack.State)
+		}
+		rep.submitMS = append(rep.submitMS, float64(time.Since(t0).Microseconds())/1000)
+		rep.submitted++
+		submitted++
+		return nil
+	}
+
+	start := time.Now()
+	half := cfg.run.jobs / 2
+	if half < 1 {
+		half = 1
+	}
+	for submitted < half {
+		if err := submitTo(client); err != nil {
+			return nil, err
+		}
+	}
+
+	// Every acked submission must be on both followers before the kill: the
+	// replication contract preserves exactly the shipped prefix, and the soak
+	// asserts job ids stay dense across the failover.
+	_, leaderBytes, _, err := replStatus(ctx, leaderURL)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range followURLs {
+		if err := waitCaughtUp(ctx, f, leaderBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	procs[0].kill()
+	procs[0] = nil
+	killedAt := time.Now()
+	fmt.Fprintf(w, "failover soak: leader SIGKILLed with %d/%d jobs submitted (%d journal bytes shipped)\n",
+		submitted, cfg.run.jobs, leaderBytes)
+
+	// Reads must survive the dead leader: the client walks its fallbacks.
+	st, err := client.State(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("read during leader outage: %w", err)
+	}
+	if client.ReadRetargets.Load() == 0 {
+		return nil, fmt.Errorf("read during outage was not retargeted (state from %q?)", st.Scheduler)
+	}
+
+	// Promote the most-caught-up follower (promote-the-longest rule), then
+	// retarget the survivor at the new leader.
+	promoted, survivor := 0, 1
+	var sizes [2]int64
+	for i, f := range followURLs {
+		if _, sizes[i], _, err = replStatus(ctx, f); err != nil {
+			return nil, err
+		}
+	}
+	if sizes[1] > sizes[0] {
+		promoted, survivor = 1, 0
+	}
+	promotedURL, survivorURL := followURLs[promoted], followURLs[survivor]
+	if err := postJSON(ctx, promotedURL+"/api/v1/promote", nil); err != nil {
+		return nil, fmt.Errorf("promote: %w", err)
+	}
+	role, _, promotions, err := replStatus(ctx, promotedURL)
+	if err != nil {
+		return nil, err
+	}
+	if role != "leader" || promotions != 1 {
+		return nil, fmt.Errorf("promotion did not take: role %q, promotions %d", role, promotions)
+	}
+	rep.promotionMs = float64(time.Since(killedAt).Microseconds()) / 1000
+	if err := postJSON(ctx, survivorURL+"/api/v1/retarget", map[string]string{"leader": promotedURL}); err != nil {
+		return nil, fmt.Errorf("retarget: %w", err)
+	}
+	fmt.Fprintf(w, "failover soak: promoted %s %.1fms after the kill, retargeted %s\n",
+		promotedURL, rep.promotionMs, survivorURL)
+
+	// Re-point writes at the new leader and finish the workload. Ids continue
+	// densely from the shipped prefix — nothing lost, nothing double-admitted.
+	client2 := server.NewClient(promotedURL)
+	client2.Timeout = 5 * time.Second
+	client2.Fallbacks = []string{survivorURL}
+	for submitted < cfg.run.jobs {
+		if err := submitTo(client2); err != nil {
+			return nil, err
+		}
+	}
+
+	var live []server.JobStatusDTO
+	for {
+		sts, err := client2.Jobs(ctx)
+		if err != nil {
+			return nil, err
+		}
+		done := 0
+		for _, st := range sts {
+			if st.State == "done" {
+				done++
+			}
+		}
+		if len(sts) == cfg.run.jobs && done == cfg.run.jobs {
+			live = sts
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("waiting for completion (%d/%d done): %w", done, cfg.run.jobs, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	rep.wall = time.Since(start)
+	for _, st := range live {
+		rep.responses = append(rep.responses, float64(st.Response))
+		if st.NumQuanta > 0 {
+			rep.deprivedFrac = append(rep.deprivedFrac, float64(st.DeprivedQuanta)/float64(st.NumQuanta))
+		}
+	}
+	if rep.state, err = client2.State(ctx); err != nil {
+		return nil, err
+	}
+	rep.retried429 = client.Retried429.Load() + client2.Retried429.Load()
+	rep.retriedXport = client.RetriedTransport.Load() + client2.RetriedTransport.Load()
+	rep.readRetargets = client.ReadRetargets.Load() + client2.ReadRetargets.Load()
+
+	// Drain the promoted leader; the survivor sees the shipped drain record
+	// and its leader's clean end-of-stream, and drains itself out.
+	if err := client2.Drain(ctx, true); err != nil {
+		return nil, fmt.Errorf("drain promoted leader: %w", err)
+	}
+	for _, i := range []int{promoted + 1, survivor + 1} {
+		select {
+		case werr := <-procs[i].done:
+			procs[i] = nil
+			if werr != nil {
+				return nil, fmt.Errorf("daemon %s exit after drain: %w", addrs[i], werr)
+			}
+		case <-time.After(15 * time.Second):
+			return nil, fmt.Errorf("daemon %s did not exit after drain", addrs[i])
+		}
+	}
+
+	// Verdict 1: the promoted daemon's results equal an uninterrupted replay
+	// of its own journal.
+	ref, err := server.ReferenceResult(dirs[promoted+1])
+	if err != nil {
+		return nil, fmt.Errorf("reference replay: %w", err)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
+	sort.Slice(ref, func(i, j int) bool { return ref[i].ID < ref[j].ID })
+	if len(ref) != len(live) {
+		return nil, fmt.Errorf("reference replay has %d jobs, live run reported %d", len(ref), len(live))
+	}
+	for i := range ref {
+		a, b := live[i], ref[i]
+		a.History, b.History = nil, nil // the list endpoint omits history
+		if !reflect.DeepEqual(a, b) {
+			return nil, fmt.Errorf("job %d diverged from reference:\n  live %+v\n  ref  %+v", a.ID, a, b)
+		}
+	}
+
+	// Verdict 2: the surviving follower holds a byte copy of the promoted
+	// leader's journal — the relay tier never forks history.
+	pRaw, err := os.ReadFile(filepath.Join(dirs[promoted+1], persist.JournalFile))
+	if err != nil {
+		return nil, err
+	}
+	sRaw, err := os.ReadFile(filepath.Join(dirs[survivor+1], persist.JournalFile))
+	if err != nil {
+		return nil, err
+	}
+	if len(pRaw) == 0 || !bytes.Equal(pRaw, sRaw) {
+		return nil, fmt.Errorf("survivor journal diverged: promoted %d bytes, survivor %d", len(pRaw), len(sRaw))
+	}
+
+	fmt.Fprintf(w, "failover soak passed: %d jobs across the failover, promotion %.1fms, %d read retargets, journals byte-identical (%d bytes)\n",
+		cfg.run.jobs, rep.promotionMs, rep.readRetargets, len(pRaw))
+	return rep, nil
+}

@@ -8,6 +8,7 @@
 //	                                        # in-process and compare them
 //	abgload -addr localhost:7133 -jobs 500  # hammer an external daemon
 //	abgload -crash -abgd ./abgd -journal /tmp/wal   # crash-recovery soak
+//	abgload -failover -abgd ./abgd          # leader-kill / promote soak
 //
 // The selftest is also the service smoke: it fails (exit 1) unless every
 // submission is acknowledged, every job runs to completion with a coherent
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +57,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 		logSpec  = flag.String("log", "", `log levels for in-process daemons (default warn)`)
 		crash    = flag.Bool("crash", false, "crash-recovery soak: spawn abgd, SIGKILL it at random quanta, restart from journal, verify recovery equals an uninterrupted reference run")
+		failover = flag.Bool("failover", false, "failover soak: spawn a leader plus two followers, SIGKILL the leader mid-run, promote the most-caught-up follower, verify the promoted run equals its reference replay")
+		fallback = flag.String("fallbacks", "", "comma-separated follower URLs the client retargets reads to when -addr is unreachable")
 		abgdBin  = flag.String("abgd", "abgd", "abgd binary to spawn in -crash mode")
 		journal  = flag.String("journal", "", "journal directory for -crash mode (default: a fresh temp dir)")
 		crashes  = flag.Int("crashes", 3, "SIGKILL/restart cycles in -crash mode")
@@ -68,8 +72,8 @@ func main() {
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fatal(err)
 	}
-	if !*selftest && !*crash && *addr == "" {
-		fatal(fmt.Errorf("need -addr of a running abgd, -selftest, or -crash"))
+	if !*selftest && !*crash && !*failover && *addr == "" {
+		fatal(fmt.Errorf("need -addr of a running abgd, -selftest, -crash, or -failover"))
 	}
 	if *jobs < 1 || *clients < 1 {
 		fatal(fmt.Errorf("need -jobs >= 1 and -clients >= 1"))
@@ -84,6 +88,9 @@ func main() {
 		Kind: *kind, Width: *width, Quanta: *quanta, CL: *cl, Shrink: *shrink,
 	}
 	run := runConfig{jobs: *jobs, clients: *clients, spec: spec, seed: *seed}
+	if *fallback != "" {
+		run.fallbacks = strings.Split(*fallback, ",")
+	}
 
 	failed := false
 	var reports []*report
@@ -98,6 +105,17 @@ func main() {
 		if err := runCrashSoak(ctx, os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "abgload: crash soak: %v\n", err)
 			failed = true
+		}
+	} else if *failover {
+		cfg := crashConfig{
+			abgd: *abgdBin, fault: *faultArg, p: *p, l: *l, run: run,
+		}
+		rep, err := runFailoverSoak(ctx, os.Stderr, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abgload: failover soak: %v\n", err)
+			failed = true
+		} else {
+			reports = append(reports, rep)
 		}
 	} else if *selftest {
 		for _, schedName := range []string{"abg", "agreedy"} {
@@ -140,10 +158,11 @@ func fatal(err error) {
 
 // runConfig is one load run: the job template and the closed-loop shape.
 type runConfig struct {
-	jobs    int
-	clients int
-	spec    server.JobRequest
-	seed    uint64
+	jobs      int
+	clients   int
+	spec      server.JobRequest
+	seed      uint64
+	fallbacks []string // follower URLs for client read failover
 }
 
 // runAgainstInProcess boots a virtual-clock daemon with the given scheduler
@@ -178,11 +197,13 @@ type report struct {
 	retried429   int64
 	retriedXport int64
 	deadlines    int64
-	submitMS     []float64 // POST round-trip (including retries), ms
-	statusMS     []float64 // GET round-trip, ms
-	responses    []float64 // scheduler response times, steps
-	deprivedFrac []float64 // per-job deprived-quanta fraction
-	polls        int64
+	submitMS      []float64 // POST round-trip (including retries), ms
+	statusMS      []float64 // GET round-trip, ms
+	responses     []float64 // scheduler response times, steps
+	deprivedFrac  []float64 // per-job deprived-quanta fraction
+	polls         int64
+	readRetargets int64   // reads failed over to a follower
+	promotionMs   float64 // kill-to-promoted latency (-failover only)
 }
 
 // drive runs the closed loop against base. srv, when non-nil, is the
@@ -190,6 +211,7 @@ type report struct {
 // daemons the drain request is skipped so abgload can be re-run.
 func drive(ctx context.Context, base, label string, run runConfig, srv *server.Server) (*report, error) {
 	client := server.NewClient(base)
+	client.Fallbacks = run.fallbacks
 	rep := &report{label: label}
 	var (
 		next    atomic.Int64
@@ -227,6 +249,7 @@ func drive(ctx context.Context, base, label string, run runConfig, srv *server.S
 	rep.retried429 = client.Retried429.Load()
 	rep.retriedXport = client.RetriedTransport.Load()
 	rep.deadlines = client.DeadlineExceeded.Load()
+	rep.readRetargets = client.ReadRetargets.Load()
 	if firstEr != nil {
 		return nil, firstEr
 	}
@@ -329,6 +352,11 @@ type LoadSummary struct {
 	DeadlineExceeded int64 `json:"deadlineExceeded"`
 	StatusPolls      int64 `json:"statusPolls"`
 
+	// Failover counters: reads retargeted to a follower fallback, and (in
+	// -failover mode) the leader-kill-to-promoted latency.
+	ReadRetargets int64   `json:"readRetargets"`
+	PromotionMs   float64 `json:"promotionMs,omitempty"`
+
 	SubmitMs      Quantiles `json:"submitMs"`
 	StatusMs      Quantiles `json:"statusMs"`
 	ResponseSteps Quantiles `json:"responseSteps"`
@@ -389,6 +417,7 @@ func (r *report) summary() LoadSummary {
 
 		Retried429: r.retried429, RetriedTransport: r.retriedXport,
 		DeadlineExceeded: r.deadlines, StatusPolls: r.polls,
+		ReadRetargets: r.readRetargets, PromotionMs: r.promotionMs,
 
 		SubmitMs:      quantiles(r.submitMS, msBuckets),
 		StatusMs:      quantiles(r.statusMS, msBuckets),
@@ -430,6 +459,10 @@ func (r *report) render(w io.Writer) {
 	tb.AddRowf("429 retries", r.retried429)
 	tb.AddRowf("transport retries", r.retriedXport)
 	tb.AddRowf("deadline exceeded", r.deadlines)
+	tb.AddRowf("read retargets", r.readRetargets)
+	if r.promotionMs > 0 {
+		tb.AddRowf("promotion latency (ms)", fmt.Sprintf("%.1f", r.promotionMs))
+	}
 	tb.AddRowf("status polls", r.polls)
 	tb.AddRowf("submit ms p50/p90/max", fmt.Sprintf("%.2f / %.2f / %.2f", sub.Median, sub.P90, sub.Max))
 	tb.AddRowf("status ms p50/p90/max", fmt.Sprintf("%.2f / %.2f / %.2f", sta.Median, sta.P90, sta.Max))

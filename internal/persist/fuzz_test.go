@@ -28,6 +28,17 @@ func FuzzScanBytes(f *testing.F) {
 	flipped := append([]byte{}, valid...)
 	flipped[12] ^= 0x40
 	f.Add(flipped)
+	// Mid-record truncations at every interesting cut of the second record:
+	// inside its length/CRC header, exactly at the header/payload seam, and
+	// one byte short of complete — the shapes a follower sees when it tails
+	// the journal while the leader is mid-write.
+	first := 8 + 1 + len(`{"p":16,"l":100}`)
+	f.Add(valid[:first+3])  // inside second record's header
+	f.Add(valid[:first+8])  // header complete, zero payload bytes
+	f.Add(valid[:first+12]) // partial payload
+	second := first + 8 + 1 + len(`{"base":0,"count":4}`)
+	f.Add(valid[:second-1]) // one byte short of a whole record
+	f.Add(valid[:second+8]) // third record: header only
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		res := ScanBytes(data)
@@ -52,6 +63,85 @@ func FuzzScanBytes(f *testing.F) {
 		if !bytes.Equal(rebuilt, data[:res.CleanLen]) {
 			t.Fatalf("clean prefix does not round-trip:\n got %x\nwant %x",
 				rebuilt, data[:res.CleanLen])
+		}
+	})
+}
+
+// FuzzStreamScanner feeds arbitrary bytes to the incremental stream decoder
+// in fuzz-chosen chunk sizes, draining records after every chunk — the
+// interleaved partial reads a follower performs while tailing a journal the
+// leader is mid-write on. The contract: however the bytes are chunked, the
+// scanner yields exactly the records the batch scan accepts, in order, and
+// its offset lands exactly on the clean-prefix length. Corruption may turn
+// into a sticky error (stricter than ScanBytes), but never into a wrong or
+// extra record.
+func FuzzStreamScanner(f *testing.F) {
+	valid := encodeJournal([][2]any{
+		{KindHeader, []byte(`{"p":16,"l":100}`)},
+		{KindSubmit, []byte(`{"base":0,"count":4}`)},
+		{KindAdmit, []byte(`{"boundary":7,"ids":[0,1,2,3]}`)},
+	})
+	f.Add(valid, uint8(1))
+	f.Add(valid, uint8(3))
+	f.Add(valid, uint8(255))
+	f.Add(valid[:len(valid)-5], uint8(2)) // mid-record truncation
+	flipped := append([]byte{}, valid...)
+	flipped[12] ^= 0x40
+	f.Add(flipped, uint8(4)) // corrupt payload → sticky error
+	f.Add([]byte{}, uint8(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		want := ScanBytes(data)
+		s := NewStreamScanner(0)
+		var got []Record
+		var streamErr error
+		step := int(chunk)%17 + 1
+		for i := 0; i < len(data) && streamErr == nil; i += step {
+			end := i + step
+			if end > len(data) {
+				end = len(data)
+			}
+			s.Feed(data[i:end])
+			for {
+				rec, ok, err := s.Next()
+				if err != nil {
+					streamErr = err
+					break
+				}
+				if !ok {
+					break
+				}
+				got = append(got, rec)
+			}
+		}
+		if len(got) > len(want.Records) {
+			t.Fatalf("stream yielded %d records, batch scan only %d", len(got), len(want.Records))
+		}
+		for i, r := range got {
+			w := want.Records[i]
+			if r.Kind != w.Kind || !bytes.Equal(r.Body, w.Body) {
+				t.Fatalf("record %d diverges: stream (%d, %x) vs batch (%d, %x)",
+					i, r.Kind, r.Body, w.Kind, w.Body)
+			}
+		}
+		if streamErr == nil {
+			if len(got) != len(want.Records) {
+				t.Fatalf("stream yielded %d records without error, batch scan %d", len(got), len(want.Records))
+			}
+			if s.Offset() != want.CleanLen {
+				t.Fatalf("stream offset %d, batch clean length %d", s.Offset(), want.CleanLen)
+			}
+			if s.Buffered() != int(want.TruncatedBytes) {
+				t.Fatalf("stream buffered %d, batch truncated %d", s.Buffered(), want.TruncatedBytes)
+			}
+		}
+		// After a sticky error every further call must keep failing and
+		// yield nothing.
+		if streamErr != nil {
+			s.Feed(valid)
+			if _, ok, err := s.Next(); ok || err == nil {
+				t.Fatalf("scanner recovered after sticky error: ok=%v err=%v", ok, err)
+			}
 		}
 	})
 }

@@ -125,9 +125,45 @@ type Journal struct {
 	f       *os.File
 	policy  SyncPolicy
 	path    string
-	synced  bool // no unsynced bytes since the last fsync
-	lag     int  // records appended since the last fsync
+	size    int64         // bytes of whole records on disk (the clean length)
+	updated chan struct{} // closed and replaced after every append
+	syncErr error         // test hook: forced fsync failure
+	synced  bool          // no unsynced bytes since the last fsync
+	lag     int           // records appended since the last fsync
 	metrics Metrics
+}
+
+// Size returns the journal's clean length in bytes: the offset just past the
+// last whole appended record. Replication ships the byte range [offset, Size)
+// to followers, so this is the leader's replication high-water mark.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Updated returns a channel that is closed the next time a record is
+// appended. Each append replaces the channel, so tailing readers re-fetch it
+// after every wakeup:
+//
+//	for {
+//		ch := j.Updated()
+//		... stream bytes up to j.Size() ...
+//		<-ch
+//	}
+func (j *Journal) Updated() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.updated
+}
+
+// FailSyncForTest forces every subsequent fsync to fail with err (nil
+// restores normal behaviour). Test hook for exercising the drain-time
+// sync-failure path; never set in production code.
+func (j *Journal) FailSyncForTest(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.syncErr = err
 }
 
 // SetMetrics installs (or, with nil, removes) the I/O measurement sink.
@@ -173,7 +209,15 @@ func Open(dir string, policy SyncPolicy) (*Journal, ScanResult, error) {
 		f.Close()
 		return nil, ScanResult{}, fmt.Errorf("persist: seek journal end: %w", err)
 	}
-	return &Journal{f: f, policy: policy, path: path, synced: true}, scan, nil
+	j := &Journal{
+		f:       f,
+		policy:  policy,
+		path:    path,
+		size:    scan.CleanLen,
+		updated: make(chan struct{}),
+		synced:  true,
+	}
+	return j, scan, nil
 }
 
 // Path returns the journal file path.
@@ -207,6 +251,9 @@ func (j *Journal) Append(kind byte, body []byte) error {
 	if j.metrics != nil {
 		j.metrics.JournalAppend(kind, len(rec), time.Since(start))
 	}
+	j.size += int64(len(rec))
+	close(j.updated)
+	j.updated = make(chan struct{})
 	j.synced = false
 	j.lag++
 	if j.policy == SyncAlways || (j.policy == SyncSnapshot && kind == KindSnapshot) {
@@ -228,6 +275,9 @@ func (j *Journal) Sync() error {
 func (j *Journal) syncLocked() error {
 	if j.synced {
 		return nil
+	}
+	if j.syncErr != nil {
+		return fmt.Errorf("persist: fsync: %w", j.syncErr)
 	}
 	var start time.Time
 	if j.metrics != nil {
@@ -256,5 +306,8 @@ func (j *Journal) Close() error {
 		err = cerr
 	}
 	j.f = nil
+	// Wake tailing readers so they observe the closed journal instead of
+	// blocking forever; no more appends will replace the channel.
+	close(j.updated)
 	return err
 }

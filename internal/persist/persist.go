@@ -57,6 +57,14 @@ const (
 	KindDrain byte = 4
 	// KindSnapshot is a full engine + server state snapshot.
 	KindSnapshot byte = 5
+	// KindStep records that the engine executed one quantum boundary. With
+	// step records the journal is the daemon's complete op log — every state
+	// transition is either a journaled record or a deterministic consequence
+	// of one — which is what lets a replica reconstruct the leader's exact
+	// state from nothing but a byte offset into this file. Idle boundaries
+	// (no unfinished jobs, empty queue) are not journaled; they change no
+	// replayable state and are reconstructed from the next record's boundary.
+	KindStep byte = 6
 )
 
 // KindName returns a record kind's lowercase name (metric labels, logs);
@@ -73,6 +81,8 @@ func KindName(k byte) string {
 		return "drain"
 	case KindSnapshot:
 		return "snapshot"
+	case KindStep:
+		return "step"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,92 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// StreamScanner incrementally decodes a journal byte stream arriving in
+// arbitrary chunks, as when a follower tails a leader's journal over the
+// replication transport. Feed appends raw bytes; Next yields each complete
+// record in order.
+//
+// The error contract differs from ScanBytes on purpose. A file scan forgives
+// a torn tail because a crash legitimately leaves one; a replication stream
+// is served from the leader's clean prefix, so a bad length or checksum here
+// means real corruption — a mis-resumed offset, a mangling proxy — and is a
+// hard, sticky error. A record that is merely incomplete (the leader is
+// mid-write, or the chunk boundary split it) is not an error: Next reports
+// "no record yet" and waits for more bytes.
+type StreamScanner struct {
+	buf   []byte
+	start int64 // absolute journal offset of buf[0]
+	read  int   // bytes of buf already consumed by Next
+	err   error
+}
+
+// NewStreamScanner returns a scanner whose first fed byte sits at absolute
+// journal offset start (the resume offset the follower requested).
+func NewStreamScanner(start int64) *StreamScanner {
+	return &StreamScanner{start: start}
+}
+
+// Feed appends a chunk of journal bytes to the scanner's buffer.
+func (s *StreamScanner) Feed(p []byte) {
+	if s.err != nil || len(p) == 0 {
+		return
+	}
+	// Compact consumed bytes before growing so a long-lived tail session
+	// does not accumulate the whole journal in memory.
+	if s.read > 0 {
+		n := copy(s.buf, s.buf[s.read:])
+		s.buf = s.buf[:n]
+		s.start += int64(s.read)
+		s.read = 0
+	}
+	s.buf = append(s.buf, p...)
+}
+
+// Next returns the next complete record, if one is buffered. ok is false
+// when more bytes are needed; err is non-nil (and sticky) on corruption.
+// The returned body is a copy and remains valid across further Feed calls.
+func (s *StreamScanner) Next() (rec Record, ok bool, err error) {
+	if s.err != nil {
+		return Record{}, false, s.err
+	}
+	rest := s.buf[s.read:]
+	if len(rest) < 8 {
+		return Record{}, false, nil
+	}
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if n < 1 || n > maxRecordLen {
+		s.err = fmt.Errorf("persist: stream corrupt at offset %d: record length %d", s.Offset(), n)
+		return Record{}, false, s.err
+	}
+	if uint64(len(rest)-8) < uint64(n) {
+		return Record{}, false, nil
+	}
+	payload := rest[8 : 8+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		s.err = fmt.Errorf("persist: stream corrupt at offset %d: checksum mismatch", s.Offset())
+		return Record{}, false, s.err
+	}
+	body := make([]byte, len(payload)-1)
+	copy(body, payload[1:])
+	s.read += 8 + int(n)
+	return Record{Kind: payload[0], Body: body}, true, nil
+}
+
+// Offset returns the absolute journal offset just past the last record
+// returned by Next — the follower's applied-bytes position, and the offset
+// to resume from after a reconnect.
+func (s *StreamScanner) Offset() int64 {
+	return s.start + int64(s.read)
+}
+
+// Buffered returns the number of fed bytes not yet consumed as whole
+// records (a partial record the leader is still writing, typically).
+func (s *StreamScanner) Buffered() int {
+	return len(s.buf) - s.read
+}

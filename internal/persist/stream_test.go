@@ -1,0 +1,144 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStreamScannerByteAtATime models the worst-case tail: every chunk is a
+// single byte, as if the follower's reads always race the leader's writes.
+// No record may surface before its final byte arrives, and each must surface
+// exactly when it does.
+func TestStreamScannerByteAtATime(t *testing.T) {
+	recs := [][2]any{
+		{KindHeader, []byte("hdr")},
+		{KindStep, []byte{}},
+		{KindSubmit, []byte("a longer body with some content")},
+	}
+	data := encodeJournal(recs)
+	bounds := make(map[int]int) // byte offset after record i → i
+	off := 0
+	for i, r := range recs {
+		off += 8 + 1 + len(r[1].([]byte))
+		bounds[off] = i
+	}
+
+	s := NewStreamScanner(0)
+	seen := 0
+	for i := 0; i < len(data); i++ {
+		s.Feed(data[i : i+1])
+		rec, ok, err := s.Next()
+		if err != nil {
+			t.Fatalf("unexpected error at byte %d: %v", i, err)
+		}
+		idx, boundary := bounds[i+1]
+		if ok != boundary {
+			t.Fatalf("byte %d: got record=%v, want %v", i, ok, boundary)
+		}
+		if !ok {
+			continue
+		}
+		want := recs[idx]
+		if rec.Kind != want[0].(byte) || !bytes.Equal(rec.Body, want[1].([]byte)) {
+			t.Fatalf("record %d: got (%d, %q), want (%d, %q)", idx, rec.Kind, rec.Body, want[0], want[1])
+		}
+		if s.Offset() != int64(i+1) {
+			t.Fatalf("record %d: offset %d, want %d", idx, s.Offset(), i+1)
+		}
+		seen++
+	}
+	if seen != len(recs) {
+		t.Fatalf("saw %d records, want %d", seen, len(recs))
+	}
+}
+
+// TestStreamScannerResumeOffset checks that a scanner started mid-journal —
+// a follower resuming after reconnect — reports absolute offsets.
+func TestStreamScannerResumeOffset(t *testing.T) {
+	data := encodeJournal([][2]any{
+		{KindHeader, []byte("one")},
+		{KindAdmit, []byte("two")},
+	})
+	firstLen := int64(8 + 1 + 3)
+	s := NewStreamScanner(firstLen)
+	s.Feed(data[firstLen:])
+	rec, ok, err := s.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	if rec.Kind != KindAdmit || string(rec.Body) != "two" {
+		t.Fatalf("got (%d, %q)", rec.Kind, rec.Body)
+	}
+	if s.Offset() != int64(len(data)) {
+		t.Fatalf("offset %d, want %d", s.Offset(), len(data))
+	}
+}
+
+// TestStreamScannerCorruption checks that checksum damage is a sticky error,
+// not a silent skip — a replication stream has no legitimate torn tail.
+func TestStreamScannerCorruption(t *testing.T) {
+	data := encodeJournal([][2]any{{KindHeader, []byte("good")}, {KindSubmit, []byte("bad!")}})
+	data[len(data)-1] ^= 0x01
+	s := NewStreamScanner(0)
+	s.Feed(data)
+	if _, ok, err := s.Next(); !ok || err != nil {
+		t.Fatalf("first record: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := s.Next(); ok || err == nil {
+		t.Fatalf("corrupt record accepted: ok=%v err=%v", ok, err)
+	}
+	s.Feed(encodeJournal([][2]any{{KindDrain, []byte{}}}))
+	if _, ok, err := s.Next(); ok || err == nil {
+		t.Fatalf("scanner recovered after corruption: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestJournalSizeAndUpdated pins the replication-facing Journal surface:
+// Size tracks the clean length exactly, and Updated wakes tailing readers on
+// append and on close.
+func TestJournalSizeAndUpdated(t *testing.T) {
+	dir := t.TempDir()
+	j, scan, err := Open(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.CleanLen != 0 || j.Size() != 0 {
+		t.Fatalf("fresh journal: clean %d size %d", scan.CleanLen, j.Size())
+	}
+	ch := j.Updated()
+	select {
+	case <-ch:
+		t.Fatal("Updated fired before any append")
+	default:
+	}
+	if err := j.Append(KindHeader, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Updated did not fire on append")
+	}
+	wantSize := int64(8 + 1 + 3)
+	if j.Size() != wantSize {
+		t.Fatalf("size %d, want %d", j.Size(), wantSize)
+	}
+	ch = j.Updated()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Updated did not fire on close")
+	}
+	// Reopen: Size must resume from the scanned clean length.
+	j2, scan2, err := Open(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if scan2.CleanLen != wantSize || j2.Size() != wantSize {
+		t.Fatalf("reopen: clean %d size %d, want %d", scan2.CleanLen, j2.Size(), wantSize)
+	}
+}

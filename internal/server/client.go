@@ -16,6 +16,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"abg/internal/replica"
 )
 
 // Client is a hardened HTTP client for the abgd API, shared by abgload and
@@ -42,12 +44,19 @@ type Client struct {
 	BaseDelay, MaxDelay time.Duration
 	// Timeout is the per-request (per-attempt) deadline.
 	Timeout time.Duration
+	// Fallbacks are alternate daemon roots — replication followers — that
+	// reads (GETs) fail over to when an attempt against the current target
+	// fails at the transport level or with a 5xx. Writes are never rotated:
+	// they stay on Base, which — when Base is a follower — answers with a
+	// 307 to its leader (the transport follows it, method and body intact).
+	Fallbacks []string
 
 	// Counters, readable concurrently while requests are in flight.
 	Retried429       atomic.Int64 // attempts retried after a 429
 	RetriedTransport atomic.Int64 // attempts retried after 5xx / connection failure
 	DeadlineExceeded atomic.Int64 // attempts abandoned at the per-request deadline
 	Reconnects       atomic.Int64 // SSE stream reconnections
+	ReadRetargets    atomic.Int64 // reads failed over to another endpoint
 }
 
 // NewClient returns a Client with production defaults against base
@@ -110,19 +119,25 @@ func retryable(resp *http.Response, err error) (retry bool, floor time.Duration)
 }
 
 // backoff returns the jittered delay before attempt (0-based counts the
-// retries already taken), at least floor.
+// retries already taken), at least floor. The machinery is shared with the
+// replication tailer (replica.Backoff) so every reconnect path in the
+// system backs off identically.
 func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
-	d := c.BaseDelay << uint(attempt)
-	if d > c.MaxDelay || d <= 0 {
-		d = c.MaxDelay
+	return replica.Backoff(c.BaseDelay, c.MaxDelay, attempt, floor)
+}
+
+// endpoints returns the rotation set for reads: Base first, then Fallbacks
+// (each normalized like Base).
+func (c *Client) endpoints() []string {
+	eps := make([]string, 0, 1+len(c.Fallbacks))
+	eps = append(eps, c.Base)
+	for _, f := range c.Fallbacks {
+		if !strings.Contains(f, "://") {
+			f = "http://" + f
+		}
+		eps = append(eps, strings.TrimRight(f, "/"))
 	}
-	// Full jitter over [d/2, d): keeps retry storms from synchronising
-	// while preserving the exponential envelope.
-	d = d/2 + time.Duration(mrand.Int63n(int64(d/2)+1))
-	if d < floor {
-		d = floor
-	}
-	return d
+	return eps
 }
 
 // do runs one API request with retries. body non-nil implies POST with a
@@ -134,13 +149,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr m
 	if len(ok) == 0 {
 		ok = []int{http.StatusOK}
 	}
+	eps := c.endpoints()
+	epIdx := 0
 	var lastErr error
 	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			// Reads fail over: a transport failure or 5xx means this
+			// endpoint may be dead (a killed leader), so the retry targets
+			// the next one. 429 is backpressure from a live daemon — same
+			// endpoint, honor its Retry-After instead.
 			floor, _ := lastErr.(*retryAfterErr)
 			var fd time.Duration
 			if floor != nil {
 				fd = floor.floor
+			}
+			if method == http.MethodGet && len(eps) > 1 && (floor == nil || floor.status >= 500) {
+				epIdx = (epIdx + 1) % len(eps)
+				c.ReadRetargets.Add(1)
 			}
 			select {
 			case <-time.After(c.backoff(attempt-1, fd)):
@@ -149,7 +174,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr m
 			}
 		}
 		actx, cancel := context.WithTimeout(ctx, c.Timeout)
-		status, err := c.attempt(actx, method, path, body, hdr, out, ok)
+		status, err := c.attempt(actx, eps[epIdx], method, path, body, hdr, out, ok)
 		cancel()
 		if err == nil {
 			return status, nil
@@ -186,13 +211,13 @@ func (e *retryAfterErr) Error() string {
 	return fmt.Sprintf("status %d (retry-after %s)", e.status, e.floor)
 }
 
-// attempt is a single request/response cycle.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr map[string]string, out any, ok []int) (int, error) {
+// attempt is a single request/response cycle against one endpoint.
+func (c *Client) attempt(ctx context.Context, base, method, path string, body []byte, hdr map[string]string, out any, ok []int) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return 0, err
 	}

@@ -25,7 +25,7 @@ import (
 // regardless of clock mode. The drained channel closes last, releasing
 // Server.Wait and any /api/v1/drain?wait=1 callers.
 func (s *Server) drive(ctx context.Context) {
-	defer close(s.stopped)
+	defer s.closeStopped()
 	var tick *time.Ticker
 	if s.cfg.Clock == ClockWall {
 		tick = time.NewTicker(s.cfg.Tick)
@@ -65,7 +65,7 @@ func (s *Server) drive(ctx context.Context) {
 	}
 	s.drain()
 	s.hub.closeAll()
-	close(s.drained)
+	s.closeDrained()
 	s.log.Info("drain complete", "jobs", s.snapshotJobs())
 }
 
@@ -106,11 +106,27 @@ func (s *Server) stepOnce(idleOK bool) {
 	if !idleOK && s.eng.Done() {
 		return
 	}
+	if s.journalStepLocked() != nil {
+		return
+	}
 	if _, err := s.eng.Step(); err != nil {
 		s.failLocked(err)
 		return
 	}
 	s.maybeSnapshotLocked()
+}
+
+// journalStepLocked writes the step record for the quantum about to execute.
+// Idle boundaries — every job done, nothing queued — are skipped: they do no
+// work, emit no events, and journaling each wall tick of an idle daemon
+// would grow the journal without bound. Working boundaries must hit the
+// journal before the engine runs them so a follower (or a reference replay)
+// can re-execute exactly the quanta the leader executed. Caller holds s.mu.
+func (s *Server) journalStepLocked() error {
+	if s.journal == nil || s.eng.Done() {
+		return nil
+	}
+	return s.appendJournal(persist.KindStep, encodeStep(stepRecord{boundary: s.eng.Boundary()}))
 }
 
 // admitLocked hands every queued job to the engine at the current boundary.
@@ -231,6 +247,9 @@ func (s *Server) drain() {
 	}
 	s.eng.Drain()
 	for !s.eng.Done() {
+		if s.journalStepLocked() != nil {
+			return
+		}
 		if _, err := s.eng.Step(); err != nil {
 			s.failLocked(err)
 			return
@@ -239,7 +258,10 @@ func (s *Server) drain() {
 	}
 	if s.journal != nil {
 		if err := s.journal.Sync(); err != nil {
-			s.log.Error("journal sync at drain", "err", err)
+			// A torn final flush must not masquerade as a clean shutdown:
+			// record it as the fatal error so /healthz reports failing and
+			// Wait — hence the process exit code — surfaces it.
+			s.failLocked(fmt.Errorf("journal sync at drain: %w", err))
 		}
 	}
 }

@@ -22,6 +22,9 @@ import (
 //	drain     admission closed (operator intent survives a crash)
 //	snapshot  a sim.Engine snapshot plus the SSE sequence counter, letting
 //	          recovery replay only the journal tail
+//	step      the engine executed one working quantum boundary — the record
+//	          that turns the journal into a complete op log, so a follower's
+//	          state is a pure function of how many journal bytes it applied
 //
 // Everything else the daemon does is a deterministic function of these
 // records, so nothing else is journaled.
@@ -149,6 +152,38 @@ func decodeAdmit(body []byte) (admitRecord, error) {
 	}
 	if rec.boundary < 0 {
 		return admitRecord{}, fmt.Errorf("journal admit record: negative boundary %d", rec.boundary)
+	}
+	return rec, nil
+}
+
+// stepRecord pins one executed quantum boundary. Submissions, admissions and
+// drains alone recover a crashed daemon (everything downstream is replayed
+// deterministically), but they do not tell a *live reader* how far the engine
+// has actually run — which is exactly what a replicating follower must know.
+// With a step record journaled before every working quantum, the journal
+// becomes the daemon's complete op log: a follower that has applied the first
+// N bytes holds the same engine state the leader held at that point in its
+// own journal, byte for byte. Idle boundaries (no unfinished jobs) are not
+// journaled; they execute no work and emit no events, and the replay loop
+// reconstructs them from the next record's boundary.
+type stepRecord struct {
+	boundary int // engine boundary at which the step executes (pre-step)
+}
+
+func encodeStep(rec stepRecord) []byte {
+	e := persist.Enc{}
+	e.Int(rec.boundary)
+	return e.Bytes()
+}
+
+func decodeStep(body []byte) (stepRecord, error) {
+	d := persist.NewDec(body)
+	rec := stepRecord{boundary: d.Int()}
+	if err := d.Err(); err != nil {
+		return stepRecord{}, fmt.Errorf("journal step record: %w", err)
+	}
+	if rec.boundary < 0 {
+		return stepRecord{}, fmt.Errorf("journal step record: negative boundary %d", rec.boundary)
 	}
 	return rec, nil
 }

@@ -176,7 +176,7 @@ func newJournalMetrics(reg *obs.Registry) *journalMetrics {
 		fsyncSec: reg.Histogram("abgd_journal_fsync_seconds", journalBuckets),
 	}
 	for _, kind := range []byte{persist.KindHeader, persist.KindSubmit,
-		persist.KindAdmit, persist.KindDrain, persist.KindSnapshot} {
+		persist.KindAdmit, persist.KindDrain, persist.KindSnapshot, persist.KindStep} {
 		jm.appends[kind] = reg.Counter(
 			promexport.Name("abgd_journal_appends_total", "kind", persist.KindName(kind)))
 	}

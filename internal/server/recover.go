@@ -80,6 +80,12 @@ func (s *Server) openJournal() error {
 			"bytes", scan.TruncatedBytes, "cleanRecords", len(scan.Records))
 	}
 	if len(scan.Records) == 0 {
+		if s.isFollower() {
+			// A fresh follower journal stays empty: its first record will
+			// be the leader's header, shipped over the stream, keeping the
+			// file a byte prefix of the leader's journal.
+			return nil
+		}
 		// Fresh journal: stamp it with this daemon's configuration.
 		if err := j.Append(persist.KindHeader, encodeHeader(s.headerRecord())); err != nil {
 			return fmt.Errorf("server: journal header: %w", err)
@@ -111,8 +117,13 @@ type journalLog struct {
 	snap        *snapshotRecord
 	snapAdmits  int
 	snapRecords int // records up to and including the snapshot
-	drained     bool
-	nextID      int
+	// maxStep is the highest journaled step boundary (-1 when the journal
+	// predates step records): the engine provably executed every boundary up
+	// to and including it, so recovery replays that far even past the last
+	// admission, landing on the exact state the writer held.
+	maxStep int
+	drained bool
+	nextID  int
 }
 
 // parseJournal decodes and sanity-checks a clean record stream.
@@ -124,7 +135,7 @@ func parseJournal(records []persist.Record) (*journalLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	lg := &journalLog{header: h, admitted: make(map[int]int)}
+	lg := &journalLog{header: h, admitted: make(map[int]int), maxStep: -1}
 	for i, rec := range records[1:] {
 		switch rec.Kind {
 		case persist.KindHeader:
@@ -160,6 +171,16 @@ func parseJournal(records []persist.Record) (*journalLog, error) {
 			lg.admits = append(lg.admits, adm)
 		case persist.KindDrain:
 			lg.drained = true
+		case persist.KindStep:
+			st, err := decodeStep(rec.Body)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: %w", i+1, err)
+			}
+			if st.boundary < lg.maxStep {
+				return nil, fmt.Errorf("record %d: step boundary %d below previous %d",
+					i+1, st.boundary, lg.maxStep)
+			}
+			lg.maxStep = st.boundary
 		case persist.KindSnapshot:
 			snap, err := decodeSnapshot(rec.Body)
 			if err != nil {
@@ -178,12 +199,7 @@ func parseJournal(records []persist.Record) (*journalLog, error) {
 // submitFor resolves a job id to its submission record and the job's index
 // within that request.
 func (lg *journalLog) submitFor(id int) (submitRecord, int, error) {
-	for _, sub := range lg.submits {
-		if id >= sub.firstID && id < sub.firstID+sub.count {
-			return sub, id - sub.firstID, nil
-		}
-	}
-	return submitRecord{}, 0, fmt.Errorf("job %d has no submit record", id)
+	return submitIn(lg.submits, id)
 }
 
 // replaySpec rebuilds the engine-facing JobSpec for one journaled job —
@@ -294,11 +310,16 @@ func (s *Server) recoverRecords(records []persist.Record) error {
 		}
 	}
 
-	// 4. Replay the engine across the journaled admission boundaries. The
-	// re-executed quanta re-emit the original events under the original SSE
-	// ids — determinism makes the replay indistinguishable from the run it
-	// reconstructs. Quanta the crashed run executed beyond the last
-	// journaled admission replay themselves after boot, the same way.
+	// 4. Replay the engine across the journaled boundaries. The re-executed
+	// quanta re-emit the original events under the original SSE ids —
+	// determinism makes the replay indistinguishable from the run it
+	// reconstructs. Step records extend the replay past the last admission
+	// to the last quantum the writer provably executed; on journals that
+	// predate step records (maxStep == -1) any further quanta replay
+	// themselves after boot, the same way.
+	if lg.maxStep > maxBoundary {
+		maxBoundary = lg.maxStep
+	}
 	for s.eng.Boundary() <= maxBoundary {
 		if _, err := s.eng.Step(); err != nil {
 			return fmt.Errorf("replay boundary %d: %w", s.eng.Boundary(), err)
@@ -333,6 +354,17 @@ func (s *Server) recoverRecords(records []persist.Record) error {
 	// 6. A journaled drain survives the crash: finish it.
 	if lg.drained {
 		s.draining.Store(true)
+	}
+
+	// 7. A follower keeps the parsed submit/admit bookkeeping: the live
+	// stream continues applying records incrementally from exactly here.
+	if s.isFollower() {
+		s.repl = replState{
+			headerSeen: true,
+			submits:    lg.submits,
+			admitted:   len(lg.admitted),
+			maxStep:    lg.maxStep,
+		}
 	}
 	return nil
 }

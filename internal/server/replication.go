@@ -1,0 +1,508 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	"abg/internal/persist"
+	"abg/internal/replica"
+)
+
+// Replication. The write-ahead journal is the daemon's complete op log
+// (header, submits, admits, steps, drain, snapshots — see journal.go), and
+// the engine is bit-identically replay-deterministic, so replication is
+// journal shipping: a leader streams its journal file's bytes; a follower
+// appends each shipped record to its own journal (keeping its file a byte
+// prefix of the leader's) and applies it to its own engine through the same
+// code paths boot recovery uses. Follower state is therefore a pure
+// function of its applied byte offset — at equal offsets, leader and
+// follower hold identical engines, identical job results, and identical
+// SSE event ids, which is what lets followers serve reads (/state, job
+// status, /metrics, /api/v1/events) and re-serve the event stream to their
+// own subscribers while the leader takes only writes. Followers also serve
+// /api/v1/journal themselves, so followers can chain off followers (a
+// fan-out relay tier).
+//
+// Failover is promotion: a follower stops tailing and starts the quantum
+// clock on the state it has applied — exactly the crash-recovery resume,
+// so the promoted daemon provably continues the leader's run. Shipping is
+// asynchronous, so the guarantee is exact-prefix: every record that reached
+// the promoted follower is preserved with identical ids and results; an
+// acknowledged-but-unshipped tail is lost, and idempotent client
+// re-submission heals it (the same key regenerates the same jobs under
+// fresh ids). Operators must promote the follower with the LONGEST applied
+// journal: every follower's journal is a byte prefix of the dead leader's,
+// hence of each other's, so the longest one subsumes the rest and the
+// shorter followers can be retargeted at it.
+
+// Role is a daemon's replication role.
+type Role int32
+
+const (
+	// RoleLeader runs the quantum clock and takes writes. A daemon without
+	// -follow is a leader from boot (replication needs -journal, but a
+	// journal-less leader is still "leader": it simply has nothing to ship).
+	RoleLeader Role = iota
+	// RoleFollower tails a leader's journal and serves only reads; writes
+	// are answered with a 307 to the leader.
+	RoleFollower
+)
+
+func (r Role) String() string {
+	if r == RoleFollower {
+		return "follower"
+	}
+	return "leader"
+}
+
+// isFollower reports whether the daemon currently serves in follower role.
+func (s *Server) isFollower() bool { return Role(s.role.Load()) == RoleFollower }
+
+// replState is the follower's incremental view of the shipped journal —
+// the same bookkeeping parseJournal derives at boot, maintained record by
+// record as the stream applies.
+type replState struct {
+	headerSeen bool
+	submits    []submitRecord // resolve job ids → specs at admit time
+	admitted   int            // jobs handed to the engine so far
+	applied    int64          // records applied since boot (recovery + stream)
+	maxStep    int            // highest applied step boundary
+}
+
+// shippedApplier adapts the Server's follower role onto replica.Applier.
+type shippedApplier struct{ s *Server }
+
+func (a shippedApplier) Offset() int64 { return a.s.journal.Size() }
+
+func (a shippedApplier) Apply(rec persist.Record) error { return a.s.applyShipped(rec) }
+
+// applyShipped applies one shipped journal record: append it to the local
+// journal first (identical bytes — the follower's file stays a verbatim
+// prefix of the leader's), then mutate the engine through the same
+// constructions recovery uses. Any inconsistency is fatal: a follower that
+// cannot apply must wedge loudly, never serve state it knows is divergent.
+func (s *Server) applyShipped(rec persist.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return s.fatal
+	}
+	if err := s.journal.Append(rec.Kind, rec.Body); err != nil {
+		s.failLocked(fmt.Errorf("replica journal append: %w", err))
+		return err
+	}
+	var err error
+	switch rec.Kind {
+	case persist.KindHeader:
+		err = s.applyHeaderLocked(rec.Body)
+	case persist.KindSubmit:
+		err = s.applySubmitLocked(rec.Body)
+	case persist.KindAdmit:
+		err = s.applyAdmitLocked(rec.Body)
+	case persist.KindStep:
+		err = s.applyStepLocked(rec.Body)
+	case persist.KindSnapshot:
+		err = s.applySnapshotLocked(rec.Body)
+	case persist.KindDrain:
+		s.draining.Store(true)
+	default:
+		err = fmt.Errorf("unknown record kind %d", rec.Kind)
+	}
+	if err != nil {
+		s.failLocked(fmt.Errorf("replica apply: %w", err))
+		return err
+	}
+	s.repl.applied++
+	return nil
+}
+
+func (s *Server) applyHeaderLocked(body []byte) error {
+	if s.repl.headerSeen {
+		return fmt.Errorf("duplicate header record")
+	}
+	h, err := decodeHeader(body)
+	if err != nil {
+		return err
+	}
+	if want := s.headerRecord(); h != want {
+		return fmt.Errorf("leader journal written under a different configuration:\n  leader:   %+v\n  follower: %+v",
+			h, want)
+	}
+	s.repl.headerSeen = true
+	return nil
+}
+
+func (s *Server) applySubmitLocked(body []byte) error {
+	sub, err := decodeSubmit(body)
+	if err != nil {
+		return err
+	}
+	if sub.firstID != s.nextID {
+		return fmt.Errorf("submit ids start at %d, follower expects %d", sub.firstID, s.nextID)
+	}
+	ids := make([]int, sub.count)
+	for i := range ids {
+		id := sub.firstID + i
+		ids[i] = id
+		s.queue = append(s.queue, pendingJob{
+			id:      id,
+			name:    sub.req.jobName(i, id),
+			profile: sub.req.BuildProfile(i, s.cfg.L),
+		})
+	}
+	if sub.key != "" {
+		s.keys[sub.key] = ids
+	}
+	s.nextID = sub.firstID + sub.count
+	s.repl.submits = append(s.repl.submits, sub)
+	return nil
+}
+
+func (s *Server) applyAdmitLocked(body []byte) error {
+	adm, err := decodeAdmit(body)
+	if err != nil {
+		return err
+	}
+	// The leader admits its entire queue at a boundary, so the record's ids
+	// must be exactly the follower's queued jobs, in order.
+	if len(adm.ids) != len(s.queue) {
+		return fmt.Errorf("admit covers %d jobs, follower queue holds %d", len(adm.ids), len(s.queue))
+	}
+	l64 := int64(s.cfg.L)
+	for _, id := range adm.ids {
+		if id != s.repl.admitted {
+			return fmt.Errorf("admit id %d out of order (follower expects %d)", id, s.repl.admitted)
+		}
+		sub, idx, err := submitIn(s.repl.submits, id)
+		if err != nil {
+			return err
+		}
+		got, err := s.eng.Submit(replaySpec(sub, idx, id, s.cfg.L,
+			int64(adm.boundary)*l64, s.plan, s.sched, s.bus))
+		if err != nil {
+			return err
+		}
+		if got != id {
+			return fmt.Errorf("id skew: engine assigned %d, record has %d", got, id)
+		}
+		s.repl.admitted++
+	}
+	s.queue = s.queue[:0]
+	return nil
+}
+
+func (s *Server) applyStepLocked(body []byte) error {
+	st, err := decodeStep(body)
+	if err != nil {
+		return err
+	}
+	if st.boundary < s.repl.maxStep {
+		return fmt.Errorf("step boundary %d below previous %d", st.boundary, s.repl.maxStep)
+	}
+	s.repl.maxStep = st.boundary
+	// Catch up to and execute the recorded boundary. Idle boundaries the
+	// leader skipped journaling replay here as idle steps (or a single
+	// fast-forward when only future releases are pending) — both paths land
+	// exactly on the recorded boundary, then execute the same quantum the
+	// leader executed, re-emitting its events under its SSE ids.
+	for s.eng.Boundary() <= st.boundary {
+		if _, err := s.eng.Step(); err != nil {
+			return fmt.Errorf("step boundary %d: %w", s.eng.Boundary(), err)
+		}
+	}
+	return nil
+}
+
+// applySnapshotLocked treats the leader's snapshot as a cross-check, not a
+// restore: the follower already holds the state by construction, so the
+// snapshot's coordinates must match exactly — a cheap, continuous proof
+// that the replica has not diverged. (The full engine blob is already in
+// the follower's journal for its own boot recovery.)
+func (s *Server) applySnapshotLocked(body []byte) error {
+	snap, err := decodeSnapshot(body)
+	if err != nil {
+		return err
+	}
+	if snap.boundary != s.eng.Boundary() || snap.quanta != s.eng.QuantaElapsed() {
+		return fmt.Errorf("diverged from leader: snapshot at boundary %d quanta %d, follower at %d/%d",
+			snap.boundary, snap.quanta, s.eng.Boundary(), s.eng.QuantaElapsed())
+	}
+	if seq := s.hub.Seq(); snap.sseSeq != seq {
+		return fmt.Errorf("diverged from leader: snapshot SSE seq %d, follower at %d", snap.sseSeq, seq)
+	}
+	s.lastSnapQ = snap.quanta
+	s.lastSnapSeq = snap.sseSeq
+	s.snapshotCount++
+	s.metrics.snapshots.Inc()
+	return nil
+}
+
+// submitIn resolves a job id to its submission record and index within it.
+func submitIn(submits []submitRecord, id int) (submitRecord, int, error) {
+	for _, sub := range submits {
+		if id >= sub.firstID && id < sub.firstID+sub.count {
+			return sub, id - sub.firstID, nil
+		}
+	}
+	return submitRecord{}, 0, fmt.Errorf("job %d has no submit record", id)
+}
+
+// follow is the follower's driver goroutine: tail the leader until the
+// tailer stops. Three exits: promotion (this goroutine becomes the quantum
+// clock, via drive), shutdown (ctx cancelled / tailer stopped), or a fatal
+// replication error (the daemon wedges and reports it through Wait).
+func (s *Server) follow(ctx context.Context) {
+	err := s.tailer.Run(ctx)
+	if err != nil {
+		s.mu.Lock()
+		s.failLocked(err)
+		s.mu.Unlock()
+	}
+	if s.killed.Load() {
+		// Crash simulation (tests only): stop dead, like SIGKILL would.
+		s.closeStopped()
+		return
+	}
+	if err == nil && ctx.Err() == nil && !s.isFollower() && !s.draining.Load() {
+		// Promoted: continue the leader's run on the applied state — the
+		// same resume crash recovery performs. This goroutine is now the
+		// quantum clock.
+		s.log.Info("follower promoted, starting quantum clock",
+			"boundary", s.boundaryNow(), "journalBytes", s.journal.Size())
+		s.drive(ctx)
+		return
+	}
+	if err == nil && ctx.Err() == nil && !s.isFollower() {
+		// Promoted into an already-draining run (the leader drained before
+		// dying): just finish the drain.
+		s.drive(ctx)
+		return
+	}
+	s.mu.Lock()
+	fatal := s.fatal
+	s.mu.Unlock()
+	if s.draining.Load() && fatal == nil {
+		s.log.Info("follower drained with leader", "jobs", s.snapshotJobs())
+	}
+	s.hub.closeAll()
+	s.closeDrained()
+	s.closeStopped()
+}
+
+func (s *Server) boundaryNow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Boundary()
+}
+
+// closeDrained and closeStopped make the lifecycle channels safe to close
+// from both the leader drive path and the follower shutdown path.
+func (s *Server) closeDrained() { s.drainedOnce.Do(func() { close(s.drained) }) }
+func (s *Server) closeStopped() { s.stoppedOnce.Do(func() { close(s.stopped) }) }
+
+// Promote switches a follower to leader: the tailer stops, and the follow
+// goroutine starts the quantum clock on the applied state. The promoted
+// daemon resumes the leader's run exactly where its applied journal prefix
+// ends — same job ids, same results, same SSE event ids (the PR 4 recovery
+// guarantee, reached over the network instead of a reboot).
+func (s *Server) Promote(reason string) error {
+	s.mu.Lock()
+	ready := s.repl.headerSeen
+	s.mu.Unlock()
+	if !ready {
+		return fmt.Errorf("server: follower has no replicated state to promote")
+	}
+	if !s.role.CompareAndSwap(int32(RoleFollower), int32(RoleLeader)) {
+		return fmt.Errorf("server: not a follower")
+	}
+	s.promotions.Add(1)
+	s.log.Info("promoting to leader", "reason", reason, "journalBytes", s.journal.Size())
+	s.tailer.Stop()
+	return nil
+}
+
+// --- HTTP surface ---------------------------------------------------------
+
+// redirectToLeader answers writes arriving at a follower with a 307 to the
+// current leader, preserving method and body. Returns true when handled.
+func (s *Server) redirectToLeader(w http.ResponseWriter, r *http.Request) bool {
+	if !s.isFollower() {
+		return false
+	}
+	http.Redirect(w, r, s.tailer.Leader()+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	return true
+}
+
+// handleJournal streams the journal's bytes from the requested offset,
+// then keeps the response open, shipping every new record as it is
+// appended (chunked transfer; each burst is flushed). Served by leaders
+// and followers alike — a follower's journal is a byte prefix of its
+// leader's, so followers can feed further followers (relay tier).
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeJSON(w, http.StatusNotFound, errorDTO{"journal disabled (-journal not set)"})
+		return
+	}
+	from := int64(0)
+	if v := r.URL.Query().Get("from"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || p < 0 {
+			writeJSON(w, http.StatusBadRequest, errorDTO{"bad from offset: " + v})
+			return
+		}
+		from = p
+	}
+	size := s.journal.Size()
+	if from > size {
+		// The requester holds bytes this journal never wrote: divergent
+		// histories (e.g. a shorter journal was promoted after a failover).
+		// 409 is a hard error on the follower side — reconnecting cannot
+		// heal a wrong history.
+		writeJSON(w, http.StatusConflict, errorDTO{fmt.Sprintf(
+			"offset %d beyond journal size %d: divergent history", from, size)})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorDTO{"streaming unsupported"})
+		return
+	}
+	f, err := os.Open(s.journal.Path())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorDTO{"open journal: " + err.Error()})
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(replica.SizeHeader, strconv.FormatInt(size, 10))
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	buf := make([]byte, 64*1024)
+	pos := from
+	for {
+		// Ship everything committed so far. Size() is the clean length —
+		// bytes below it are whole records, safe to expose mid-append.
+		size = s.journal.Size()
+		for pos < size {
+			n := len(buf)
+			if int64(n) > size-pos {
+				n = int(size - pos)
+			}
+			if _, err := f.ReadAt(buf[:n], pos); err != nil {
+				return
+			}
+			if _, err := w.Write(buf[:n]); err != nil {
+				return
+			}
+			pos += int64(n)
+		}
+		flusher.Flush()
+		ch := s.journal.Updated()
+		if s.journal.Size() > pos {
+			continue // appended between the copy loop and the channel fetch
+		}
+		select {
+		case <-ch:
+		case <-s.drained:
+			if s.journal.Size() > pos {
+				continue // final drain records still to ship
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ReplicationDTO is served at /api/v1/replication.
+type ReplicationDTO struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// JournalBytes is the local journal's clean length: the leader's
+	// shipping high-water mark, the follower's applied offset. The follower
+	// with the largest value holds the longest prefix of the dead leader's
+	// journal and is the one to promote.
+	JournalBytes int64 `json:"journalBytes"`
+	// AppliedRecords counts records applied since boot (recovery + stream);
+	// follower only.
+	AppliedRecords int64 `json:"appliedRecords,omitempty"`
+	// LagBytes is the follower's best-effort byte lag behind its leader
+	// (last observed leader size minus applied offset, floored at zero).
+	LagBytes int64 `json:"lagBytes"`
+	// Promotions counts role transitions to leader since boot (0 or 1).
+	Promotions int64 `json:"promotions"`
+	// Tail is the transport status; follower only.
+	Tail *replica.Status `json:"tail,omitempty"`
+}
+
+func (s *Server) replication() ReplicationDTO {
+	dto := ReplicationDTO{
+		Role:       Role(s.role.Load()).String(),
+		Promotions: s.promotions.Load(),
+	}
+	if s.journal != nil {
+		dto.JournalBytes = s.journal.Size()
+	}
+	if s.tailer != nil && s.isFollower() {
+		st := s.tailer.Status()
+		dto.Tail = &st
+		if lag := st.LeaderBytes - dto.JournalBytes; lag > 0 {
+			dto.LagBytes = lag
+		}
+		s.mu.Lock()
+		dto.AppliedRecords = s.repl.applied
+		s.mu.Unlock()
+	}
+	return dto
+}
+
+func (s *Server) handleReplication(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.replication())
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
+	if !s.isFollower() {
+		writeJSON(w, http.StatusConflict, errorDTO{"not a follower"})
+		return
+	}
+	if err := s.Promote("api"); err != nil {
+		writeJSON(w, http.StatusConflict, errorDTO{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.replication())
+}
+
+// retargetRequest is the POST /api/v1/retarget body.
+type retargetRequest struct {
+	Leader string `json:"leader"`
+}
+
+// handleRetarget re-points a follower at a new leader — after a failover,
+// the surviving followers retarget at the promoted one. Safe because every
+// follower's journal is a byte prefix of the promoted leader's; if this
+// follower were somehow ahead (operator promoted the wrong, shorter
+// journal), the offset check on reconnect turns it into a loud 409 instead
+// of silent divergence.
+func (s *Server) handleRetarget(w http.ResponseWriter, r *http.Request) {
+	if !s.isFollower() {
+		writeJSON(w, http.StatusConflict, errorDTO{"not a follower"})
+		return
+	}
+	var req retargetRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Leader == "" {
+		writeJSON(w, http.StatusBadRequest, errorDTO{"leader is required"})
+		return
+	}
+	s.tailer.SetLeader(req.Leader)
+	s.log.Info("retargeted", "leader", s.tailer.Leader())
+	writeJSON(w, http.StatusOK, s.replication())
+}

@@ -43,6 +43,7 @@ import (
 	"abg/internal/job"
 	"abg/internal/obs"
 	"abg/internal/persist"
+	"abg/internal/replica"
 	"abg/internal/sim"
 )
 
@@ -128,6 +129,17 @@ type Config struct {
 	// snapshots are bit-identical at every setting, so it is safe to change
 	// across restarts of the same journal.
 	StepWorkers int
+	// FollowURL boots the daemon as a replication follower tailing this
+	// leader's journal (see replication.go). Requires JournalDir, and the
+	// engine configuration (P, L, scheduler parameters, fault spec, seed)
+	// must match the leader's — the shipped header record is cross-checked.
+	// Followers serve reads and the SSE stream; writes answer 307 to the
+	// leader.
+	FollowURL string
+	// PromoteAfter arms the follower's promotion watchdog: if the leader
+	// stays unreachable for this long, the follower promotes itself. Zero
+	// means manual promotion only (POST /api/v1/promote).
+	PromoteAfter time.Duration
 }
 
 // normalize fills defaults and validates the configuration.
@@ -196,6 +208,12 @@ func (c *Config) normalize() error {
 	if _, err := persist.ParseSyncPolicy(c.Fsync); err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	if c.FollowURL != "" && c.JournalDir == "" {
+		return fmt.Errorf("server: follower mode requires a journal (-follow needs -journal)")
+	}
+	if c.PromoteAfter > 0 && c.FollowURL == "" {
+		return fmt.Errorf("server: -promote-after only applies to followers (-follow)")
+	}
 	if c.Bus == nil {
 		c.Bus = obs.NewBus()
 	}
@@ -237,12 +255,21 @@ type Server struct {
 
 	journal *persist.Journal
 
-	draining atomic.Bool
-	killed   atomic.Bool // test hook: crash the driver without draining
-	wake     chan struct{}
-	drained  chan struct{}
-	stopped  chan struct{}
-	started  time.Time
+	// Replication (see replication.go). role is RoleLeader or RoleFollower;
+	// a follower's tailer streams the leader's journal into repl/engine.
+	role       atomic.Int32
+	promotions atomic.Int64
+	tailer     *replica.Tailer
+	repl       replState
+
+	draining    atomic.Bool
+	killed      atomic.Bool // test hook: crash the driver without draining
+	wake        chan struct{}
+	drained     chan struct{}
+	drainedOnce sync.Once
+	stopped     chan struct{}
+	stoppedOnce sync.Once
+	started     time.Time
 
 	ln   net.Listener
 	hsrv *http.Server
@@ -303,11 +330,33 @@ func New(cfg Config) (*Server, error) {
 		s.checker = fault.NewChecker(cfg.P, false)
 		s.bus.Subscribe(s.checker)
 	}
+	if cfg.FollowURL != "" {
+		// Role must be set before openJournal: a fresh follower journal is
+		// NOT stamped with a header — its first record is the leader's.
+		s.role.Store(int32(RoleFollower))
+	}
 	if cfg.JournalDir != "" {
 		if err := s.openJournal(); err != nil {
 			return nil, err
 		}
 		s.journal.SetMetrics(newJournalMetrics(s.metrics.reg))
+	}
+	if cfg.FollowURL != "" {
+		t := replica.NewTailer(cfg.FollowURL, shippedApplier{s})
+		t.PromoteAfter = cfg.PromoteAfter
+		t.OnPromote = func() { _ = s.Promote("watchdog") }
+		// A clean EOF after the drain record has applied and the engine has
+		// finished is the leader's end-of-drain: the journal is complete, so
+		// the follower drains out too instead of re-dialing a gone leader.
+		t.StopOnEOF = func() bool {
+			if !s.draining.Load() {
+				return false
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.eng.Done() && len(s.queue) == 0
+		}
+		s.tailer = t
 	}
 	s.metrics.recordRecovery(s.recovery)
 	return s, nil
@@ -323,7 +372,11 @@ func (s *Server) Start(ctx context.Context) error {
 	s.ln = ln
 	s.started = time.Now()
 	s.hsrv = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
-	go s.drive(ctx)
+	if s.isFollower() {
+		go s.follow(ctx)
+	} else {
+		go s.drive(ctx)
+	}
 	go func() {
 		if err := s.hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			s.log.Error("http server failed", "err", err)
@@ -331,7 +384,8 @@ func (s *Server) Start(ctx context.Context) error {
 	}()
 	s.log.Info("abgd listening",
 		"addr", ln.Addr().String(), "scheduler", s.sched.Name(),
-		"P", s.cfg.P, "L", s.cfg.L, "clock", string(s.cfg.Clock))
+		"P", s.cfg.P, "L", s.cfg.L, "clock", string(s.cfg.Clock),
+		"role", Role(s.role.Load()).String())
 	return nil
 }
 
@@ -405,6 +459,10 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/events", s.instrument("/api/v1/events", s.handleEvents))
 	mux.HandleFunc("POST /api/v1/drain", s.instrument("/api/v1/drain", s.handleDrain))
 	mux.HandleFunc("GET /api/v1/recovery", s.instrument("/api/v1/recovery", s.handleRecovery))
+	mux.HandleFunc("GET /api/v1/journal", s.instrument("/api/v1/journal", s.handleJournal))
+	mux.HandleFunc("GET /api/v1/replication", s.instrument("/api/v1/replication", s.handleReplication))
+	mux.HandleFunc("POST /api/v1/promote", s.instrument("/api/v1/promote", s.handlePromote))
+	mux.HandleFunc("POST /api/v1/retarget", s.instrument("/api/v1/retarget", s.handleRetarget))
 	mux.HandleFunc("GET /api/v1/version", s.instrument("/api/v1/version", s.handleVersion))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -438,6 +496,9 @@ type SubmitResponse struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorDTO{"draining: admission closed"})
+		return
+	}
+	if s.redirectToLeader(w, r) {
 		return
 	}
 	var req JobRequest
@@ -717,6 +778,9 @@ func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if s.redirectToLeader(w, r) {
+		return
+	}
 	s.Drain()
 	wait := r.URL.Query().Get("wait")
 	done := false
@@ -746,6 +810,15 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 type HealthDTO struct {
 	Status   string `json:"status"`
 	Draining bool   `json:"draining,omitempty"`
+	// Role is the replication role, "leader" or "follower".
+	Role string `json:"role"`
+	// ReplConnected and ReplLagBytes describe a follower's replication
+	// stream: whether it is currently attached to its leader, and the
+	// best-effort byte lag behind the leader's journal. A detached follower
+	// reports degraded — it still serves (possibly stale) reads, but an
+	// operator should look. Absent on leaders.
+	ReplConnected *bool `json:"replConnected,omitempty"`
+	ReplLagBytes  int64 `json:"replLagBytes,omitempty"`
 	// JournalLag is the journal's current durability debt — records appended
 	// since the last fsync — and LagMax its ceiling. Absent without -journal.
 	JournalLag int `json:"journalLag,omitempty"`
@@ -768,7 +841,22 @@ func (s *Server) health() (HealthDTO, int) {
 	age := s.eng.QuantaElapsed() - s.lastSnapQ
 	s.mu.Unlock()
 
-	dto := HealthDTO{Status: "ok", Invariants: "off", Draining: s.draining.Load()}
+	dto := HealthDTO{
+		Status: "ok", Invariants: "off", Draining: s.draining.Load(),
+		Role: Role(s.role.Load()).String(),
+	}
+	if s.isFollower() {
+		repl := s.replication()
+		connected := repl.Tail != nil && repl.Tail.Connected
+		dto.ReplConnected = &connected
+		dto.ReplLagBytes = repl.LagBytes
+		if !connected && !s.draining.Load() {
+			dto.Status = "degraded"
+			dto.Reasons = append(dto.Reasons, fmt.Sprintf(
+				"replication stream detached from %s (lag %d bytes)",
+				repl.Tail.Leader, repl.LagBytes))
+		}
+	}
 	if s.checker != nil {
 		dto.Invariants = "ok"
 		if err := s.checker.Err(); err != nil {

@@ -14,10 +14,11 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli, parallel)"
+echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli, parallel, replica)"
 go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
     ./internal/feedback/... ./internal/alloc/... ./internal/server/... \
-    ./internal/persist/... ./internal/cli/... ./internal/parallel/...
+    ./internal/persist/... ./internal/cli/... ./internal/parallel/... \
+    ./internal/replica/...
 
 echo "== parallel-step determinism guard (serial vs workers {1,2,8}, faults + snapshot/restore)"
 # Bit-identical results, event streams, and statuses at every StepWorkers
@@ -70,5 +71,13 @@ go build -o "$bindir/abgload" ./cmd/abgload
 "$bindir/abgload" -crash -abgd "$bindir/abgd" -jobs 30 -crashes 3 -timeout 3m
 "$bindir/abgload" -crash -abgd "$bindir/abgd" -jobs 30 -crashes 3 -timeout 3m \
     -fault "drop=0.15,delay=2:0.1,dup=0.1,noise=0.3,restart=0.1,restartat=2,maxrestarts=2,cap=churn:0.5:4,seed=11"
+
+echo "== failover smoke (SIGKILL the leader, promote a follower, compare to reference)"
+# Leader plus two followers; reads ride the kill on client fallbacks, the
+# most-caught-up follower is promoted, and the promoted run's results must
+# DeepEqual an uninterrupted replay of its journal — clean and faulted.
+"$bindir/abgload" -failover -abgd "$bindir/abgd" -jobs 24 -timeout 2m
+"$bindir/abgload" -failover -abgd "$bindir/abgd" -jobs 24 -timeout 2m \
+    -fault "drop=0.3,cap=churn:0.5:4,seed=5"
 
 echo "== all checks passed"
