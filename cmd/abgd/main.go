@@ -39,6 +39,20 @@
 // silence); it resumes the run on exactly the journal prefix it applied.
 //
 //	abgd -addr :7134 -journal /var/lib/abgd-b -follow http://leader:7133
+//
+// With -cluster N the daemon runs N independent engine shards behind one
+// front door instead of a single engine: submissions are routed to shards
+// (consistent hashing, least-loaded tiebreak), and a cluster-level allocator
+// re-partitions the machine's P processors across the shards at every
+// quantum boundary by feeding the shards' aggregate desires through the same
+// DEQ policy jobs are allotted with — the paper's two-level feedback applied
+// hierarchically. The API is unchanged (global job ids, aggregated /state,
+// merged SSE stream, shard-labelled /metrics); /api/v1/shards exposes the
+// per-shard routing and allocation state. -journal gives each shard its own
+// journal under shard-<k>/ subdirectories, so recovery stays exact per
+// shard. -cluster is incompatible with -follow.
+//
+//	abgd -addr :7133 -cluster 4 -P 128 -journal /var/lib/abgd
 package main
 
 import (
@@ -48,6 +62,7 @@ import (
 	"time"
 
 	"abg/internal/cli"
+	"abg/internal/cluster"
 	"abg/internal/obs"
 	"abg/internal/server"
 )
@@ -77,6 +92,8 @@ func main() {
 		stepWork  = flag.Int("step-workers", 0, "goroutines stepping independent jobs per quantum (0/1 serial, -1 = one per CPU); results and journals are identical at every setting")
 		follow    = flag.String("follow", "", "run as a hot standby tailing this leader URL (requires -journal); serves reads, redirects writes")
 		promAfter = flag.Duration("promote-after", 0, "self-promote after the leader has been unreachable this long (0 = manual /api/v1/promote only)")
+		shards    = flag.Int("cluster", 0, "run N engine shards behind one front door (0 = single engine); incompatible with -follow")
+		clWorkers = flag.Int("cluster-workers", 0, "goroutines stepping shards per cluster round (0 = one per CPU); results are identical at every setting")
 		version   = cli.VersionFlag()
 	)
 	flag.Parse()
@@ -96,6 +113,39 @@ func main() {
 		}
 		defer dbg.Close()
 		fmt.Fprintf(os.Stderr, "[debug server on http://%s]\n", dbg.Addr())
+	}
+
+	if *shards > 0 {
+		if *follow != "" {
+			fatal(fmt.Errorf("-cluster and -follow are mutually exclusive: a cluster's shards replicate per shard, not as one journal"))
+		}
+		cl, err := cluster.New(cluster.Config{
+			Addr: *addr, Shards: *shards, Workers: *clWorkers,
+			Metrics: obs.Default,
+			Shard: server.Config{
+				P: *p, L: *l,
+				Scheduler: *schedName, R: *r, Rho: *rho, Delta: *delta,
+				Clock: server.ClockMode(*clock), Tick: *tick,
+				QueueLimit: *queue, FaultSpec: *faultSpec, Seed: *seed,
+				JournalDir: *journal, SnapshotEvery: *snapEvery, Fsync: *fsync,
+				TimelineRing: *ring, JournalLagMax: *lagMax, SnapshotAgeMax: *ageMax,
+				StepWorkers: *stepWork,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ctx, stop := cli.SignalContext()
+		defer stop()
+		if err := cl.Start(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "abgd listening on http://%s\n", cl.Addr())
+		if err := cl.Wait(); err != nil {
+			fatal(err)
+		}
+		cli.Interrupted(ctx, os.Stderr, "abgd")
+		return
 	}
 
 	srv, err := server.New(server.Config{

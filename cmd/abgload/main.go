@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"abg/internal/cli"
+	"abg/internal/cluster"
 	"abg/internal/obs"
 	"abg/internal/server"
 	"abg/internal/stats"
@@ -63,6 +65,7 @@ func main() {
 		journal  = flag.String("journal", "", "journal directory for -crash mode (default: a fresh temp dir)")
 		crashes  = flag.Int("crashes", 3, "SIGKILL/restart cycles in -crash mode")
 		faultArg = flag.String("fault", "", "fault-injection spec passed to the spawned daemon (-crash mode)")
+		clusterN = flag.Int("cluster", 0, "boot an in-process N-shard cluster front end (virtual clock) and drive it")
 		jsonOut  = flag.Bool("json", false, "emit the run summary as JSON on stdout instead of tables (not with -crash)")
 		version  = cli.VersionFlag()
 	)
@@ -72,8 +75,8 @@ func main() {
 	if err := obs.SetupDefaultLogger(*logSpec); err != nil {
 		fatal(err)
 	}
-	if !*selftest && !*crash && !*failover && *addr == "" {
-		fatal(fmt.Errorf("need -addr of a running abgd, -selftest, -crash, or -failover"))
+	if !*selftest && !*crash && !*failover && *clusterN == 0 && *addr == "" {
+		fatal(fmt.Errorf("need -addr of a running abgd, -selftest, -cluster, -crash, or -failover"))
 	}
 	if *jobs < 1 || *clients < 1 {
 		fatal(fmt.Errorf("need -jobs >= 1 and -clients >= 1"))
@@ -127,8 +130,16 @@ func main() {
 			}
 			reports = append(reports, rep)
 		}
+	} else if *clusterN > 0 {
+		rep, err := runAgainstCluster(ctx, *clusterN, *p, *l, run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abgload: cluster: %v\n", err)
+			failed = true
+		} else {
+			reports = append(reports, rep)
+		}
 	} else {
-		rep, err := drive(ctx, *addr, "abgd@"+*addr, run, nil)
+		rep, err := drive(ctx, *addr, "abgd@"+*addr, run, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abgload: %v\n", err)
 			failed = true
@@ -181,9 +192,40 @@ func runAgainstInProcess(ctx context.Context, schedName string, p, l int, run ru
 	if err := srv.Start(srvCtx); err != nil {
 		return nil, err
 	}
-	rep, driveErr := drive(ctx, "http://"+srv.Addr(), schedName, run, srv)
+	rep, driveErr := drive(ctx, "http://"+srv.Addr(), schedName, run, true)
 	if err := srv.Wait(); err != nil {
 		return nil, fmt.Errorf("daemon did not drain cleanly: %w", err)
+	}
+	return rep, driveErr
+}
+
+// runAgainstCluster boots a virtual-clock N-shard cluster front end on a
+// loopback port, drives the load through it, and drains it. The report picks
+// up the per-shard routing counters from /api/v1/shards.
+func runAgainstCluster(ctx context.Context, shards, p, l int, run runConfig) (*report, error) {
+	c, err := cluster.New(cluster.Config{
+		Addr:   "127.0.0.1:0",
+		Shards: shards,
+		Shard: server.Config{
+			P: p, L: l,
+			Scheduler: "abg", Clock: server.ClockVirtual,
+			QueueLimit: run.jobs + run.clients,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	clCtx, clCancel := context.WithCancel(context.Background())
+	defer clCancel()
+	if err := c.Start(clCtx); err != nil {
+		return nil, err
+	}
+	rep, driveErr := drive(ctx, "http://"+c.Addr(), fmt.Sprintf("cluster-%d", shards), run, true)
+	if err := c.Wait(); err != nil {
+		return nil, fmt.Errorf("cluster did not drain cleanly: %w", err)
+	}
+	if driveErr == nil && rep.state.Completed != run.jobs {
+		return nil, fmt.Errorf("cluster completed %d of %d jobs", rep.state.Completed, run.jobs)
 	}
 	return rep, driveErr
 }
@@ -204,12 +246,16 @@ type report struct {
 	polls         int64
 	readRetargets int64   // reads failed over to a follower
 	promotionMs   float64 // kill-to-promoted latency (-failover only)
+
+	// Per-shard routing counters from /api/v1/shards; nil when the target
+	// is a single daemon (the endpoint 404s there).
+	shards []cluster.ShardDTO
 }
 
-// drive runs the closed loop against base. srv, when non-nil, is the
-// in-process daemon to drain via its API (selftest mode); for external
-// daemons the drain request is skipped so abgload can be re-run.
-func drive(ctx context.Context, base, label string, run runConfig, srv *server.Server) (*report, error) {
+// drive runs the closed loop against base. drain selects whether the run
+// ends with a drain request through the API (in-process targets); external
+// daemons are left running so abgload can be re-run against them.
+func drive(ctx context.Context, base, label string, run runConfig, drain bool) (*report, error) {
 	client := server.NewClient(base)
 	client.Fallbacks = run.fallbacks
 	rep := &report{label: label}
@@ -260,9 +306,13 @@ func drive(ctx context.Context, base, label string, run runConfig, srv *server.S
 		return nil, fmt.Errorf("submitted %d of %d jobs", got, run.jobs)
 	}
 
+	// A cluster front end exposes its per-shard routing state; capture it
+	// before the drain tears the listener down. Single daemons 404 here.
+	rep.shards = fetchShards(ctx, base)
+
 	// Drain the in-process daemon through its own API and snapshot the end
 	// state: every accepted job must be completed.
-	if srv != nil {
+	if drain {
 		if err := client.Drain(ctx, true); err != nil {
 			return nil, fmt.Errorf("drain: %w", err)
 		}
@@ -271,10 +321,33 @@ func drive(ctx context.Context, base, label string, run runConfig, srv *server.S
 	if rep.state, err = client.State(ctx); err != nil {
 		return nil, err
 	}
-	if srv != nil && rep.state.Completed != run.jobs {
+	if drain && rep.state.Completed != run.jobs {
 		return nil, fmt.Errorf("daemon completed %d of %d jobs", rep.state.Completed, run.jobs)
 	}
 	return rep, nil
+}
+
+// fetchShards reads /api/v1/shards, returning nil when the target is not a
+// cluster front end (or the read fails — the shard table is best-effort
+// telemetry, never a reason to fail a load run).
+func fetchShards(ctx context.Context, base string) []cluster.ShardDTO {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/shards", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var shards []cluster.ShardDTO
+	if err := json.NewDecoder(resp.Body).Decode(&shards); err != nil {
+		return nil
+	}
+	return shards
 }
 
 // runOne is one closed-loop iteration: submit job i, wait for completion,
@@ -365,6 +438,12 @@ type LoadSummary struct {
 	MakespanSteps    int64   `json:"makespanSteps"`
 	TotalWaste       int64   `json:"totalWaste"`
 	SSEDropped       int64   `json:"sseDropped"`
+
+	// Cluster targets only: jobs admitted per shard (index = shard id) and
+	// the routing imbalance — max per-shard admits over the perfectly even
+	// split (1.0 = perfectly balanced).
+	ShardAdmits      []int64 `json:"shardAdmits,omitempty"`
+	RoutingImbalance float64 `json:"routingImbalance,omitempty"`
 }
 
 // Quantiles summarises one latency-style sample set via obs.Histogram's
@@ -427,7 +506,44 @@ func (r *report) summary() LoadSummary {
 		MakespanSteps:    r.state.Makespan,
 		TotalWaste:       r.state.TotalWaste,
 		SSEDropped:       r.state.SSEDropped,
+
+		ShardAdmits:      shardAdmits(r.shards),
+		RoutingImbalance: routingImbalance(r.shards),
 	}
+}
+
+// shardAdmits flattens the shard table to per-shard admit counts.
+func shardAdmits(shards []cluster.ShardDTO) []int64 {
+	if len(shards) == 0 {
+		return nil
+	}
+	out := make([]int64, len(shards))
+	for _, sh := range shards {
+		if sh.Shard >= 0 && sh.Shard < len(out) {
+			out[sh.Shard] = sh.Routed
+		}
+	}
+	return out
+}
+
+// routingImbalance is max per-shard admits over the even split: 1.0 means
+// the router spread the jobs perfectly, N means one shard took everything.
+func routingImbalance(shards []cluster.ShardDTO) float64 {
+	if len(shards) < 2 {
+		return 0
+	}
+	var total, max int64
+	for _, sh := range shards {
+		total += sh.Routed
+		if sh.Routed > max {
+			max = sh.Routed
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	even := float64(total) / float64(len(shards))
+	return float64(max) / even
 }
 
 // writeJSONSummary emits every run's summary under a stable schema tag.
@@ -471,6 +587,14 @@ func (r *report) render(w io.Writer) {
 	tb.AddRowf("makespan (steps)", r.state.Makespan)
 	tb.AddRowf("total waste", r.state.TotalWaste)
 	tb.AddRowf("sse dropped", r.state.SSEDropped)
+	if len(r.shards) > 0 {
+		admits := make([]string, len(r.shards))
+		for i, n := range shardAdmits(r.shards) {
+			admits[i] = fmt.Sprintf("%d", n)
+		}
+		tb.AddRowf("shard admits", strings.Join(admits, " / "))
+		tb.AddRowf("routing imbalance", fmt.Sprintf("%.2f", routingImbalance(r.shards)))
+	}
 	tb.Render(w)
 	fmt.Fprintln(w)
 }

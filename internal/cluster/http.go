@@ -1,0 +1,541 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"abg/internal/cli"
+	"abg/internal/obs"
+	"abg/internal/obs/promexport"
+	"abg/internal/server"
+)
+
+// The front door speaks the same API as a single daemon — clients built
+// against abgd (server.Client, abgload, curl scripts) work unchanged — with
+// cluster-wide semantics: job ids are global, /api/v1/state aggregates, the
+// event stream merges, /metrics renders every shard's families under a
+// shard label, and /api/v1/shards exposes the routing and allocation state
+// that has no single-daemon counterpart.
+//
+// Global job ids interleave the shard index into the shard-local id:
+// global = local*N + shard, so shard = global mod N. With one shard the
+// mapping is the identity — a one-shard cluster's ids, acks, events and
+// journal bytes are exactly a plain daemon's.
+
+func (c *Cluster) globalID(local, shard int) int { return local*len(c.shards) + shard }
+
+func (c *Cluster) splitID(global int) (local, shard int, ok bool) {
+	if global < 0 {
+		return 0, 0, false
+	}
+	n := len(c.shards)
+	return global / n, global % n, true
+}
+
+func (c *Cluster) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", c.instrument("/api/v1/jobs", c.handleSubmit))
+	mux.HandleFunc("GET /api/v1/jobs", c.instrument("/api/v1/jobs", c.handleJobs))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", c.instrument("/api/v1/jobs/{id}", c.handleJob))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/timeline", c.instrument("/api/v1/jobs/{id}/timeline", c.handleTimeline))
+	mux.HandleFunc("GET /api/v1/traces/{id}", c.instrument("/api/v1/traces/{id}", c.handleTrace))
+	mux.HandleFunc("GET /api/v1/state", c.instrument("/api/v1/state", c.handleState))
+	mux.HandleFunc("GET /api/v1/shards", c.instrument("/api/v1/shards", c.handleShards))
+	mux.HandleFunc("GET /api/v1/events", c.instrument("/api/v1/events", c.handleEvents))
+	mux.HandleFunc("POST /api/v1/drain", c.instrument("/api/v1/drain", c.handleDrain))
+	mux.HandleFunc("GET /api/v1/recovery", c.instrument("/api/v1/recovery", c.handleRecovery))
+	mux.HandleFunc("GET /api/v1/version", c.instrument("/api/v1/version", c.handleVersion))
+	mux.HandleFunc("GET /healthz", c.instrument("/healthz", c.handleHealth))
+	mux.HandleFunc("GET /metrics", c.instrument("/metrics", c.handleMetrics))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorDTO struct {
+	Error string `json:"error"`
+}
+
+// statusRecorder captures the response code for the HTTP metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// httpBuckets match the daemon's: sub-millisecond reads to multi-second
+// drain waits.
+var httpBuckets = obs.ExponentialBuckets(0.001, 4, 7)
+
+// instrument wraps one front-door route with the same abgd_http_* families a
+// daemon exposes, in the cluster registry (no shard label — this is the
+// front door's own traffic).
+func (c *Cluster) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reg := c.metrics.reg
+	hist := reg.Histogram(
+		promexport.Name("abgd_http_request_seconds", "route", route), httpBuckets)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		reg.Counter(promexport.Name("abgd_http_requests_total",
+			"route", route, "method", r.Method, "code", strconv.Itoa(code))).Inc()
+		hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// SubmitResponse is the front door's ack: the daemon's ack with global ids
+// plus the shard the submission landed on.
+type SubmitResponse struct {
+	server.SubmitResponse
+	Shard int `json:"shard"`
+}
+
+func (c *Cluster) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorDTO{"draining: admission closed"})
+		return
+	}
+	var req server.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{"bad request body: " + err.Error()})
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{err.Error()})
+		return
+	}
+	resp, status, err := c.submit(req, r.Header.Get(server.TraceHeader))
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorDTO{err.Error()})
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// submit routes one normalized request and runs the owning shard's admission
+// path, remapping the acked ids to global.
+func (c *Cluster) submit(req server.JobRequest, traceID string) (SubmitResponse, int, error) {
+	k := c.route(req)
+	resp, status, err := c.shards[k].srv.SubmitLocal(req, traceID)
+	if err != nil {
+		return SubmitResponse{}, status, fmt.Errorf("shard %d: %w", k, err)
+	}
+	if resp.State == "queued" {
+		c.shards[k].routed.Add(int64(len(resp.IDs)))
+		c.metrics.routed[k].Add(int64(len(resp.IDs)))
+		c.notify()
+	}
+	// The shard's response aliases the slice its idempotency map keeps (a
+	// duplicate retry echoes that stored slice), so remap a copy — mutating
+	// it in place would global-map the stored local ids once per retry.
+	global := make([]int, len(resp.IDs))
+	for i, id := range resp.IDs {
+		global[i] = c.globalID(id, k)
+	}
+	resp.IDs = global
+	return SubmitResponse{SubmitResponse: resp, Shard: k}, status, nil
+}
+
+// route picks the submission's shard: idempotency-key affinity first (a
+// retry must land on the shard already holding the promise), the router
+// otherwise. Routing is serialised so the (request, loads) sequence — and
+// therefore the placement — is a pure function of the submission order.
+func (c *Cluster) route(req server.JobRequest) int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if req.Key != "" {
+		if k, ok := c.keys[req.Key]; ok {
+			return k
+		}
+	}
+	loads := make([]int, len(c.shards))
+	for i, sh := range c.shards {
+		loads[i] = sh.srv.Load()
+	}
+	k := c.router.Route(req, loads)
+	if req.Key != "" {
+		c.keys[req.Key] = k
+	}
+	return k
+}
+
+// JobDTO is a daemon job status plus the shard that owns the job.
+type JobDTO struct {
+	server.JobStatusDTO
+	Shard int `json:"shard"`
+}
+
+func (c *Cluster) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	var out []JobDTO
+	for k, sh := range c.shards {
+		for _, dto := range sh.srv.JobStatuses() {
+			dto.ID = c.globalID(dto.ID, k)
+			out = append(out, JobDTO{JobStatusDTO: dto, Shard: k})
+		}
+	}
+	// Global ids interleave round-robin across shards, so sorting by id
+	// reads as submission-ish order rather than shard-grouped.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if out == nil {
+		out = []JobDTO{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Cluster) jobFromPath(w http.ResponseWriter, r *http.Request) (local, shard int, ok bool) {
+	g, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{"bad job id: " + r.PathValue("id")})
+		return 0, 0, false
+	}
+	local, shard, ok = c.splitID(g)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDTO{fmt.Sprintf("no job %d", g)})
+	}
+	return local, shard, ok
+}
+
+func (c *Cluster) handleJob(w http.ResponseWriter, r *http.Request) {
+	local, k, ok := c.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	dto, ok := c.shards[k].srv.LookupJob(local)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDTO{fmt.Sprintf("no job %d", c.globalID(local, k))})
+		return
+	}
+	dto.History = c.shards[k].srv.JobHistory(local)
+	dto.ID = c.globalID(local, k)
+	writeJSON(w, http.StatusOK, JobDTO{JobStatusDTO: dto, Shard: k})
+}
+
+func (c *Cluster) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	local, k, ok := c.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	tl, ok := c.shards[k].srv.JobTimeline(local)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDTO{fmt.Sprintf("no job %d", c.globalID(local, k))})
+		return
+	}
+	tl.ID = c.globalID(local, k)
+	writeJSON(w, http.StatusOK, tl)
+}
+
+func (c *Cluster) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	for _, sh := range c.shards {
+		if dto, ok := sh.srv.TraceByID(id); ok {
+			writeJSON(w, http.StatusOK, dto)
+			return
+		}
+	}
+	writeJSON(w, http.StatusNotFound, errorDTO{"no trace " + id})
+}
+
+// InfoDTO is the cluster sub-object of the aggregated state.
+type InfoDTO struct {
+	Shards     int    `json:"shards"`
+	Policy     string `json:"policy"`
+	Router     string `json:"router"`
+	Workers    int    `json:"workers,omitempty"`
+	EventID    string `json:"eventId"`
+	Rebalances int64  `json:"rebalances"`
+}
+
+// StateDTO aggregates the shards into one daemon-shaped state (so
+// server.Client.State decodes it) plus the cluster sub-object.
+type StateDTO struct {
+	server.StateDTO
+	Cluster InfoDTO `json:"cluster"`
+}
+
+func (c *Cluster) handleState(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.state())
+}
+
+func (c *Cluster) state() StateDTO {
+	st := StateDTO{
+		Cluster: InfoDTO{
+			Shards:     len(c.shards),
+			Policy:     c.policy.Name(),
+			Router:     c.router.Name(),
+			Workers:    c.cfg.Workers,
+			EventID:    renderVector(c.hub.vector()),
+			Rebalances: c.rebalances.Load(),
+		},
+	}
+	var respWeighted float64
+	for _, sh := range c.shards {
+		s := sh.srv.Snapshot()
+		if st.Scheduler == "" {
+			st.Scheduler, st.Clock, st.Fault = s.Scheduler, s.Clock, s.Fault
+		}
+		st.Submitted += s.Submitted
+		st.Queued += s.Queued
+		st.Pending += s.Pending
+		st.Running += s.Running
+		st.Completed += s.Completed
+		st.QueueLimit += s.QueueLimit
+		st.TotalWaste += s.TotalWaste
+		respWeighted += s.MeanResponse * float64(s.Completed)
+		if s.Boundary > st.Boundary {
+			st.Boundary = s.Boundary
+		}
+		if s.Now > st.Now {
+			st.Now = s.Now
+		}
+		if s.QuantaElapsed > st.QuantaElapsed {
+			st.QuantaElapsed = s.QuantaElapsed
+		}
+		if s.Makespan > st.Makespan {
+			st.Makespan = s.Makespan
+		}
+		if s.Error != "" && st.Error == "" {
+			st.Error = s.Error
+		}
+	}
+	if st.Completed > 0 {
+		st.MeanResponse = respWeighted / float64(st.Completed)
+	}
+	st.Version = cli.Version
+	st.P = c.cfg.Shard.P
+	st.L = c.cfg.Shard.L
+	st.Draining = c.draining.Load()
+	st.SSEClients = c.hub.n.Load()
+	st.SSEDropped = c.hub.dropped.Load()
+	st.LastEventID = c.hub.total()
+	st.UptimeSec = time.Since(c.started).Seconds()
+	return st
+}
+
+// ShardDTO is one row of /api/v1/shards: the routing and allocation state
+// of one engine shard.
+type ShardDTO struct {
+	Shard int `json:"shard"`
+	// Desire and Share are the shard's aggregate processor request and the
+	// cluster allocator's grant, as of the last completed round.
+	Desire int `json:"desire"`
+	Share  int `json:"share"`
+	// Routed counts jobs this process routed here; Submitted counts every
+	// job the shard has ever acked (it survives restarts, Routed does not).
+	Routed    int64 `json:"routed"`
+	Submitted int   `json:"submitted"`
+	Queued    int   `json:"queued"`
+	Load      int   `json:"load"`
+	Boundary  int   `json:"boundary"`
+	Completed int   `json:"completed"`
+	SSESeq    uint64 `json:"sseSeq"`
+	Health    string `json:"health"`
+}
+
+func (c *Cluster) handleShards(w http.ResponseWriter, _ *http.Request) {
+	out := make([]ShardDTO, len(c.shards))
+	for k, sh := range c.shards {
+		s := sh.srv.Snapshot()
+		desire, share := sh.roundStats()
+		h, _ := sh.srv.Health()
+		out[k] = ShardDTO{
+			Shard: k, Desire: desire, Share: share,
+			Routed: sh.routed.Load(), Submitted: s.Submitted,
+			Queued: s.Queued, Load: sh.srv.Load(),
+			Boundary: s.Boundary, Completed: s.Completed,
+			SSESeq: sh.srv.SSESeq(), Health: h.Status,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Cluster) handleDrain(w http.ResponseWriter, r *http.Request) {
+	c.Drain()
+	wait := r.URL.Query().Get("wait")
+	done := false
+	if wait == "1" || wait == "true" {
+		select {
+		case <-c.drained:
+			done = true
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"draining": true, "done": done})
+}
+
+// RecoveryDTO lists every shard's boot-time recovery report.
+type RecoveryDTO struct {
+	Shards []server.RecoveryDTO `json:"shards"`
+}
+
+func (c *Cluster) handleRecovery(w http.ResponseWriter, _ *http.Request) {
+	dto := RecoveryDTO{Shards: make([]server.RecoveryDTO, len(c.shards))}
+	for k, sh := range c.shards {
+		dto.Shards[k] = sh.srv.Recovery()
+	}
+	writeJSON(w, http.StatusOK, dto)
+}
+
+func (c *Cluster) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"version": cli.Version,
+		"go":      runtime.Version(),
+		"cluster": strconv.Itoa(len(c.shards)),
+	})
+}
+
+// HealthDTO is the cluster health verdict: the worst shard status, with
+// every shard's reasons attributed.
+type HealthDTO struct {
+	Status   string             `json:"status"`
+	Draining bool               `json:"draining,omitempty"`
+	Shards   []server.HealthDTO `json:"shards"`
+	Reasons  []string           `json:"reasons,omitempty"`
+}
+
+func healthRank(status string) int {
+	switch status {
+	case "ok":
+		return 0
+	case "degraded":
+		return 1
+	default: // failing
+		return 2
+	}
+}
+
+func (c *Cluster) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	dto := HealthDTO{Status: "ok", Draining: c.draining.Load()}
+	worst := 0
+	for k, sh := range c.shards {
+		h, _ := sh.srv.Health()
+		dto.Shards = append(dto.Shards, h)
+		if r := healthRank(h.Status); r > worst {
+			worst = r
+			dto.Status = h.Status
+		}
+		for _, reason := range h.Reasons {
+			dto.Reasons = append(dto.Reasons, fmt.Sprintf("shard %d: %s", k, reason))
+		}
+	}
+	code := http.StatusOK
+	if worst > 0 {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, dto)
+}
+
+// handleMetrics renders the cluster registry plus every shard's registry
+// under a shard label, in one exposition: the sim_* and abgd_* families
+// appear once per shard, distinguished by shard="k", alongside the
+// cluster-only abgd_cluster_* families.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c.sample()
+	sets := make([]promexport.Set, 0, len(c.shards)+1)
+	sets = append(sets, promexport.Set{Reg: c.metrics.reg})
+	for k, sh := range c.shards {
+		sh.srv.SampleMetrics()
+		sets = append(sets, promexport.Set{
+			Reg:    sh.srv.MetricsRegistry(),
+			Labels: []string{"shard", strconv.Itoa(k)},
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = promexport.WriteSets(w, sets...)
+}
+
+// handleEvents streams the merged event feed: every shard's SSE events in
+// the deterministic round-merge order, with vector ids (see sse.go). The
+// Last-Event-ID contract is the single-daemon one applied per component.
+func (c *Cluster) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorDTO{"streaming unsupported"})
+		return
+	}
+	after := make([]uint64, len(c.shards))
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("lastEventID")
+	}
+	if lastID != "" {
+		vec, ok := parseVector(lastID, len(c.shards))
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, errorDTO{"bad Last-Event-ID: " + lastID})
+			return
+		}
+		after = vec
+	}
+	replay, ch, resync, unsubscribe := c.hub.subscribe(1024, after)
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "retry: %d\n: abgd event stream (%s)\n\n", 1000, c.scheduler())
+	flusher.Flush()
+	if ch == nil { // hub already closed (drained)
+		return
+	}
+	if resync {
+		fmt.Fprintf(w, "id: %s\nevent: resync\ndata: {\"reason\":\"replay ring evicted, refetch /api/v1/state\"}\n\n",
+			renderVector(c.hub.vector()))
+	}
+	for _, m := range replay {
+		if _, err := fmt.Fprintf(w, "id: %s\ndata: %s\n\n", m.id, m.data); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case m, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %s\ndata: %s\n\n", m.id, m.data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// scheduler names the shards' scheduler (all shards share the template).
+func (c *Cluster) scheduler() string {
+	if c.cfg.Shard.Scheduler == "" {
+		return "abg"
+	}
+	return c.cfg.Shard.Scheduler
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"abg/internal/server"
+)
+
+// Per-shard crash recovery: SIGKILL the whole cluster mid-run, reboot it on
+// the same journal tree, and the run continues exactly — same results, same
+// journal bytes, same event ids — as a cluster that never crashed. The test
+// drives rounds by hand (no Start) so the crash point is exact.
+
+// crashWorkload submits a deterministic mix that needs well over three
+// rounds to finish, so a three-round crash is genuinely mid-run.
+func crashWorkload(t *testing.T, c *Cluster) {
+	t.Helper()
+	reqs := []server.JobRequest{
+		{Kind: "batch", Count: 5, Seed: 31, CL: 18},
+		{Kind: "serial", Name: "deep", Quanta: 8},
+		{Kind: "serial", Name: "pinned", Quanta: 3, Key: "crash-key"},
+		{Kind: "fullpar", Name: "wide", Width: 6, Quanta: 5},
+	}
+	for i, req := range reqs {
+		req.Normalize()
+		if _, status, err := c.submit(req, ""); err != nil || status != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d err %v", i, status, err)
+		}
+	}
+}
+
+// finish drains a hand-driven cluster to completion.
+func finish(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.Drain()
+	c.drain()
+	if c.finalErr != nil {
+		t.Fatalf("drain: %v", c.finalErr)
+	}
+}
+
+// shardOutputs captures what recovery must reproduce exactly.
+func shardOutputs(t *testing.T, c *Cluster) (statuses [][]server.JobStatusDTO, journals [][]byte, seqs []uint64) {
+	t.Helper()
+	for _, sh := range c.shards {
+		statuses = append(statuses, sh.srv.JobStatuses())
+		journals = append(journals, readJournal(t, sh.srv.Recovery().JournalPath))
+		seqs = append(seqs, sh.srv.SSESeq())
+	}
+	return statuses, journals, seqs
+}
+
+func TestClusterCrashRecovery(t *testing.T) {
+	const shards = 2
+	refDir, crashDir := t.TempDir(), t.TempDir()
+	cfg := func(dir string) Config {
+		return Config{Shards: shards, Shard: shardConfig(dir, "")}
+	}
+
+	// Reference: the same run with no crash.
+	ref, err := New(cfg(refDir))
+	if err != nil {
+		t.Fatalf("ref New: %v", err)
+	}
+	crashWorkload(t, ref)
+	for i := 0; i < 3; i++ {
+		ref.round(false)
+	}
+	finish(t, ref)
+	refStatuses, refJournals, refSeqs := shardOutputs(t, ref)
+
+	// Crashed run: identical up to round 3, then SIGKILL every shard.
+	c1, err := New(cfg(crashDir))
+	if err != nil {
+		t.Fatalf("c1 New: %v", err)
+	}
+	crashWorkload(t, c1)
+	for i := 0; i < 3; i++ {
+		c1.round(false)
+	}
+	keyShard := c1.keys["crash-key"]
+	for _, sh := range c1.shards {
+		sh.srv.Kill()
+	}
+
+	// Reboot on the same journal tree.
+	c2, err := New(cfg(crashDir))
+	if err != nil {
+		t.Fatalf("recovery New: %v", err)
+	}
+	for k, sh := range c2.shards {
+		rec := sh.srv.Recovery()
+		if !rec.Recovered {
+			t.Errorf("shard %d: not recovered", k)
+		}
+		if rec.ReplayedRecords == 0 {
+			t.Errorf("shard %d: no records replayed", k)
+		}
+	}
+	// Routing affinity survives the crash: the recovered key table pins the
+	// keyed job's retries to the shard that journaled its promise...
+	if got, ok := c2.keys["crash-key"]; !ok || got != keyShard {
+		t.Errorf("recovered key affinity: shard %d ok=%v, want %d", got, ok, keyShard)
+	}
+	// ...and the retry itself deduplicates instead of double-admitting.
+	dupReq := server.JobRequest{Kind: "serial", Name: "pinned", Quanta: 3, Key: "crash-key"}
+	dupReq.Normalize()
+	dup, status, err := c2.submit(dupReq, "")
+	if err != nil || status != http.StatusOK || dup.State != "duplicate" {
+		t.Fatalf("post-crash retry: state %q status %d err %v", dup.State, status, err)
+	}
+	if dup.Shard != keyShard {
+		t.Errorf("post-crash retry routed to shard %d, want %d", dup.Shard, keyShard)
+	}
+
+	// The recovered cluster finishes the run bit-identically.
+	finish(t, c2)
+	gotStatuses, gotJournals, gotSeqs := shardOutputs(t, c2)
+	for k := 0; k < shards; k++ {
+		if !reflect.DeepEqual(gotStatuses[k], refStatuses[k]) {
+			t.Errorf("shard %d results diverge after recovery:\ngot:  %+v\nwant: %+v",
+				k, gotStatuses[k], refStatuses[k])
+		}
+		if len(gotStatuses[k]) == 0 {
+			t.Errorf("shard %d finished with no jobs — routing sent it nothing", k)
+		}
+		if !bytes.Equal(gotJournals[k], refJournals[k]) {
+			t.Errorf("shard %d journal diverges after recovery: %d vs %d bytes (first diff %d)",
+				k, len(gotJournals[k]), len(refJournals[k]), firstDiff(gotJournals[k], refJournals[k]))
+		}
+		if gotSeqs[k] != refSeqs[k] {
+			t.Errorf("shard %d SSE seq %d after recovery, want %d", k, gotSeqs[k], refSeqs[k])
+		}
+	}
+}
+
+// TestClusterShardCountGuard: booting a journal tree with fewer shards than
+// wrote it must fail loudly instead of stranding the extra shards' jobs.
+func TestClusterShardCountGuard(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Shards: 2, Shard: shardConfig(dir, "")})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	finish(t, c)
+
+	if _, err := New(Config{Shards: 1, Shard: shardConfig(dir, "")}); err == nil {
+		t.Fatal("booting 1 shard over a 2-shard journal tree succeeded; want error")
+	} else if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// The original shard count is fine.
+	if _, err := New(Config{Shards: 2, Shard: shardConfig(dir, "")}); err != nil {
+		t.Fatalf("rebooting with the original shard count: %v", err)
+	}
+}

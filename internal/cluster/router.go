@@ -1,0 +1,150 @@
+// Package cluster runs many independent scheduling engines — each a full
+// abgd server shard with its own journal, SSE stream, and metrics — behind
+// one HTTP front door, re-partitioning one machine's P processors across the
+// shards at every quantum boundary.
+//
+// The design is the paper's two-level feedback applied once more,
+// hierarchically: jobs report desires to their shard's allocator, each shard
+// reports its aggregate desire to the cluster allocator, and the cluster
+// allocator runs the same alloc.Multi policies (DEQ by default) over shards
+// that the shards run over jobs. A shard therefore behaves exactly like a
+// machine whose capacity varies quantum by quantum — a setting the engine
+// already handles deterministically — which is what keeps sharded runs
+// bit-identically replayable.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"abg/internal/server"
+)
+
+// Router picks the shard for one normalized submission. loads[k] is shard
+// k's current load (queued + unfinished jobs); implementations must be
+// deterministic in (request, loads) so a replayed submission sequence routes
+// identically.
+type Router interface {
+	Route(req server.JobRequest, loads []int) int
+	Name() string
+}
+
+// routingKey is the stable identity a submission hashes under: the
+// idempotency key when present (retries must land on the shard that already
+// holds the promise), else the job name, else the generator parameters.
+func routingKey(req server.JobRequest) string {
+	if req.Key != "" {
+		return req.Key
+	}
+	if req.Name != "" {
+		return req.Name
+	}
+	return fmt.Sprintf("%s/%d/%d/%d", req.Kind, req.Seed, req.Count, req.Width)
+}
+
+// HashRing is the default router: consistent hashing over virtual nodes,
+// with a least-loaded tiebreak between the two distinct shards that own the
+// key's ring neighbourhood. Pure hashing keeps related submissions together
+// and is stable as N grows; the two-choice tiebreak bounds the imbalance a
+// skewed key population would otherwise produce (power of two choices).
+type HashRing struct {
+	n     int
+	vnode []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// vnodesPerShard spreads each shard around the ring finely enough that the
+// arc a shard owns is close to 1/N without making Route's binary search hot.
+const vnodesPerShard = 64
+
+// NewHashRing builds a consistent-hash router over n shards.
+func NewHashRing(n int) *HashRing {
+	if n < 1 {
+		panic("cluster: ring needs at least one shard")
+	}
+	r := &HashRing{n: n, vnode: make([]ringPoint, 0, n*vnodesPerShard)}
+	for k := 0; k < n; k++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.vnode = append(r.vnode, ringPoint{hash64(fmt.Sprintf("shard-%d/%d", k, v)), k})
+		}
+	}
+	sort.Slice(r.vnode, func(i, j int) bool { return r.vnode[i].hash < r.vnode[j].hash })
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a alone leaves short sequential keys ("job-1", "job-2", …)
+	// clustered in one ring neighbourhood — the high bits barely move per
+	// trailing digit, so one shard would own the whole key population. The
+	// splitmix64 finalizer avalanches every input bit across the word.
+	return mix64(h.Sum64())
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Route implements Router: walk clockwise from the key's hash, collect the
+// first two *distinct* shards, and pick the less loaded (ring order breaks
+// ties, so the choice is deterministic).
+func (r *HashRing) Route(req server.JobRequest, loads []int) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := hash64(routingKey(req))
+	i := sort.Search(len(r.vnode), func(i int) bool { return r.vnode[i].hash >= h })
+	first := r.vnode[i%len(r.vnode)].shard
+	second := first
+	for j := 1; j < len(r.vnode); j++ {
+		if s := r.vnode[(i+j)%len(r.vnode)].shard; s != first {
+			second = s
+			break
+		}
+	}
+	if second != first && loads[second] < loads[first] {
+		return second
+	}
+	return first
+}
+
+// Name implements Router.
+func (r *HashRing) Name() string { return fmt.Sprintf("hash-ring(%d×%d)", r.n, vnodesPerShard) }
+
+// RoundRobin routes submissions in rotation, ignoring keys and loads — the
+// contrast router for experiments (perfect count balance, no affinity).
+// The counter is part of routing state, so replays that re-present the same
+// submission sequence still route identically.
+type RoundRobin struct {
+	n, next int
+}
+
+// NewRoundRobin builds a round-robin router over n shards.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic("cluster: round robin needs at least one shard")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Route implements Router. Callers serialise Route calls (the front end
+// routes under its own lock), so the rotation needs no internal locking.
+func (r *RoundRobin) Route(server.JobRequest, []int) int {
+	k := r.next
+	r.next = (r.next + 1) % r.n
+	return k
+}
+
+// Name implements Router.
+func (r *RoundRobin) Name() string { return fmt.Sprintf("round-robin(%d)", r.n) }

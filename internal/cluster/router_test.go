@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"abg/internal/server"
+)
+
+func req(key, name string) server.JobRequest {
+	return server.JobRequest{Kind: "serial", Name: name, Key: key}
+}
+
+func TestHashRingDeterministic(t *testing.T) {
+	r1, r2 := NewHashRing(4), NewHashRing(4)
+	loads := []int{3, 1, 4, 1}
+	for i := 0; i < 100; i++ {
+		q := req("", fmt.Sprintf("job-%d", i))
+		a, b := r1.Route(q, loads), r2.Route(q, loads)
+		if a != b {
+			t.Fatalf("job-%d: rings disagree (%d vs %d)", i, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("job-%d: shard %d out of range", i, a)
+		}
+		if again := r1.Route(q, loads); again != a {
+			t.Fatalf("job-%d: unstable (%d then %d)", i, a, again)
+		}
+	}
+}
+
+func TestHashRingDistribution(t *testing.T) {
+	const shards, jobs = 4, 2000
+	r := NewHashRing(shards)
+	loads := make([]int, shards) // all equal: pure hash placement
+	counts := make([]int, shards)
+	for i := 0; i < jobs; i++ {
+		counts[r.Route(req("", fmt.Sprintf("key-%d", i)), loads)]++
+	}
+	for k, n := range counts {
+		// 64 vnodes per shard keeps the spread loose but bounded; a shard
+		// receiving under 10% or over 50% of a uniform keyspace means the
+		// ring is broken, not merely unlucky.
+		if n < jobs/10 || n > jobs/2 {
+			t.Errorf("shard %d got %d/%d jobs — ring badly unbalanced: %v", k, n, jobs, counts)
+		}
+	}
+}
+
+func TestHashRingKeyAffinity(t *testing.T) {
+	r := NewHashRing(8)
+	loads := make([]int, 8)
+	// The routing key prefers the idempotency key: the same key always lands
+	// on the same shard regardless of the rest of the request.
+	a := r.Route(req("stable-key", "first"), loads)
+	b := r.Route(req("stable-key", "second"), loads)
+	if a != b {
+		t.Fatalf("same key routed to %d then %d", a, b)
+	}
+}
+
+func TestHashRingLeastLoadedTiebreak(t *testing.T) {
+	const shards = 4
+	r := NewHashRing(shards)
+	even := make([]int, shards)
+	q := req("", "tiebreak-job")
+	home := r.Route(q, even)
+	// Overload the home shard: the ring must spill to its clockwise
+	// neighbour rather than pile on.
+	skew := make([]int, shards)
+	skew[home] = 1000
+	alt := r.Route(q, skew)
+	if alt == home {
+		t.Fatalf("overloaded home shard %d still chosen", home)
+	}
+	// And the spill target is itself stable.
+	if again := r.Route(q, skew); again != alt {
+		t.Fatalf("spill unstable: %d then %d", alt, again)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	r := NewRoundRobin(3)
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, r.Route(server.JobRequest{}, nil))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation %v, want %v", got, want)
+		}
+	}
+}

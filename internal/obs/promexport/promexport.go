@@ -104,15 +104,43 @@ func splitKey(key string) (family, labels string) {
 // series (the exposition stays parseable, which matters more than the
 // conflicting series; fix the naming instead).
 func Write(w io.Writer, regs ...*obs.Registry) error {
+	sets := make([]Set, len(regs))
+	for i, reg := range regs {
+		sets[i] = Set{Reg: reg}
+	}
+	return WriteSets(w, sets...)
+}
+
+// Set pairs a registry with extra labels injected into every series it
+// exposes, alternating key/value as in Name. The cluster front end renders N
+// otherwise-identical shard registries in one exposition this way: the same
+// `sim_quanta_total` family from every shard, distinguished by `shard="k"`.
+type Set struct {
+	Reg    *obs.Registry
+	Labels []string
+}
+
+// WriteSets is Write with per-registry label injection. Sets sharing a family
+// merge under one # TYPE header; their injected labels keep the series
+// distinct.
+func WriteSets(w io.Writer, sets ...Set) error {
 	byFamily := make(map[string][]series)
 	famType := make(map[string]string)
 	var order []string
-	for _, reg := range regs {
+	for _, set := range sets {
+		reg := set.Reg
 		if reg == nil {
 			continue
 		}
+		extra := ""
+		if block := Name("", set.Labels...); block != "" {
+			extra = block[1 : len(block)-1] // strip the surrounding braces
+		}
 		reg.Visit(func(key string, metric any) {
 			fam, labels := splitKey(key)
+			if extra != "" {
+				labels = mergeLabels(labels, extra)
+			}
 			typ := typeOf(metric)
 			if prev, ok := famType[fam]; ok && prev != typ {
 				return // family-type conflict: keep the first type

@@ -235,3 +235,46 @@ func TestWriteEmpty(t *testing.T) {
 		t.Fatalf("empty registry produced output: %q", sb.String())
 	}
 }
+
+func TestWriteSetsInjectsLabels(t *testing.T) {
+	// Two shard registries carrying the *same* family names, plus an
+	// unlabelled cluster registry: WriteSets must merge them into single
+	// families whose series are distinguished by the injected shard label
+	// (appended after a family's own labels).
+	s0, s1, cl := obs.NewRegistry(), obs.NewRegistry(), obs.NewRegistry()
+	s0.Counter("sim_quanta_total").Add(11)
+	s1.Counter("sim_quanta_total").Add(22)
+	s0.Counter(Name("jobs_total", "state", "done")).Add(3)
+	s1.Counter(Name("jobs_total", "state", "done")).Add(4)
+	cl.Gauge("cluster_shards").Set(2)
+
+	var sb strings.Builder
+	err := WriteSets(&sb,
+		Set{Reg: cl},
+		Set{Reg: s0, Labels: []string{"shard", "0"}},
+		Set{Reg: s1, Labels: []string{"shard", "1"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, sb.String())
+	if types["sim_quanta_total"] != "counter" || types["cluster_shards"] != "gauge" {
+		t.Fatalf("types = %v", types)
+	}
+	want := map[string]float64{
+		"cluster_shards":                     2,
+		`sim_quanta_total{shard="0"}`:        11,
+		`sim_quanta_total{shard="1"}`:        22,
+		`jobs_total{state="done",shard="0"}`: 3,
+		`jobs_total{state="done",shard="1"}`: 4,
+	}
+	for series, wv := range want {
+		if got, ok := samples[series]; !ok || got != wv {
+			t.Errorf("%s = %v (present=%v), want %v", series, got, ok, wv)
+		}
+	}
+	// Exactly one TYPE line per family even though two registries share it.
+	if n := strings.Count(sb.String(), "# TYPE sim_quanta_total"); n != 1 {
+		t.Errorf("%d TYPE lines for sim_quanta_total, want 1", n)
+	}
+}

@@ -377,11 +377,15 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
-// SSEEvent is one frame from the event stream.
+// SSEEvent is one frame from the event stream. ID is the numeric event id a
+// single daemon assigns; against a multi-shard cluster front end, ids are
+// per-shard vectors ("12,9,3") that do not fit a scalar — ID is then zero
+// and RawID carries the wire form. RawID is always set.
 type SSEEvent struct {
-	ID   uint64
-	Type string // "" for data events, "resync" when the replay ring evicted us
-	Data []byte
+	ID    uint64
+	RawID string
+	Type  string // "" for data events, "resync" when the replay ring evicted us
+	Data  []byte
 }
 
 // ErrStopStream, returned by a StreamEvents callback, ends the stream
@@ -396,7 +400,10 @@ var ErrStopStream = errors.New("stop event stream")
 // Returns when ctx ends, fn returns ErrStopStream (nil) or another error
 // (propagated), or reconnection attempts are exhausted.
 func (c *Client) StreamEvents(ctx context.Context, afterID uint64, fn func(SSEEvent) error) error {
-	last := afterID
+	last := ""
+	if afterID > 0 {
+		last = strconv.FormatUint(afterID, 10)
+	}
 	failures := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -434,14 +441,14 @@ func (c *Client) StreamEvents(ctx context.Context, afterID uint64, fn func(SSEEv
 // streamOnce is one SSE connection: subscribe after *last, dispatch frames,
 // and keep *last current so the caller can resume. Returns the number of
 // frames dispatched.
-func (c *Client) streamOnce(ctx context.Context, last *uint64, fn func(SSEEvent) error) (int, error) {
+func (c *Client) streamOnce(ctx context.Context, last *string, fn func(SSEEvent) error) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/events", nil)
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
-	if *last > 0 {
-		req.Header.Set("Last-Event-ID", strconv.FormatUint(*last, 10))
+	if *last != "" {
+		req.Header.Set("Last-Event-ID", *last)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -463,8 +470,8 @@ func (c *Client) streamOnce(ctx context.Context, last *uint64, fn func(SSEEvent)
 		switch {
 		case line == "":
 			if haveData || ev.Type != "" {
-				if ev.ID > 0 {
-					*last = ev.ID
+				if ev.RawID != "" {
+					*last = ev.RawID
 				}
 				n++
 				if err := fn(ev); err != nil {
@@ -473,11 +480,12 @@ func (c *Client) streamOnce(ctx context.Context, last *uint64, fn func(SSEEvent)
 			}
 			ev, haveData = SSEEvent{}, false
 		case strings.HasPrefix(line, "id: "):
-			id, perr := strconv.ParseUint(line[4:], 10, 64)
-			if perr != nil {
-				return n, fmt.Errorf("event stream: bad id line %q", line)
+			ev.RawID = line[4:]
+			// Scalar ids (single daemon, one-shard cluster) also populate
+			// ID; vector ids from a multi-shard cluster stay RawID-only.
+			if id, perr := strconv.ParseUint(ev.RawID, 10, 64); perr == nil {
+				ev.ID = id
 			}
-			ev.ID = id
 		case strings.HasPrefix(line, "event: "):
 			ev.Type = line[7:]
 		case strings.HasPrefix(line, "data: "):

@@ -113,6 +113,10 @@ func (s *Server) stepOnce(idleOK bool) {
 		s.failLocked(err)
 		return
 	}
+	if t, ok := s.capacity.(*ShareTable); ok {
+		// Executed quanta can never be re-read; keep the table bounded.
+		t.PruneBelow(s.eng.Boundary())
+	}
 	s.maybeSnapshotLocked()
 }
 
@@ -126,7 +130,16 @@ func (s *Server) journalStepLocked() error {
 	if s.journal == nil || s.eng.Done() {
 		return nil
 	}
-	return s.appendJournal(persist.KindStep, encodeStep(stepRecord{boundary: s.eng.Boundary()}))
+	rec := stepRecord{boundary: s.eng.Boundary(), share: -1}
+	// In cluster mode the quantum about to execute runs under the share the
+	// cluster allocator pinned for it; the record must carry it so this
+	// shard's recovery replays under the same capacity (see stepRecord).
+	if t, ok := s.capacity.(*ShareTable); ok {
+		if share, pinned := t.ShareAt(rec.boundary + 1); pinned {
+			rec.share = share
+		}
+	}
+	return s.appendJournal(persist.KindStep, encodeStep(rec))
 }
 
 // admitLocked hands every queued job to the engine at the current boundary.

@@ -54,7 +54,7 @@ func TestE2EVirtualMatchesBatch(t *testing.T) {
 
 	// Replay the same workload in the batch simulator: BuildProfile is
 	// deterministic in (seed, i), and the server defaults match.
-	if err := (&req).normalize(); err != nil {
+	if err := (&req).Normalize(); err != nil {
 		t.Fatal(err)
 	}
 	scheduler := core.NewABG(0.2)

@@ -48,9 +48,10 @@ type JobRequest struct {
 	Key string `json:"key,omitempty"`
 }
 
-// normalize fills defaults and validates ranges; the error text is returned
-// to the client with status 400.
-func (r *JobRequest) normalize() error {
+// Normalize fills defaults and validates ranges; the error text is returned
+// to the client with status 400. Exported so the cluster front end can
+// normalize a request once before routing it to a shard's SubmitLocal.
+func (r *JobRequest) Normalize() error {
 	r.Kind = strings.ToLower(strings.TrimSpace(r.Kind))
 	switch r.Kind {
 	case "":

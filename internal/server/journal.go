@@ -168,22 +168,39 @@ func decodeAdmit(body []byte) (admitRecord, error) {
 // reconstructs them from the next record's boundary.
 type stepRecord struct {
 	boundary int // engine boundary at which the step executes (pre-step)
+	// share is the cluster-assigned capacity share under which this quantum
+	// executed, or -1 outside cluster mode. A shard's share depends on the
+	// other shards' desires — external nondeterminism its own journal could
+	// not otherwise reconstruct — so it is pinned here, keeping each shard's
+	// recovery a pure function of its own journal bytes. Single-engine
+	// daemons encode no share at all, so their journal bytes are unchanged
+	// (and old journals decode as share -1).
+	share int
 }
 
 func encodeStep(rec stepRecord) []byte {
 	e := persist.Enc{}
 	e.Int(rec.boundary)
+	if rec.share >= 0 {
+		e.Int(rec.share)
+	}
 	return e.Bytes()
 }
 
 func decodeStep(body []byte) (stepRecord, error) {
 	d := persist.NewDec(body)
-	rec := stepRecord{boundary: d.Int()}
+	rec := stepRecord{boundary: d.Int(), share: -1}
+	if d.Err() == nil && d.Len() > 0 {
+		rec.share = d.Int()
+	}
 	if err := d.Err(); err != nil {
 		return stepRecord{}, fmt.Errorf("journal step record: %w", err)
 	}
 	if rec.boundary < 0 {
 		return stepRecord{}, fmt.Errorf("journal step record: negative boundary %d", rec.boundary)
+	}
+	if rec.share < -1 {
+		return stepRecord{}, fmt.Errorf("journal step record: negative share %d", rec.share)
 	}
 	return rec, nil
 }

@@ -122,6 +122,10 @@ type journalLog struct {
 	// to and including it, so recovery replays that far even past the last
 	// admission, landing on the exact state the writer held.
 	maxStep int
+	// shares maps step boundaries to the cluster-assigned capacity shares
+	// their quanta executed under (cluster-shard journals only; see
+	// stepRecord). Recovery must install them before replaying.
+	shares  map[int]int
 	drained bool
 	nextID  int
 }
@@ -181,6 +185,12 @@ func parseJournal(records []persist.Record) (*journalLog, error) {
 					i+1, st.boundary, lg.maxStep)
 			}
 			lg.maxStep = st.boundary
+			if st.share >= 0 {
+				if lg.shares == nil {
+					lg.shares = make(map[int]int)
+				}
+				lg.shares[st.boundary] = st.share
+			}
 		case persist.KindSnapshot:
 			snap, err := decodeSnapshot(rec.Body)
 			if err != nil {
@@ -236,6 +246,18 @@ func (s *Server) recoverRecords(records []persist.Record) error {
 		return fmt.Errorf("journal written under a different configuration:\n  journal: %+v\n  daemon:  %+v",
 			got, want)
 	}
+	// Cluster-shard journals pin each executed quantum's capacity share;
+	// those shares must be back in the table before any boundary replays,
+	// or the replay would run under the wrong machine size.
+	if len(lg.shares) > 0 {
+		t, ok := s.capacity.(*ShareTable)
+		if !ok {
+			return fmt.Errorf("journal carries cluster capacity shares; boot it behind the cluster layer (abgd -cluster)")
+		}
+		for b, share := range lg.shares {
+			t.Set(b+1, share)
+		}
+	}
 	l64 := int64(s.cfg.L)
 
 	// 1. Restore the snapshot, if any: rebuild a fresh spec for every job
@@ -256,7 +278,7 @@ func (s *Server) recoverRecords(records []persist.Record) error {
 			Allocator: alloc.DynamicEquiPartition{},
 			MaxQuanta: s.cfg.MaxQuanta,
 			Obs:       s.bus,
-			Capacity:  s.plan.Capacity,
+			Capacity:  s.capacity,
 			// The ring is observational and excluded from snapshots; the
 			// recovered engine records samples for the quanta it replays.
 			TimelineRing: s.cfg.TimelineRing,
@@ -325,6 +347,9 @@ func (s *Server) recoverRecords(records []persist.Record) error {
 			return fmt.Errorf("replay boundary %d: %w", s.eng.Boundary(), err)
 		}
 		s.recovery.ReplayedBoundaries++
+	}
+	if t, ok := s.capacity.(*ShareTable); ok {
+		t.PruneBelow(s.eng.Boundary())
 	}
 	s.recovery.ResumedJobs = s.eng.NumJobs()
 
@@ -398,11 +423,21 @@ func ReferenceResult(dir string) ([]JobStatusDTO, error) {
 	} else {
 		scheduler = core.NewAGreedy(h.rho, h.delta)
 	}
+	capacity := plan.Capacity
+	if len(lg.shares) > 0 {
+		// A cluster shard's journal: replay each quantum under the share the
+		// cluster pinned for it, exactly as the shard executed it.
+		t := NewShareTable(h.p, plan.Capacity)
+		for b, share := range lg.shares {
+			t.Set(b+1, share)
+		}
+		capacity = t
+	}
 	eng, err := sim.NewEngine(sim.MultiConfig{
 		P: h.p, L: h.l,
 		Allocator: alloc.DynamicEquiPartition{},
 		MaxQuanta: math.MaxInt - 1,
-		Capacity:  plan.Capacity,
+		Capacity:  capacity,
 	})
 	if err != nil {
 		return nil, err

@@ -266,7 +266,7 @@ func TestSSEReconnectWithoutLoss(t *testing.T) {
 
 	// First connection: take the first three events, then hang up.
 	var first []SSEEvent
-	last := uint64(0)
+	last := ""
 	_, err := client.streamOnce(ctx, &last, func(ev SSEEvent) error {
 		first = append(first, ev)
 		if len(first) == 3 {
@@ -326,7 +326,7 @@ func TestSSEReconnectAfterEviction(t *testing.T) {
 
 	// Pretend we saw event 1 and vanished: far more than 8 events later,
 	// the ring has evicted our position.
-	last := uint64(1)
+	last := "1"
 	var got []SSEEvent
 	_, err := client.streamOnce(ctx, &last, func(ev SSEEvent) error {
 		got = append(got, ev)

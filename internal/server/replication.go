@@ -204,6 +204,15 @@ func (s *Server) applyStepLocked(body []byte) error {
 		return fmt.Errorf("step boundary %d below previous %d", st.boundary, s.repl.maxStep)
 	}
 	s.repl.maxStep = st.boundary
+	if st.share >= 0 {
+		// A cluster shard's record: the follower must execute this quantum
+		// under the leader's pinned share or it diverges.
+		t, ok := s.capacity.(*ShareTable)
+		if !ok {
+			return fmt.Errorf("leader journal carries cluster capacity shares; boot the follower behind the cluster layer")
+		}
+		t.Set(st.boundary+1, st.share)
+	}
 	// Catch up to and execute the recorded boundary. Idle boundaries the
 	// leader skipped journaling replay here as idle steps (or a single
 	// fast-forward when only future releases are pending) — both paths land

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -73,7 +74,10 @@ func collectSSE(t *testing.T, base string, afterID, until uint64) []SSEEvent {
 	client := NewClient(base)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	last := afterID
+	last := strconv.FormatUint(afterID, 10)
+	if afterID == 0 {
+		last = ""
+	}
 	var evs []SSEEvent
 	_, err := client.streamOnce(ctx, &last, func(ev SSEEvent) error {
 		evs = append(evs, ev)

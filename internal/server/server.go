@@ -129,6 +129,13 @@ type Config struct {
 	// snapshots are bit-identical at every setting, so it is safe to change
 	// across restarts of the same journal.
 	StepWorkers int
+	// Capacity overrides the engine's capacity model (the fault plan's model
+	// is used when nil). The cluster layer (internal/cluster) injects a
+	// *ShareTable here so a cluster-level allocator can re-partition the
+	// machine across engine shards at every quantum boundary; the fault
+	// plan's capacity churn, if any, must then be folded into the override
+	// (ShareTable does this via its base model).
+	Capacity alloc.Capacity
 	// FollowURL boots the daemon as a replication follower tailing this
 	// leader's journal (see replication.go). Requires JournalDir, and the
 	// engine configuration (P, L, scheduler parameters, fault spec, seed)
@@ -233,6 +240,9 @@ type Server struct {
 	cfg   Config
 	sched core.Scheduler
 	plan  fault.Plan
+	// capacity is the engine's resolved capacity model: cfg.Capacity when
+	// set (the cluster layer's ShareTable), the fault plan's otherwise.
+	capacity alloc.Capacity
 
 	bus     *obs.Bus
 	hub     *sseHub
@@ -290,12 +300,16 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		scheduler = core.NewAGreedy(cfg.Rho, cfg.Delta)
 	}
+	capacity := cfg.Capacity
+	if capacity == nil {
+		capacity = plan.Capacity
+	}
 	eng, err := sim.NewEngine(sim.MultiConfig{
 		P: cfg.P, L: cfg.L,
 		Allocator: alloc.DynamicEquiPartition{},
 		MaxQuanta: cfg.MaxQuanta,
 		Obs:       cfg.Bus,
-		Capacity:  plan.Capacity,
+		Capacity:  capacity,
 		// Observational: the ring never perturbs scheduling or snapshots.
 		TimelineRing: cfg.TimelineRing,
 		StepWorkers:  cfg.StepWorkers,
@@ -304,19 +318,21 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		sched:   scheduler,
-		plan:    plan,
-		bus:     cfg.Bus,
-		hub:     newSSEHub(cfg.EventRing),
-		hist:    newHistory(256),
-		traces:  newTraceStore(),
-		log:     obs.Component("server"),
-		eng:     eng,
-		keys:    make(map[string][]int),
-		wake:    make(chan struct{}, 1),
-		drained: make(chan struct{}),
-		stopped: make(chan struct{}),
+		cfg:      cfg,
+		sched:    scheduler,
+		plan:     plan,
+		capacity: capacity,
+		bus:      cfg.Bus,
+		hub:      newSSEHub(cfg.EventRing),
+		hist:     newHistory(256),
+		traces:   newTraceStore(),
+		log:      obs.Component("server"),
+		eng:      eng,
+		keys:     make(map[string][]int),
+		wake:     make(chan struct{}, 1),
+		drained:  make(chan struct{}),
+		stopped:  make(chan struct{}),
+		started:  time.Now(),
 	}
 	s.metrics = newServerMetrics(cfg.Metrics)
 	s.bus.Subscribe(s.hub)
@@ -507,9 +523,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDTO{"bad request body: " + err.Error()})
 		return
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorDTO{err.Error()})
 		return
+	}
+	resp, status, err := s.SubmitLocal(req, r.Header.Get(TraceHeader))
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorDTO{err.Error()})
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// SubmitLocal runs the admission path for an already-normalized request:
+// idempotency-key dedup, queue-limit backpressure, journal-before-ack, id
+// assignment, trace registration. It is the shared core behind POST
+// /api/v1/jobs and the cluster front end's per-shard routing. The returned
+// status is the HTTP status the caller should answer with (202 queued, 200
+// duplicate); a non-nil error carries a 4xx/5xx status instead.
+func (s *Server) SubmitLocal(req JobRequest, traceID string) (SubmitResponse, int, error) {
+	if s.draining.Load() {
+		return SubmitResponse{}, http.StatusServiceUnavailable,
+			fmt.Errorf("draining: admission closed")
 	}
 	if req.Seed == 0 {
 		req.Seed = s.cfg.Seed
@@ -521,7 +559,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		profiles[i] = req.BuildProfile(i, s.cfg.L)
 	}
 
-	traceID := r.Header.Get(TraceHeader)
 	s.mu.Lock()
 	if req.Key != "" {
 		if ids, ok := s.keys[req.Key]; ok {
@@ -531,19 +568,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// jobs; the duplicate only echoes the id.
 			depth := len(s.queue)
 			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, SubmitResponse{
-				IDs: ids, State: "duplicate", Queued: depth, TraceID: traceID})
-			return
+			return SubmitResponse{
+				IDs: ids, State: "duplicate", Queued: depth, TraceID: traceID,
+			}, http.StatusOK, nil
 		}
 	}
 	if len(s.queue)+req.Count > s.cfg.QueueLimit {
 		depth := len(s.queue)
 		s.mu.Unlock()
 		s.metrics.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorDTO{
-			fmt.Sprintf("admission queue full (%d/%d)", depth, s.cfg.QueueLimit)})
-		return
+		return SubmitResponse{}, http.StatusTooManyRequests,
+			fmt.Errorf("admission queue full (%d/%d)", depth, s.cfg.QueueLimit)
 	}
 	firstID := s.nextID
 	// The journal record precedes the ack: once the client hears 202, the
@@ -556,8 +591,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			s.mu.Unlock()
-			writeJSON(w, http.StatusServiceUnavailable, errorDTO{"journal write failed: " + err.Error()})
-			return
+			return SubmitResponse{}, http.StatusServiceUnavailable,
+				fmt.Errorf("journal write failed: %w", err)
 		}
 	}
 	ids := make([]int, req.Count)
@@ -579,8 +614,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.traces.register(traceID, ids, now)
 	}
 	s.notify()
-	writeJSON(w, http.StatusAccepted, SubmitResponse{
-		IDs: ids, State: "queued", Queued: depth, TraceID: traceID})
+	return SubmitResponse{
+		IDs: ids, State: "queued", Queued: depth, TraceID: traceID,
+	}, http.StatusAccepted, nil
 }
 
 // JobStatusDTO is the JSON wire form of one job's live status.

@@ -325,7 +325,7 @@ func TestJobNameAndProfileFamilies(t *testing.T) {
 	l := 50
 	for _, kind := range []string{"fullPar", "serial", "batch", "adversarial"} {
 		req := JobRequest{Kind: kind, Width: 8, Quanta: 4, Seed: 3}
-		if err := req.normalize(); err != nil {
+		if err := req.Normalize(); err != nil {
 			t.Fatalf("normalize(%s): %v", kind, err)
 		}
 		p := req.BuildProfile(0, l)
@@ -342,7 +342,7 @@ func TestJobNameAndProfileFamilies(t *testing.T) {
 	// Batch profiles must replay identically for the same seed — the
 	// property the e2e smoke's makespan comparison rests on.
 	req := JobRequest{Kind: "batch", Seed: 9}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		t.Fatal(err)
 	}
 	a, b := req.BuildProfile(2, l), req.BuildProfile(2, l)

@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// AggregateRequest is the cluster layer's second-level desire signal: the
+// sum of every admitted, unfinished job's rounded request. It must track
+// admissions and completions and read as zero on an idle engine — and
+// reading it must never perturb the run.
+func TestEngineAggregateRequest(t *testing.T) {
+	eng, err := NewEngine(engCfg())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if got := eng.AggregateRequest(); got != 0 {
+		t.Fatalf("idle engine aggregate = %d, want 0", got)
+	}
+	if _, err := eng.Submit(constSpec("a", 4, 600, 0)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := eng.Submit(constSpec("b", 2, 400, 0)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Submitted but not yet admitted (no boundary crossed): no desire yet.
+	if got := eng.AggregateRequest(); got != 0 {
+		t.Fatalf("pre-admission aggregate = %d, want 0", got)
+	}
+	if _, err := eng.Step(); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	// Both jobs admitted and unfinished: the aggregate is the sum of two
+	// positive per-job requests, and reading it twice changes nothing.
+	mid := eng.AggregateRequest()
+	if mid < 2 {
+		t.Fatalf("mid-run aggregate = %d, want ≥ 2 (two active jobs)", mid)
+	}
+	if again := eng.AggregateRequest(); again != mid {
+		t.Fatalf("reread aggregate = %d, want %d (pure read)", again, mid)
+	}
+	if rem := eng.Remaining(); rem != 2 {
+		t.Fatalf("remaining = %d, want 2", rem)
+	}
+	steps := 0
+	for !eng.Done() {
+		if _, err := eng.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if steps++; steps > DefaultMaxQuanta {
+			t.Fatal("engine did not terminate")
+		}
+	}
+	if got := eng.AggregateRequest(); got != 0 {
+		t.Fatalf("post-completion aggregate = %d, want 0", got)
+	}
+	if rem := eng.Remaining(); rem != 0 {
+		t.Fatalf("post-completion remaining = %d, want 0", rem)
+	}
+}

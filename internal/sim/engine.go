@@ -218,6 +218,27 @@ func (e *Engine) Now() int64 { return int64(e.k) * e.L64 }
 // QuantaElapsed returns the number of executed global boundaries.
 func (e *Engine) QuantaElapsed() int { return e.res.QuantaElapsed }
 
+// Remaining returns the number of admitted-but-unfinished jobs.
+func (e *Engine) Remaining() int { return e.remaining }
+
+// AggregateRequest sums the integer processor requests of every admitted,
+// unfinished job — the engine's aggregate desire for the next quantum. This
+// is the second level of the paper's feedback protocol: just as each job
+// reports a desire d(q) to its engine, an engine reports Σ d(q) to a
+// cluster-level allocator, which partitions the machine across engine shards
+// by the same desire/allotment rules (see internal/cluster). The value is a
+// pure function of engine state and reading it never perturbs the run.
+func (e *Engine) AggregateRequest() int {
+	total := 0
+	for i := range e.states {
+		s := &e.states[i]
+		if s.started && !s.done {
+			total += RoundRequest(s.request)
+		}
+	}
+	return total
+}
+
 // Step advances the simulation by one quantum boundary: it admits every
 // submitted job whose release has arrived, collects their requests, invokes
 // the allocator once, executes one quantum per active job, and feeds the

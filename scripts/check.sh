@@ -14,11 +14,11 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli, parallel, replica)"
+echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli, parallel, replica, cluster)"
 go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
     ./internal/feedback/... ./internal/alloc/... ./internal/server/... \
     ./internal/persist/... ./internal/cli/... ./internal/parallel/... \
-    ./internal/replica/...
+    ./internal/replica/... ./internal/cluster/...
 
 echo "== parallel-step determinism guard (serial vs workers {1,2,8}, faults + snapshot/restore)"
 # Bit-identical results, event streams, and statuses at every StepWorkers
@@ -59,6 +59,17 @@ go test -run 'TestE2E' -count=1 ./internal/server/
 
 echo "== load-generator smoke (>=1000 closed-loop submissions, ABG vs A-Greedy)"
 go run ./cmd/abgload -selftest -jobs 1000 -clients 32 -kind batch -shrink 8 -P 64 -L 200
+
+echo "== cluster load smoke (2-shard front end, routed + drained clean)"
+# Drives the sharded front door closed-loop; abgload exits nonzero unless
+# every job completes and the drain is clean. The JSON summary must carry
+# the cluster-only fields (per-shard admits, routing imbalance).
+clusterjson="$(go run ./cmd/abgload -cluster 2 -jobs 200 -clients 16 -kind batch -shrink 8 -P 64 -L 200 -json)"
+grep -q '"shardAdmits"' <<<"$clusterjson" || {
+    echo "cluster load summary lacks shardAdmits:" >&2
+    printf '%s\n' "$clusterjson" >&2
+    exit 1
+}
 
 echo "== kill-recover smoke (SIGKILL abgd mid-run, recover from journal, compare to reference)"
 # Builds the real binaries, crashes the daemon at random quanta, and asserts
