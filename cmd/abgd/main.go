@@ -40,6 +40,19 @@
 //
 //	abgd -addr :7134 -journal /var/lib/abgd-b -follow http://leader:7133
 //
+// With -group the failover is self-healing instead of operator-driven: every
+// member runs an election supervisor that probes the others, and when the
+// leader dies a quorum of survivors promotes the most-caught-up follower
+// under a new fencing epoch — no manual /api/v1/promote, no split brain (a
+// revived old leader is fenced and exits). Each member needs -advertise (the
+// URL its peers reach it at) and -journal; start the first member plain and
+// the rest with -follow pointing anywhere in the group (the supervisor
+// retargets them at the real leader). Group-aware clients (abgload -group)
+// follow the leadership wherever it moves.
+//
+//	abgd -addr :7134 -journal /var/lib/abgd-b -advertise http://b:7134 \
+//	     -group http://a:7133,http://b:7134,http://c:7135 -follow http://a:7133
+//
 // With -cluster N the daemon runs N independent engine shards behind one
 // front door instead of a single engine: submissions are routed to shards
 // (consistent hashing, least-loaded tiebreak), and a cluster-level allocator
@@ -59,6 +72,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"abg/internal/cli"
@@ -91,7 +105,11 @@ func main() {
 		ageMax    = flag.Int("healthz-snapshot-age-max", 0, "snapshot-age ceiling in quanta before /healthz degrades (0 = 8× -snapshot-every)")
 		stepWork  = flag.Int("step-workers", 0, "goroutines stepping independent jobs per quantum (0/1 serial, -1 = one per CPU); results and journals are identical at every setting")
 		follow    = flag.String("follow", "", "run as a hot standby tailing this leader URL (requires -journal); serves reads, redirects writes")
-		promAfter = flag.Duration("promote-after", 0, "self-promote after the leader has been unreachable this long (0 = manual /api/v1/promote only)")
+		promAfter = flag.Duration("promote-after", 0, "self-promote after the leader has been unreachable this long (0 = manual /api/v1/promote only; incompatible with -group)")
+		group     = flag.String("group", "", "comma-separated member URLs of a self-healing replication group (requires -journal and -advertise); quorum elections with epoch fencing replace manual promotion")
+		advertise = flag.String("advertise", "", "base URL peers and clients reach this daemon at (required with -group)")
+		probeEv   = flag.Duration("probe-every", 0, "failover supervisor probe interval (0 = 500ms default)")
+		failAfter = flag.Duration("fail-after", 0, "leader-silence window before the group elects a replacement (0 = 2s default)")
 		shards    = flag.Int("cluster", 0, "run N engine shards behind one front door (0 = single engine); incompatible with -follow")
 		clWorkers = flag.Int("cluster-workers", 0, "goroutines stepping shards per cluster round (0 = one per CPU); results are identical at every setting")
 		version   = cli.VersionFlag()
@@ -118,6 +136,9 @@ func main() {
 	if *shards > 0 {
 		if *follow != "" {
 			fatal(fmt.Errorf("-cluster and -follow are mutually exclusive: a cluster's shards replicate per shard, not as one journal"))
+		}
+		if *group != "" {
+			fatal(fmt.Errorf("-cluster and -group are mutually exclusive: group elections run per daemon, not per shard"))
 		}
 		cl, err := cluster.New(cluster.Config{
 			Addr: *addr, Shards: *shards, Workers: *clWorkers,
@@ -157,7 +178,9 @@ func main() {
 		Bus: bus, Metrics: obs.Default, TimelineRing: *ring,
 		JournalLagMax: *lagMax, SnapshotAgeMax: *ageMax,
 		StepWorkers: *stepWork,
-		FollowURL: *follow, PromoteAfter: *promAfter,
+		FollowURL:   *follow, PromoteAfter: *promAfter,
+		Group: splitGroup(*group), Advertise: *advertise,
+		ProbeEvery: *probeEv, FailAfter: *failAfter,
 	})
 	if err != nil {
 		fatal(err)
@@ -175,6 +198,17 @@ func main() {
 		fatal(err)
 	}
 	cli.Interrupted(ctx, os.Stderr, "abgd")
+}
+
+// splitGroup parses the -group flag: comma-separated URLs, blanks dropped.
+func splitGroup(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

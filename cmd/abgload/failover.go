@@ -1,14 +1,18 @@
 package main
 
-// Failover soak (-failover): spawn a journaled leader plus two followers
-// tailing it, feed the leader keyed jobs, SIGKILL the leader mid-run, and
-// fail over by hand the way an operator (or orchestrator) would: promote the
-// most-caught-up follower, retarget the other at it, re-point the client,
-// and finish the workload. Reads ride the kill window on the client's
-// follower fallbacks. At the end the promoted daemon's results must
-// DeepEqual an uninterrupted reference replay of ITS journal — the applied
-// prefix is the contract — and the surviving follower's journal must be a
-// byte copy of the promoted leader's. Works with and without -fault.
+// Self-healing failover soak (-failover): spawn a three-member replication
+// group (leader plus two followers, every member running the election
+// supervisor), feed it keyed jobs through one group-aware client, and
+// repeatedly SIGKILL whichever daemon currently leads. Nobody calls
+// /api/v1/promote: the survivors must detect the death, elect the
+// most-caught-up follower under a new fencing epoch, and keep serving — the
+// client rides every election by re-discovering the leader on its own. Each
+// killed daemon is restarted on a FRESH journal directory as a follower of
+// the new leader, so the group is back to full strength before the next
+// kill. At the end the final leader's results must DeepEqual an
+// uninterrupted reference replay of ITS journal, and both other members'
+// journals must be byte copies of it — no fenced write survives anywhere.
+// Works with and without -fault.
 
 import (
 	"bytes"
@@ -21,71 +25,66 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"time"
 
 	"abg/internal/persist"
 	"abg/internal/server"
 )
 
-// replStatus fetches base's /api/v1/replication.
-func replStatus(ctx context.Context, base string) (role string, journalBytes, promotions int64, err error) {
+// soak election timers: fast enough that three elections fit in a CI soak,
+// slow enough that probe timeouts (>= 500ms, see internal/failover) resolve.
+const (
+	soakProbeEvery = "50ms"
+	soakFailAfter  = "600ms"
+)
+
+// replDTO is the slice of /api/v1/replication the soak steers by.
+type replDTO struct {
+	Role         string `json:"role"`
+	JournalBytes int64  `json:"journalBytes"`
+	Promotions   int64  `json:"promotions"`
+	Epoch        uint32 `json:"epoch"`
+	Fenced       bool   `json:"fenced"`
+	Confirmed    bool   `json:"confirmed"`
+}
+
+// replProbe fetches base's /api/v1/replication.
+func replProbe(ctx context.Context, base string) (replDTO, error) {
+	var dto replDTO
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/replication", nil)
 	if err != nil {
-		return "", 0, 0, err
+		return dto, err
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return "", 0, 0, err
+		return dto, err
 	}
 	defer resp.Body.Close()
-	var dto struct {
-		Role         string `json:"role"`
-		JournalBytes int64  `json:"journalBytes"`
-		Promotions   int64  `json:"promotions"`
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return dto, fmt.Errorf("replication probe %s: status %d", base, resp.StatusCode)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
-		return "", 0, 0, err
+		return dto, err
 	}
-	return dto.Role, dto.JournalBytes, dto.Promotions, nil
+	return dto, nil
 }
 
-// postJSON POSTs a JSON body (nil allowed) and expects a 2xx.
-func postJSON(ctx context.Context, url string, body any) error {
-	var rd io.Reader
-	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("POST %s: %d (%s)", url, resp.StatusCode, raw)
-	}
-	return nil
-}
-
-// waitCaughtUp polls the follower until its journal holds at least want bytes.
+// waitCaughtUp polls the member until its journal holds at least want bytes.
 func waitCaughtUp(ctx context.Context, base string, want int64) error {
-	deadline := time.Now().Add(15 * time.Second)
+	deadline := time.Now().Add(30 * time.Second)
+	var got int64
 	for {
-		_, got, _, err := replStatus(ctx, base)
-		if err == nil && got >= want {
-			return nil
+		dto, err := replProbe(ctx, base)
+		if err == nil {
+			got = dto.JournalBytes
+			if got >= want {
+				return nil
+			}
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("follower %s stuck at %d/%d journal bytes", base, got, want)
+			return fmt.Errorf("member %s stuck at %d/%d journal bytes", base, got, want)
 		}
 		select {
 		case <-ctx.Done():
@@ -95,35 +94,90 @@ func waitCaughtUp(ctx context.Context, base string, want int64) error {
 	}
 }
 
+// waitElected polls the survivors (dead excluded) until one is a confirmed,
+// unfenced leader under at least minEpoch, and returns its index and status.
+func waitElected(ctx context.Context, urls []string, dead int, minEpoch uint32) (int, replDTO, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		for i, u := range urls {
+			if i == dead {
+				continue
+			}
+			dto, err := replProbe(ctx, u)
+			if err != nil {
+				continue
+			}
+			if dto.Role == "leader" && !dto.Fenced && dto.Confirmed && dto.Epoch >= minEpoch {
+				return i, dto, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, replDTO{}, fmt.Errorf("no member promoted itself to epoch >= %d within 30s", minEpoch)
+		}
+		select {
+		case <-ctx.Done():
+			return 0, replDTO{}, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// launchMember spawns one group daemon. follow is empty for the boot leader;
+// every member carries the full group and its own advertised URL so its
+// supervisor can elect and be elected.
+func launchMember(cfg crashConfig, dir, addr string, urls []string, follow string) (*daemonProc, error) {
+	extra := []string{
+		"-group", strings.Join(urls, ","),
+		"-advertise", "http://" + addr,
+		"-probe-every", soakProbeEvery,
+		"-fail-after", soakFailAfter,
+	}
+	if follow != "" {
+		extra = append(extra, "-follow", follow)
+	}
+	return launchDaemon(cfg, dir, addr, extra...)
+}
+
 // runFailoverSoak is the -failover entry point. It returns a report so the
 // run participates in -json output with its failover counters.
 func runFailoverSoak(ctx context.Context, w io.Writer, cfg crashConfig) (rep *report, err error) {
-	dirs := make([]string, 3) // leader, follower A, follower B
-	for i := range dirs {
-		if dirs[i], err = os.MkdirTemp("", "abgload-failover-"); err != nil {
-			return nil, err
+	kills := cfg.crashes
+	if kills < 1 {
+		kills = 1
+	}
+	const n = 3
+
+	// Journal directories: dirs[i] is member i's CURRENT directory; every
+	// directory ever used is kept for the failure diagnostics path.
+	dirs := make([]string, n)
+	var allDirs []string
+	freshDir := func() (string, error) {
+		d, derr := os.MkdirTemp("", "abgload-failover-")
+		if derr == nil {
+			allDirs = append(allDirs, d)
 		}
+		return d, derr
 	}
 	defer func() {
 		if err == nil {
-			for _, d := range dirs {
+			for _, d := range allDirs {
 				os.RemoveAll(d)
 			}
 		} else {
-			fmt.Fprintf(os.Stderr, "abgload: journals kept at %v\n", dirs)
+			fmt.Fprintf(os.Stderr, "abgload: journals kept at %v\n", allDirs)
 		}
 	}()
 
-	addrs := make([]string, 3)
+	addrs := make([]string, n)
+	urls := make([]string, n)
 	for i := range addrs {
 		if addrs[i], err = reservePort(); err != nil {
 			return nil, err
 		}
+		urls[i] = "http://" + addrs[i]
 	}
-	leaderURL := "http://" + addrs[0]
-	followURLs := []string{"http://" + addrs[1], "http://" + addrs[2]}
 
-	procs := make([]*daemonProc, 3)
+	procs := make([]*daemonProc, n)
 	defer func() {
 		for _, d := range procs {
 			if d != nil {
@@ -131,37 +185,42 @@ func runFailoverSoak(ctx context.Context, w io.Writer, cfg crashConfig) (rep *re
 			}
 		}
 	}()
-	if procs[0], err = launchDaemon(cfg, dirs[0], addrs[0]); err != nil {
-		return nil, err
-	}
-	client := server.NewClient(addrs[0])
-	client.Timeout = 5 * time.Second
-	client.Fallbacks = followURLs
-	if err := waitHealthy(ctx, client, procs[0]); err != nil {
-		return nil, err
-	}
-	for i := 1; i < 3; i++ {
-		if procs[i], err = launchDaemon(cfg, dirs[i], addrs[i], "-follow", leaderURL); err != nil {
+	for i := 0; i < n; i++ {
+		if dirs[i], err = freshDir(); err != nil {
 			return nil, err
 		}
-		fc := server.NewClient(addrs[i])
-		fc.Timeout = 5 * time.Second
-		if err := waitHealthy(ctx, fc, procs[i]); err != nil {
-			return nil, fmt.Errorf("follower %d: %w", i, err)
+		follow := ""
+		if i > 0 {
+			follow = urls[0]
+		}
+		if procs[i], err = launchMember(cfg, dirs[i], addrs[i], urls, follow); err != nil {
+			return nil, err
+		}
+		mc := server.NewClient(addrs[i])
+		mc.Timeout = 5 * time.Second
+		if err := waitHealthy(ctx, mc, procs[i]); err != nil {
+			return nil, fmt.Errorf("member %d: %w", i, err)
 		}
 	}
-	fmt.Fprintf(w, "failover soak: leader %s, followers %s %s\n", addrs[0], addrs[1], addrs[2])
+	fmt.Fprintf(w, "failover soak: group %s, %d leader kills ahead\n", strings.Join(addrs, " "), kills)
+
+	// One client for the whole soak: it must follow the leadership wherever
+	// the elections move it, with no help from the harness.
+	client := server.NewClient(addrs[0])
+	client.Group = urls
+	client.Timeout = 5 * time.Second
+	client.MaxAttempts = 40
 
 	rep = &report{label: "failover"}
 	submitted := 0
-	submitTo := func(c *server.Client) error {
+	submitOne := func() error {
 		i := submitted
 		spec := cfg.run.spec
 		spec.Name = fmt.Sprintf("failover-%d", i)
 		spec.Seed = cfg.run.seed + uint64(i)
 		spec.Key = fmt.Sprintf("failover-%d-%d", cfg.run.seed, i)
 		t0 := time.Now()
-		ack, err := c.Submit(ctx, spec)
+		ack, err := client.Submit(ctx, spec)
 		if err != nil {
 			return fmt.Errorf("submit %d: %w", i, err)
 		}
@@ -175,88 +234,94 @@ func runFailoverSoak(ctx context.Context, w io.Writer, cfg crashConfig) (rep *re
 	}
 
 	start := time.Now()
-	half := cfg.run.jobs / 2
-	if half < 1 {
-		half = 1
+	chunk := cfg.run.jobs / (kills + 1)
+	if chunk < 1 {
+		chunk = 1
 	}
-	for submitted < half {
-		if err := submitTo(client); err != nil {
+	leader := 0
+	epoch := uint32(1)
+	for k := 1; k <= kills; k++ {
+		for submitted < k*chunk && submitted < cfg.run.jobs {
+			if err := submitOne(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Every acked submission must be on both followers before the kill:
+		// the election promotes the longest journal, and the soak asserts job
+		// ids stay dense across every failover.
+		lead, err := replProbe(ctx, urls[leader])
+		if err != nil {
 			return nil, err
 		}
-	}
+		for i := range urls {
+			if i == leader {
+				continue
+			}
+			if err := waitCaughtUp(ctx, urls[i], lead.JournalBytes); err != nil {
+				return nil, err
+			}
+		}
 
-	// Every acked submission must be on both followers before the kill: the
-	// replication contract preserves exactly the shipped prefix, and the soak
-	// asserts job ids stay dense across the failover.
-	_, leaderBytes, _, err := replStatus(ctx, leaderURL)
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range followURLs {
-		if err := waitCaughtUp(ctx, f, leaderBytes); err != nil {
+		procs[leader].kill()
+		procs[leader] = nil
+		killedAt := time.Now()
+		fmt.Fprintf(w, "failover %d/%d: SIGKILLed leader %s (epoch %d, %d/%d jobs, %d journal bytes shipped)\n",
+			k, kills, addrs[leader], epoch, submitted, cfg.run.jobs, lead.JournalBytes)
+
+		// Reads must ride the outage on the surviving members.
+		if _, err := client.State(ctx); err != nil {
+			return nil, fmt.Errorf("read during leader outage %d: %w", k, err)
+		}
+
+		// So must a write: submitted into the outage, it retries until a
+		// survivor wins the election and acks it — the client re-discovers
+		// the leadership on its own, with no help from the harness.
+		if submitted < cfg.run.jobs {
+			if err := submitOne(); err != nil {
+				return nil, fmt.Errorf("write during leader outage %d: %w", k, err)
+			}
+		}
+
+		// The group heals itself: no /promote, no /retarget — just wait for a
+		// survivor to win an election under a higher epoch.
+		newLeader, dto, err := waitElected(ctx, urls, leader, epoch+1)
+		if err != nil {
+			return nil, fmt.Errorf("failover %d: %w", k, err)
+		}
+		if dto.Promotions < 1 {
+			return nil, fmt.Errorf("failover %d: winner %s reports no promotion", k, addrs[newLeader])
+		}
+		rep.promotionsMs = append(rep.promotionsMs, float64(time.Since(killedAt).Microseconds())/1000)
+		fmt.Fprintf(w, "failover %d/%d: %s self-promoted to epoch %d %.0fms after the kill\n",
+			k, kills, addrs[newLeader], dto.Epoch, rep.promotionsMs[len(rep.promotionsMs)-1])
+
+		// Restart the killed member as a follower of the new leader, on a
+		// fresh journal: its old journal may hold acked-but-unshipped records
+		// past the surviving prefix, and the exact-prefix contract means a
+		// rejoin starts over rather than splicing histories.
+		if dirs[leader], err = freshDir(); err != nil {
 			return nil, err
 		}
-	}
-
-	procs[0].kill()
-	procs[0] = nil
-	killedAt := time.Now()
-	fmt.Fprintf(w, "failover soak: leader SIGKILLed with %d/%d jobs submitted (%d journal bytes shipped)\n",
-		submitted, cfg.run.jobs, leaderBytes)
-
-	// Reads must survive the dead leader: the client walks its fallbacks.
-	st, err := client.State(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("read during leader outage: %w", err)
-	}
-	if client.ReadRetargets.Load() == 0 {
-		return nil, fmt.Errorf("read during outage was not retargeted (state from %q?)", st.Scheduler)
-	}
-
-	// Promote the most-caught-up follower (promote-the-longest rule), then
-	// retarget the survivor at the new leader.
-	promoted, survivor := 0, 1
-	var sizes [2]int64
-	for i, f := range followURLs {
-		if _, sizes[i], _, err = replStatus(ctx, f); err != nil {
+		if procs[leader], err = launchMember(cfg, dirs[leader], addrs[leader], urls, urls[newLeader]); err != nil {
 			return nil, err
 		}
+		mc := server.NewClient(addrs[leader])
+		mc.Timeout = 5 * time.Second
+		if err := waitHealthy(ctx, mc, procs[leader]); err != nil {
+			return nil, fmt.Errorf("rejoined member %s: %w", addrs[leader], err)
+		}
+		leader, epoch = newLeader, dto.Epoch
 	}
-	if sizes[1] > sizes[0] {
-		promoted, survivor = 1, 0
-	}
-	promotedURL, survivorURL := followURLs[promoted], followURLs[survivor]
-	if err := postJSON(ctx, promotedURL+"/api/v1/promote", nil); err != nil {
-		return nil, fmt.Errorf("promote: %w", err)
-	}
-	role, _, promotions, err := replStatus(ctx, promotedURL)
-	if err != nil {
-		return nil, err
-	}
-	if role != "leader" || promotions != 1 {
-		return nil, fmt.Errorf("promotion did not take: role %q, promotions %d", role, promotions)
-	}
-	rep.promotionMs = float64(time.Since(killedAt).Microseconds()) / 1000
-	if err := postJSON(ctx, survivorURL+"/api/v1/retarget", map[string]string{"leader": promotedURL}); err != nil {
-		return nil, fmt.Errorf("retarget: %w", err)
-	}
-	fmt.Fprintf(w, "failover soak: promoted %s %.1fms after the kill, retargeted %s\n",
-		promotedURL, rep.promotionMs, survivorURL)
-
-	// Re-point writes at the new leader and finish the workload. Ids continue
-	// densely from the shipped prefix — nothing lost, nothing double-admitted.
-	client2 := server.NewClient(promotedURL)
-	client2.Timeout = 5 * time.Second
-	client2.Fallbacks = []string{survivorURL}
 	for submitted < cfg.run.jobs {
-		if err := submitTo(client2); err != nil {
+		if err := submitOne(); err != nil {
 			return nil, err
 		}
 	}
 
 	var live []server.JobStatusDTO
 	for {
-		sts, err := client2.Jobs(ctx)
+		sts, err := client.Jobs(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -283,19 +348,39 @@ func runFailoverSoak(ctx context.Context, w io.Writer, cfg crashConfig) (rep *re
 			rep.deprivedFrac = append(rep.deprivedFrac, float64(st.DeprivedQuanta)/float64(st.NumQuanta))
 		}
 	}
-	if rep.state, err = client2.State(ctx); err != nil {
+	if rep.state, err = client.State(ctx); err != nil {
 		return nil, err
 	}
-	rep.retried429 = client.Retried429.Load() + client2.Retried429.Load()
-	rep.retriedXport = client.RetriedTransport.Load() + client2.RetriedTransport.Load()
-	rep.readRetargets = client.ReadRetargets.Load() + client2.ReadRetargets.Load()
-
-	// Drain the promoted leader; the survivor sees the shipped drain record
-	// and its leader's clean end-of-stream, and drains itself out.
-	if err := client2.Drain(ctx, true); err != nil {
-		return nil, fmt.Errorf("drain promoted leader: %w", err)
+	rep.retried429 = client.Retried429.Load()
+	rep.retriedXport = client.RetriedTransport.Load()
+	rep.readRetargets = client.ReadRetargets.Load()
+	rep.failovers = client.Failovers.Load()
+	rep.fencedWrites = client.FencedWrites.Load()
+	if rep.failovers < int64(kills) {
+		return nil, fmt.Errorf("client saw %d leader changes across %d kills — writes were not failover-transparent", rep.failovers, kills)
 	}
-	for _, i := range []int{promoted + 1, survivor + 1} {
+	if rep.readRetargets == 0 {
+		return nil, fmt.Errorf("no read was ever retargeted despite %d leader outages", kills)
+	}
+
+	// Let both followers catch all the way up, then drain the leader; the
+	// followers see the shipped drain record and their leader's clean
+	// end-of-stream, and drain themselves out.
+	lead, err := replProbe(ctx, urls[leader])
+	if err != nil {
+		return nil, err
+	}
+	for i := range urls {
+		if i != leader {
+			if err := waitCaughtUp(ctx, urls[i], lead.JournalBytes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := client.Drain(ctx, true); err != nil {
+		return nil, fmt.Errorf("drain leader: %w", err)
+	}
+	for i := range procs {
 		select {
 		case werr := <-procs[i].done:
 			procs[i] = nil
@@ -307,9 +392,9 @@ func runFailoverSoak(ctx context.Context, w io.Writer, cfg crashConfig) (rep *re
 		}
 	}
 
-	// Verdict 1: the promoted daemon's results equal an uninterrupted replay
-	// of its own journal.
-	ref, err := server.ReferenceResult(dirs[promoted+1])
+	// Verdict 1: the final leader's results equal an uninterrupted replay of
+	// its own journal.
+	ref, err := server.ReferenceResult(dirs[leader])
 	if err != nil {
 		return nil, fmt.Errorf("reference replay: %w", err)
 	}
@@ -326,21 +411,30 @@ func runFailoverSoak(ctx context.Context, w io.Writer, cfg crashConfig) (rep *re
 		}
 	}
 
-	// Verdict 2: the surviving follower holds a byte copy of the promoted
-	// leader's journal — the relay tier never forks history.
-	pRaw, err := os.ReadFile(filepath.Join(dirs[promoted+1], persist.JournalFile))
+	// Verdict 2: both surviving members hold byte copies of the final
+	// leader's journal — the elections never forked history, and no write
+	// acked under a fenced epoch survives in any journal.
+	lRaw, err := os.ReadFile(filepath.Join(dirs[leader], persist.JournalFile))
 	if err != nil {
 		return nil, err
 	}
-	sRaw, err := os.ReadFile(filepath.Join(dirs[survivor+1], persist.JournalFile))
-	if err != nil {
-		return nil, err
+	if len(lRaw) == 0 {
+		return nil, fmt.Errorf("final leader journal is empty")
 	}
-	if len(pRaw) == 0 || !bytes.Equal(pRaw, sRaw) {
-		return nil, fmt.Errorf("survivor journal diverged: promoted %d bytes, survivor %d", len(pRaw), len(sRaw))
+	for i := range dirs {
+		if i == leader {
+			continue
+		}
+		fRaw, err := os.ReadFile(filepath.Join(dirs[i], persist.JournalFile))
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(lRaw, fRaw) {
+			return nil, fmt.Errorf("member %s journal diverged: leader %d bytes, member %d", addrs[i], len(lRaw), len(fRaw))
+		}
 	}
 
-	fmt.Fprintf(w, "failover soak passed: %d jobs across the failover, promotion %.1fms, %d read retargets, journals byte-identical (%d bytes)\n",
-		cfg.run.jobs, rep.promotionMs, rep.readRetargets, len(pRaw))
+	fmt.Fprintf(w, "failover soak passed: %d jobs across %d automated failovers (final epoch %d), %d fenced writes refused, journals byte-identical (%d bytes)\n",
+		cfg.run.jobs, kills, epoch, rep.fencedWrites, len(lRaw))
 	return rep, nil
 }

@@ -8,7 +8,7 @@
 //	                                        # in-process and compare them
 //	abgload -addr localhost:7133 -jobs 500  # hammer an external daemon
 //	abgload -crash -abgd ./abgd -journal /tmp/wal   # crash-recovery soak
-//	abgload -failover -abgd ./abgd          # leader-kill / promote soak
+//	abgload -failover -abgd ./abgd          # self-healing failover chaos soak
 //
 // The selftest is also the service smoke: it fails (exit 1) unless every
 // submission is acknowledged, every job runs to completion with a coherent
@@ -59,8 +59,9 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 		logSpec  = flag.String("log", "", `log levels for in-process daemons (default warn)`)
 		crash    = flag.Bool("crash", false, "crash-recovery soak: spawn abgd, SIGKILL it at random quanta, restart from journal, verify recovery equals an uninterrupted reference run")
-		failover = flag.Bool("failover", false, "failover soak: spawn a leader plus two followers, SIGKILL the leader mid-run, promote the most-caught-up follower, verify the promoted run equals its reference replay")
-		fallback = flag.String("fallbacks", "", "comma-separated follower URLs the client retargets reads to when -addr is unreachable")
+		failover = flag.Bool("failover", false, "failover chaos soak: spawn a 3-member self-healing group, repeatedly SIGKILL whoever leads, and verify the group elects replacements on its own and the final run equals its reference replay")
+		kills    = flag.Int("kills", 3, "leader SIGKILLs in -failover mode")
+		groupArg = flag.String("group", "", "comma-separated replication-group member URLs; the client discovers the leader among them and follows it across failovers")
 		abgdBin  = flag.String("abgd", "abgd", "abgd binary to spawn in -crash mode")
 		journal  = flag.String("journal", "", "journal directory for -crash mode (default: a fresh temp dir)")
 		crashes  = flag.Int("crashes", 3, "SIGKILL/restart cycles in -crash mode")
@@ -91,8 +92,8 @@ func main() {
 		Kind: *kind, Width: *width, Quanta: *quanta, CL: *cl, Shrink: *shrink,
 	}
 	run := runConfig{jobs: *jobs, clients: *clients, spec: spec, seed: *seed}
-	if *fallback != "" {
-		run.fallbacks = strings.Split(*fallback, ",")
+	if *groupArg != "" {
+		run.group = strings.Split(*groupArg, ",")
 	}
 
 	failed := false
@@ -112,6 +113,7 @@ func main() {
 	} else if *failover {
 		cfg := crashConfig{
 			abgd: *abgdBin, fault: *faultArg, p: *p, l: *l, run: run,
+			crashes: *kills,
 		}
 		rep, err := runFailoverSoak(ctx, os.Stderr, cfg)
 		if err != nil {
@@ -169,11 +171,11 @@ func fatal(err error) {
 
 // runConfig is one load run: the job template and the closed-loop shape.
 type runConfig struct {
-	jobs      int
-	clients   int
-	spec      server.JobRequest
-	seed      uint64
-	fallbacks []string // follower URLs for client read failover
+	jobs    int
+	clients int
+	spec    server.JobRequest
+	seed    uint64
+	group   []string // replication-group member URLs for client failover
 }
 
 // runAgainstInProcess boots a virtual-clock daemon with the given scheduler
@@ -232,20 +234,22 @@ func runAgainstCluster(ctx context.Context, shards, p, l int, run runConfig) (*r
 
 // report aggregates one load run.
 type report struct {
-	label        string
-	state        server.StateDTO
-	wall         time.Duration
-	submitted    int64
-	retried429   int64
-	retriedXport int64
-	deadlines    int64
+	label         string
+	state         server.StateDTO
+	wall          time.Duration
+	submitted     int64
+	retried429    int64
+	retriedXport  int64
+	deadlines     int64
 	submitMS      []float64 // POST round-trip (including retries), ms
 	statusMS      []float64 // GET round-trip, ms
 	responses     []float64 // scheduler response times, steps
 	deprivedFrac  []float64 // per-job deprived-quanta fraction
 	polls         int64
-	readRetargets int64   // reads failed over to a follower
-	promotionMs   float64 // kill-to-promoted latency (-failover only)
+	readRetargets int64     // reads failed over to a follower
+	failovers     int64     // leader re-discoveries that changed the target
+	fencedWrites  int64     // write acks refused as fenced / stale-epoch
+	promotionsMs  []float64 // kill-to-new-leader latencies (-failover only)
 
 	// Per-shard routing counters from /api/v1/shards; nil when the target
 	// is a single daemon (the endpoint 404s there).
@@ -257,7 +261,7 @@ type report struct {
 // daemons are left running so abgload can be re-run against them.
 func drive(ctx context.Context, base, label string, run runConfig, drain bool) (*report, error) {
 	client := server.NewClient(base)
-	client.Fallbacks = run.fallbacks
+	client.Group = run.group
 	rep := &report{label: label}
 	var (
 		next    atomic.Int64
@@ -296,6 +300,8 @@ func drive(ctx context.Context, base, label string, run runConfig, drain bool) (
 	rep.retriedXport = client.RetriedTransport.Load()
 	rep.deadlines = client.DeadlineExceeded.Load()
 	rep.readRetargets = client.ReadRetargets.Load()
+	rep.failovers = client.Failovers.Load()
+	rep.fencedWrites = client.FencedWrites.Load()
 	if firstEr != nil {
 		return nil, firstEr
 	}
@@ -425,10 +431,14 @@ type LoadSummary struct {
 	DeadlineExceeded int64 `json:"deadlineExceeded"`
 	StatusPolls      int64 `json:"statusPolls"`
 
-	// Failover counters: reads retargeted to a follower fallback, and (in
-	// -failover mode) the leader-kill-to-promoted latency.
-	ReadRetargets int64   `json:"readRetargets"`
-	PromotionMs   float64 `json:"promotionMs,omitempty"`
+	// Failover counters: reads retargeted to another group member, leader
+	// re-discoveries that moved the write target, write acks refused as
+	// fenced or stale-epoch, and (in -failover mode) the distribution of
+	// kill-to-new-leader latencies across the soak's elections.
+	ReadRetargets int64     `json:"readRetargets"`
+	FailoverCount int64     `json:"failoverCount"`
+	FencedWrites  int64     `json:"fencedWrites"`
+	PromotionMs   Quantiles `json:"promotionMs"`
 
 	SubmitMs      Quantiles `json:"submitMs"`
 	StatusMs      Quantiles `json:"statusMs"`
@@ -496,7 +506,9 @@ func (r *report) summary() LoadSummary {
 
 		Retried429: r.retried429, RetriedTransport: r.retriedXport,
 		DeadlineExceeded: r.deadlines, StatusPolls: r.polls,
-		ReadRetargets: r.readRetargets, PromotionMs: r.promotionMs,
+		ReadRetargets: r.readRetargets,
+		FailoverCount: r.failovers, FencedWrites: r.fencedWrites,
+		PromotionMs: quantiles(r.promotionsMs, msBuckets),
 
 		SubmitMs:      quantiles(r.submitMS, msBuckets),
 		StatusMs:      quantiles(r.statusMS, msBuckets),
@@ -576,8 +588,14 @@ func (r *report) render(w io.Writer) {
 	tb.AddRowf("transport retries", r.retriedXport)
 	tb.AddRowf("deadline exceeded", r.deadlines)
 	tb.AddRowf("read retargets", r.readRetargets)
-	if r.promotionMs > 0 {
-		tb.AddRowf("promotion latency (ms)", fmt.Sprintf("%.1f", r.promotionMs))
+	if r.failovers > 0 || r.fencedWrites > 0 {
+		tb.AddRowf("leader failovers", r.failovers)
+		tb.AddRowf("fenced writes refused", r.fencedWrites)
+	}
+	if len(r.promotionsMs) > 0 {
+		pq := quantiles(r.promotionsMs, obs.ExponentialBuckets(0.01, 2, 24))
+		tb.AddRowf("promotion latency ms p50/p99/max",
+			fmt.Sprintf("%.1f / %.1f / %.1f", pq.P50, pq.P99, pq.Max))
 	}
 	tb.AddRowf("status polls", r.polls)
 	tb.AddRowf("submit ms p50/p90/max", fmt.Sprintf("%.2f / %.2f / %.2f", sub.Median, sub.P90, sub.Max))

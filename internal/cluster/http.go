@@ -352,14 +352,20 @@ type ShardDTO struct {
 	Share  int `json:"share"`
 	// Routed counts jobs this process routed here; Submitted counts every
 	// job the shard has ever acked (it survives restarts, Routed does not).
-	Routed    int64 `json:"routed"`
-	Submitted int   `json:"submitted"`
-	Queued    int   `json:"queued"`
-	Load      int   `json:"load"`
-	Boundary  int   `json:"boundary"`
-	Completed int   `json:"completed"`
+	Routed    int64  `json:"routed"`
+	Submitted int    `json:"submitted"`
+	Queued    int    `json:"queued"`
+	Load      int    `json:"load"`
+	Boundary  int    `json:"boundary"`
+	Completed int    `json:"completed"`
 	SSESeq    uint64 `json:"sseSeq"`
 	Health    string `json:"health"`
+	// Epoch is the shard's leadership epoch. Shards of one cluster process
+	// never elect (there is no shard-level group), but journals carry the
+	// epoch per record, so a shard journal lifted into a replication group
+	// later keeps fencing exactly; surfacing it here keeps the operator view
+	// uniform with /api/v1/replication.
+	Epoch uint32 `json:"epoch"`
 }
 
 func (c *Cluster) handleShards(w http.ResponseWriter, _ *http.Request) {
@@ -374,6 +380,7 @@ func (c *Cluster) handleShards(w http.ResponseWriter, _ *http.Request) {
 			Queued: s.Queued, Load: sh.srv.Load(),
 			Boundary: s.Boundary, Completed: s.Completed,
 			SSESeq: sh.srv.SSESeq(), Health: h.Status,
+			Epoch: sh.srv.Epoch(),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

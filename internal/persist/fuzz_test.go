@@ -21,9 +21,9 @@ func FuzzScanBytes(f *testing.F) {
 		{KindAdmit, []byte(`{"boundary":7,"ids":[0,1,2,3]}`)},
 	})
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])      // torn tail
-	f.Add(valid[:9])                 // mid-first-record
-	f.Add([]byte{})                  // empty
+	f.Add(valid[:len(valid)-3])           // torn tail
+	f.Add(valid[:9])                      // mid-first-record
+	f.Add([]byte{})                       // empty
 	f.Add(bytes.Repeat([]byte{0xff}, 64)) // huge bogus length prefix
 	flipped := append([]byte{}, valid...)
 	flipped[12] ^= 0x40
@@ -32,11 +32,11 @@ func FuzzScanBytes(f *testing.F) {
 	// inside its length/CRC header, exactly at the header/payload seam, and
 	// one byte short of complete — the shapes a follower sees when it tails
 	// the journal while the leader is mid-write.
-	first := 8 + 1 + len(`{"p":16,"l":100}`)
+	first := 8 + 5 + len(`{"p":16,"l":100}`)
 	f.Add(valid[:first+3])  // inside second record's header
 	f.Add(valid[:first+8])  // header complete, zero payload bytes
 	f.Add(valid[:first+12]) // partial payload
-	second := first + 8 + 1 + len(`{"base":0,"count":4}`)
+	second := first + 8 + 5 + len(`{"base":0,"count":4}`)
 	f.Add(valid[:second-1]) // one byte short of a whole record
 	f.Add(valid[:second+8]) // third record: header only
 
@@ -53,7 +53,8 @@ func FuzzScanBytes(f *testing.F) {
 		// byte for byte: the scan may only ever accept what a writer wrote.
 		var rebuilt []byte
 		for _, r := range res.Records {
-			payload := append([]byte{r.Kind}, r.Body...)
+			payload := binary.LittleEndian.AppendUint32([]byte{r.Kind}, r.Epoch)
+			payload = append(payload, r.Body...)
 			var hdr [8]byte
 			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 			binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
@@ -146,11 +147,13 @@ func FuzzStreamScanner(f *testing.F) {
 	})
 }
 
-// encodeJournal builds a journal image from (kind, body) pairs.
+// encodeJournal builds a journal image from (kind, body) pairs, all framed
+// under epoch 1.
 func encodeJournal(records [][2]any) []byte {
 	var out []byte
 	for _, r := range records {
-		payload := append([]byte{r[0].(byte)}, r[1].([]byte)...)
+		payload := binary.LittleEndian.AppendUint32([]byte{r[0].(byte)}, 1)
+		payload = append(payload, r[1].([]byte)...)
 		var hdr [8]byte
 		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))

@@ -62,6 +62,10 @@ type ScanResult struct {
 	TruncatedBytes int64
 }
 
+// recordOverhead is the fixed per-record framing cost beyond the body: the
+// 8-byte length/CRC header, the kind byte, and the 4-byte epoch.
+const recordOverhead = 8 + 1 + 4
+
 // ScanBytes decodes the record stream from an in-memory journal image. It
 // never fails: a torn or corrupt tail terminates the scan and is reported
 // in TruncatedBytes. Record bodies alias data.
@@ -75,14 +79,18 @@ func ScanBytes(data []byte) ScanResult {
 		}
 		n := binary.LittleEndian.Uint32(rest[0:4])
 		sum := binary.LittleEndian.Uint32(rest[4:8])
-		if n < 1 || n > maxRecordLen || uint64(len(rest)-8) < uint64(n) {
+		if n < 5 || n > maxRecordLen || uint64(len(rest)-8) < uint64(n) {
 			break
 		}
 		payload := rest[8 : 8+n]
 		if crc32.Checksum(payload, castagnoli) != sum {
 			break
 		}
-		res.Records = append(res.Records, Record{Kind: payload[0], Body: payload[1:]})
+		res.Records = append(res.Records, Record{
+			Kind:  payload[0],
+			Epoch: binary.LittleEndian.Uint32(payload[1:5]),
+			Body:  payload[5:],
+		})
 		off += 8 + int64(n)
 	}
 	res.CleanLen = off
@@ -130,6 +138,7 @@ type Journal struct {
 	syncErr error         // test hook: forced fsync failure
 	synced  bool          // no unsynced bytes since the last fsync
 	lag     int           // records appended since the last fsync
+	epoch   uint32        // leadership term stamped into appended records
 	metrics Metrics
 }
 
@@ -173,6 +182,25 @@ func (j *Journal) SetMetrics(m Metrics) {
 	j.metrics = m
 }
 
+// Epoch returns the leadership term the journal currently stamps into
+// appended records: the highest epoch scanned at Open, raised by SetEpoch at
+// promotion or by AppendRecord when a shipped record carries a higher term.
+func (j *Journal) Epoch() uint32 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// SetEpoch raises the journal's epoch. Lower values are ignored: within one
+// journal the epoch is monotonic by construction.
+func (j *Journal) SetEpoch(e uint32) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if e > j.epoch {
+		j.epoch = e
+	}
+}
+
 // Lag returns the number of records appended since the last successful
 // fsync — the journal's durability debt. Zero under SyncAlways; under the
 // laxer policies it is the count of acknowledged records a machine crash
@@ -209,6 +237,12 @@ func Open(dir string, policy SyncPolicy) (*Journal, ScanResult, error) {
 		f.Close()
 		return nil, ScanResult{}, fmt.Errorf("persist: seek journal end: %w", err)
 	}
+	epoch := uint32(1)
+	for _, r := range scan.Records {
+		if r.Epoch > epoch {
+			epoch = r.Epoch
+		}
+	}
 	j := &Journal{
 		f:       f,
 		policy:  policy,
@@ -216,6 +250,7 @@ func Open(dir string, policy SyncPolicy) (*Journal, ScanResult, error) {
 		size:    scan.CleanLen,
 		updated: make(chan struct{}),
 		synced:  true,
+		epoch:   epoch,
 	}
 	return j, scan, nil
 }
@@ -223,17 +258,36 @@ func Open(dir string, policy SyncPolicy) (*Journal, ScanResult, error) {
 // Path returns the journal file path.
 func (j *Journal) Path() string { return j.path }
 
-// Append writes one record (kind + body) and applies the sync policy. The
-// record is on disk — or at least in the OS page cache, surviving process
-// death — when Append returns, so callers can acknowledge clients after it.
+// Append writes one record (kind + body) stamped with the journal's current
+// epoch, and applies the sync policy. The record is on disk — or at least in
+// the OS page cache, surviving process death — when Append returns, so
+// callers can acknowledge clients after it.
 func (j *Journal) Append(kind byte, body []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.appendLocked(kind, j.epoch, body)
+}
+
+// AppendRecord re-appends a record decoded from a replication stream,
+// preserving its framing epoch verbatim — a follower's journal must stay a
+// byte copy of the leader's. A record carrying a higher epoch (the shipped
+// KindEpoch of a promotion) raises the journal's own epoch with it.
+func (j *Journal) AppendRecord(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if rec.Epoch > j.epoch {
+		j.epoch = rec.Epoch
+	}
+	return j.appendLocked(rec.Kind, rec.Epoch, rec.Body)
+}
+
+func (j *Journal) appendLocked(kind byte, epoch uint32, body []byte) error {
 	if j.f == nil {
 		return fmt.Errorf("persist: journal closed")
 	}
-	payload := make([]byte, 0, 1+len(body))
+	payload := make([]byte, 0, 5+len(body))
 	payload = append(payload, kind)
+	payload = binary.LittleEndian.AppendUint32(payload, epoch)
 	payload = append(payload, body...)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))

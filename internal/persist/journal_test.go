@@ -205,7 +205,7 @@ func TestJournalBitFlip(t *testing.T) {
 	clean, _ := os.ReadFile(path)
 
 	// Flip one bit in the *second* record's payload.
-	off := 8 + 1 + len("one") + 8 + 1 // into "two"
+	off := 8 + 5 + len("one") + 8 + 5 // into "two"
 	mut := append([]byte{}, clean...)
 	mut[off] ^= 0x10
 	scan := ScanBytes(mut)
@@ -214,6 +214,58 @@ func TestJournalBitFlip(t *testing.T) {
 	}
 	if scan.TruncatedBytes == 0 {
 		t.Fatal("bit flip not reported as truncation")
+	}
+}
+
+// TestJournalEpoch pins the epoch framing: appends are stamped with the
+// journal's current epoch, SetEpoch is monotonic, AppendRecord preserves a
+// shipped record's epoch verbatim (raising the journal's own), and a reopen
+// resumes at the highest epoch on disk.
+func TestJournalEpoch(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch() != 1 {
+		t.Fatalf("fresh journal epoch = %d, want 1", j.Epoch())
+	}
+	j.Append(KindHeader, []byte("hdr"))
+	j.SetEpoch(3)
+	j.SetEpoch(2) // lower: ignored
+	if j.Epoch() != 3 {
+		t.Fatalf("epoch after SetEpoch(3), SetEpoch(2) = %d, want 3", j.Epoch())
+	}
+	j.Append(KindEpoch, []byte("promoted"))
+	// A shipped record from a higher term raises the journal's epoch too.
+	if err := j.AppendRecord(Record{Kind: KindStep, Epoch: 5, Body: []byte("s")}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch() != 5 {
+		t.Fatalf("epoch after AppendRecord(epoch 5) = %d, want 5", j.Epoch())
+	}
+	j.Close()
+
+	scan, err := ScanFile(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEpochs := []uint32{1, 3, 5}
+	if len(scan.Records) != len(wantEpochs) {
+		t.Fatalf("scanned %d records, want %d", len(scan.Records), len(wantEpochs))
+	}
+	for i, want := range wantEpochs {
+		if scan.Records[i].Epoch != want {
+			t.Errorf("record %d epoch = %d, want %d", i, scan.Records[i].Epoch, want)
+		}
+	}
+	j2, _, err := Open(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Epoch() != 5 {
+		t.Fatalf("reopened epoch = %d, want 5", j2.Epoch())
 	}
 }
 
@@ -267,8 +319,8 @@ func TestJournalLagAndMetrics(t *testing.T) {
 	if m.appends != 3 || m.syncs != 0 {
 		t.Fatalf("appends=%d syncs=%d, want 3/0", m.appends, m.syncs)
 	}
-	// On-disk size per record: 8-byte header + kind + body.
-	if want := 3 * (8 + 1 + len(body)); m.bytes != want {
+	// On-disk size per record: 8-byte header + kind + epoch + body.
+	if want := 3 * (8 + 5 + len(body)); m.bytes != want {
 		t.Fatalf("bytes = %d, want %d", m.bytes, want)
 	}
 	if err := j.Sync(); err != nil {

@@ -27,7 +27,13 @@
 //
 //	[4 bytes little-endian payload length]
 //	[4 bytes CRC32-Castagnoli of the payload]
-//	[payload: 1 kind byte + kind-specific body]
+//	[payload: 1 kind byte + 4 bytes little-endian leader epoch + body]
+//
+// The epoch is the replication-group leadership term under which the record
+// was written. Within one journal epochs never decrease; they step up only
+// at a KindEpoch record appended by a newly promoted leader, which is how a
+// follower applying shipped bytes can tell a legitimate leadership change
+// from a resurrected stale leader trying to fork history.
 //
 // A reader stops at the first record that does not check out — short
 // header, short payload, or checksum mismatch — and reports the clean
@@ -65,6 +71,11 @@ const (
 	// (no unfinished jobs, empty queue) are not journaled; they change no
 	// replayable state and are reconstructed from the next record's boundary.
 	KindStep byte = 6
+	// KindEpoch records a leadership change: a newly promoted leader appends
+	// it — framed under the new epoch — before resuming the run, so the epoch
+	// bump is itself durable and ships to every downstream replica. The body
+	// carries the new epoch again plus the new leader's advertised URL.
+	KindEpoch byte = 7
 )
 
 // KindName returns a record kind's lowercase name (metric labels, logs);
@@ -83,15 +94,19 @@ func KindName(k byte) string {
 		return "snapshot"
 	case KindStep:
 		return "step"
+	case KindEpoch:
+		return "epoch"
 	default:
 		return "unknown"
 	}
 }
 
-// Record is one decoded journal entry.
+// Record is one decoded journal entry. Epoch is the leadership term stamped
+// into the record's framing by the leader that wrote it.
 type Record struct {
-	Kind byte
-	Body []byte
+	Kind  byte
+	Epoch uint32
+	Body  []byte
 }
 
 // ---------------------------------------------------------------- binary enc

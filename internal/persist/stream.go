@@ -60,7 +60,7 @@ func (s *StreamScanner) Next() (rec Record, ok bool, err error) {
 	}
 	n := binary.LittleEndian.Uint32(rest[0:4])
 	sum := binary.LittleEndian.Uint32(rest[4:8])
-	if n < 1 || n > maxRecordLen {
+	if n < 5 || n > maxRecordLen {
 		s.err = fmt.Errorf("persist: stream corrupt at offset %d: record length %d", s.Offset(), n)
 		return Record{}, false, s.err
 	}
@@ -72,10 +72,14 @@ func (s *StreamScanner) Next() (rec Record, ok bool, err error) {
 		s.err = fmt.Errorf("persist: stream corrupt at offset %d: checksum mismatch", s.Offset())
 		return Record{}, false, s.err
 	}
-	body := make([]byte, len(payload)-1)
-	copy(body, payload[1:])
+	body := make([]byte, len(payload)-5)
+	copy(body, payload[5:])
 	s.read += 8 + int(n)
-	return Record{Kind: payload[0], Body: body}, true, nil
+	return Record{
+		Kind:  payload[0],
+		Epoch: binary.LittleEndian.Uint32(payload[1:5]),
+		Body:  body,
+	}, true, nil
 }
 
 // Offset returns the absolute journal offset just past the last record

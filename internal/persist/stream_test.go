@@ -19,7 +19,7 @@ func TestStreamScannerByteAtATime(t *testing.T) {
 	bounds := make(map[int]int) // byte offset after record i → i
 	off := 0
 	for i, r := range recs {
-		off += 8 + 1 + len(r[1].([]byte))
+		off += 8 + 5 + len(r[1].([]byte))
 		bounds[off] = i
 	}
 
@@ -59,7 +59,7 @@ func TestStreamScannerResumeOffset(t *testing.T) {
 		{KindHeader, []byte("one")},
 		{KindAdmit, []byte("two")},
 	})
-	firstLen := int64(8 + 1 + 3)
+	firstLen := int64(8 + 5 + 3)
 	s := NewStreamScanner(firstLen)
 	s.Feed(data[firstLen:])
 	rec, ok, err := s.Next()
@@ -119,7 +119,7 @@ func TestJournalSizeAndUpdated(t *testing.T) {
 	default:
 		t.Fatal("Updated did not fire on append")
 	}
-	wantSize := int64(8 + 1 + 3)
+	wantSize := int64(8 + 5 + 3)
 	if j.Size() != wantSize {
 		t.Fatalf("size %d, want %d", j.Size(), wantSize)
 	}

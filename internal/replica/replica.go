@@ -91,6 +91,11 @@ type Status struct {
 	// LastContactUnixNano is the wall time of the last byte received (or
 	// successful connect), zero before the first contact.
 	LastContactUnixNano int64 `json:"lastContactUnixNano"`
+	// LastRecordUnixNano is the wall time of the last record-boundary
+	// progress — a whole record applied — zero before the first. Connects
+	// and partial bytes do not advance it; it is the only signal that resets
+	// the reconnect backoff ladder.
+	LastRecordUnixNano int64 `json:"lastRecordUnixNano"`
 }
 
 // Tailer streams a leader's journal into an Applier until stopped.
@@ -128,6 +133,7 @@ type Tailer struct {
 	leaderBytes atomic.Int64
 	reconnects  atomic.Int64
 	lastContact atomic.Int64
+	lastRecord  atomic.Int64
 }
 
 // NewTailer returns a tailer streaming leader's journal into apply.
@@ -195,6 +201,7 @@ func (t *Tailer) Status() Status {
 		LeaderBytes:         t.leaderBytes.Load(),
 		Reconnects:          t.reconnects.Load(),
 		LastContactUnixNano: t.lastContact.Load(),
+		LastRecordUnixNano:  t.lastRecord.Load(),
 	}
 }
 
@@ -231,7 +238,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 		t.cancel = cancel
 		t.mu.Unlock()
 
-		madeProgress, err := t.streamOnce(actx)
+		madeProgress, err := t.streamOnce(actx, cancel)
 		cancel()
 		t.connected.Store(false)
 		if ctx.Err() != nil {
@@ -283,9 +290,13 @@ func (t *Tailer) Run(ctx context.Context) error {
 
 // streamOnce is one streaming connection: resume at the applied offset,
 // feed arriving chunks through the CRC-checking scanner, apply each whole
-// record. Returns whether any record was applied (resets the backoff
-// ladder) and the terminating error.
-func (t *Tailer) streamOnce(ctx context.Context) (bool, error) {
+// record. Returns whether any *whole record* was applied and the terminating
+// error. Record-boundary progress is the only kind that counts: a successful
+// connect, an empty 200, or a trickle of bytes that never completes a record
+// all return progress=false, so the caller's backoff ladder keeps growing —
+// a leader that accepts connections but ships nothing must look exactly as
+// dead as one that refuses them.
+func (t *Tailer) streamOnce(ctx context.Context, cancel context.CancelFunc) (bool, error) {
 	from := t.apply.Offset()
 	url := fmt.Sprintf("%s%s?from=%d", t.Leader(), JournalPath, from)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -323,6 +334,42 @@ func (t *Tailer) streamOnce(ctx context.Context) (bool, error) {
 	}
 	t.reconnects.Add(1)
 
+	// Stall monitor: a stream that stays open while the leader advertises
+	// bytes we never receive would otherwise block in Read forever — the
+	// watchdog could never evaluate. When no whole record arrives for the
+	// promotion grace *and* we are known-behind, abort the attempt so the
+	// outer loop treats the leader as down. An idle-but-healthy leader
+	// (offset == advertised size, nothing to ship) is never aborted.
+	if t.PromoteAfter > 0 {
+		attemptStart := time.Now()
+		stallDone := make(chan struct{})
+		defer close(stallDone)
+		go func() {
+			tick := time.NewTicker(t.PromoteAfter / 4)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stallDone:
+					return
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					anchor := attemptStart
+					if last := t.lastRecord.Load(); last > anchor.UnixNano() {
+						anchor = time.Unix(0, last)
+					}
+					behind := t.apply.Offset() < t.leaderBytes.Load()
+					if behind && time.Since(anchor) >= t.PromoteAfter {
+						t.log.Warn("journal stream stalled with bytes outstanding, aborting attempt",
+							"leader", t.Leader(), "grace", t.PromoteAfter)
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	sc := persist.NewStreamScanner(from)
 	buf := make([]byte, 32*1024)
 	progress := false
@@ -344,6 +391,7 @@ func (t *Tailer) streamOnce(ctx context.Context) (bool, error) {
 						persist.KindName(rec.Kind), sc.Offset(), aerr)}
 				}
 				progress = true
+				t.lastRecord.Store(time.Now().UnixNano())
 				if off := sc.Offset(); off > t.leaderBytes.Load() {
 					t.leaderBytes.Store(off)
 				}

@@ -20,7 +20,7 @@ import (
 
 // memApplier collects applied records in memory, tracking the byte offset the
 // way the server's journal does (each record re-encodes to the same framing:
-// 4-byte length, 4-byte CRC, kind byte, body).
+// 4-byte length, 4-byte CRC, kind byte, 4-byte epoch, body).
 type memApplier struct {
 	mu   sync.Mutex
 	off  int64
@@ -41,7 +41,7 @@ func (a *memApplier) Apply(rec persist.Record) error {
 		return a.fail
 	}
 	a.recs = append(a.recs, rec)
-	a.off += int64(4 + 4 + 1 + len(rec.Body))
+	a.off += int64(4 + 4 + 1 + 4 + len(rec.Body))
 	return nil
 }
 
@@ -337,6 +337,81 @@ func TestTailerSetLeaderRetargets(t *testing.T) {
 	}
 	if tl.Leader() != strings.TrimRight(nextSrv.URL, "/") {
 		t.Fatalf("Leader() = %q after retarget", tl.Leader())
+	}
+}
+
+// TestTailerZeroByteLeaderBacksOff is the regression test for the backoff
+// contract: a leader that *accepts* connections but streams zero bytes (a
+// half-dead process, a black-holing proxy) must not collapse the reconnect
+// backoff into a hot loop. Only record-boundary progress resets the ladder,
+// so attempt counts over a window stay within the exponential envelope.
+func TestTailerZeroByteLeaderBacksOff(t *testing.T) {
+	var connects atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		connects.Add(1)
+		w.Header().Set(SizeHeader, "4096") // advertises bytes it never ships
+		w.WriteHeader(http.StatusOK)
+		// Return immediately: a zero-byte 200 followed by EOF.
+	}))
+	defer srv.Close()
+
+	tl := NewTailer(srv.URL, &memApplier{})
+	tl.BaseDelay = 10 * time.Millisecond
+	tl.MaxDelay = 500 * time.Millisecond
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(context.Background()) }()
+	window := 400 * time.Millisecond
+	time.Sleep(window)
+	tl.Stop()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := connects.Load()
+	if got < 2 {
+		t.Fatalf("tailer gave up after %d attempts; it should keep retrying", got)
+	}
+	// With the ladder growing 10ms→20→40→80→160→320ms, a 400ms window fits
+	// roughly 6 attempts (jitter halves some delays). A hot loop would make
+	// hundreds; anything near the exponential envelope passes.
+	if got > 15 {
+		t.Fatalf("%d connect attempts in %v: zero-byte streams collapsed the backoff", got, window)
+	}
+	if tl.Status().LastRecordUnixNano != 0 {
+		t.Fatalf("zero-byte stream counted as record progress: %+v", tl.Status())
+	}
+}
+
+// TestTailerSilentOpenStreamStillPromotes: a leader that accepts the
+// connection, advertises outstanding bytes, and then hangs without shipping
+// them must not pin the follower in a blocked Read forever — the stall
+// monitor aborts the attempt and the watchdog promotes.
+func TestTailerSilentOpenStreamStillPromotes(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(SizeHeader, "4096")
+		w.WriteHeader(http.StatusOK)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		select { // hold the stream open, ship nothing
+		case <-hang:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+
+	var promoted atomic.Int64
+	tl := NewTailer(srv.URL, &memApplier{})
+	tl.BaseDelay = time.Millisecond
+	tl.MaxDelay = 10 * time.Millisecond
+	tl.PromoteAfter = 60 * time.Millisecond
+	tl.OnPromote = func() { promoted.Add(1) }
+	if err := runTailer(t, tl); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n := promoted.Load(); n != 1 {
+		t.Fatalf("OnPromote fired %d times, want 1", n)
 	}
 }
 

@@ -32,6 +32,16 @@ import (
 // ambiguous failure (request sent, ack lost, daemon crashed) can never
 // double-admit — the recovered daemon answers the retry with the original
 // ids and State "duplicate".
+//
+// With Group set, the client is failover-transparent: writes go to the
+// discovered leader (the reachable, unfenced member with the highest epoch)
+// and re-discover across a failover; reads rotate over every member. The
+// client remembers the highest epoch any response carried and refuses a
+// write ack from a lower one — an ack a deposed leader's journal cannot
+// keep — retrying it against the real leader instead (safe: submissions are
+// idempotent). Write acks carry a journal commit offset, and reads demand
+// it back (X-Abg-Min-Offset), so a read served by a lagging follower waits
+// for this client's own writes to apply: read-your-writes across the group.
 type Client struct {
 	// Base is the daemon root, e.g. "http://127.0.0.1:7133".
 	Base string
@@ -44,12 +54,11 @@ type Client struct {
 	BaseDelay, MaxDelay time.Duration
 	// Timeout is the per-request (per-attempt) deadline.
 	Timeout time.Duration
-	// Fallbacks are alternate daemon roots — replication followers — that
-	// reads (GETs) fail over to when an attempt against the current target
-	// fails at the transport level or with a 5xx. Writes are never rotated:
-	// they stay on Base, which — when Base is a follower — answers with a
-	// 307 to its leader (the transport follows it, method and body intact).
-	Fallbacks []string
+	// Group lists the other replication-group members (Base's peers).
+	// Writes then target the discovered leader, wherever it currently is;
+	// reads rotate over Base and Group when an attempt fails at the
+	// transport level or with a 5xx.
+	Group []string
 
 	// Counters, readable concurrently while requests are in flight.
 	Retried429       atomic.Int64 // attempts retried after a 429
@@ -57,6 +66,13 @@ type Client struct {
 	DeadlineExceeded atomic.Int64 // attempts abandoned at the per-request deadline
 	Reconnects       atomic.Int64 // SSE stream reconnections
 	ReadRetargets    atomic.Int64 // reads failed over to another endpoint
+	Failovers        atomic.Int64 // leader re-discoveries that changed the target
+	FencedWrites     atomic.Int64 // write answers refused as fenced or stale-epoch
+
+	leader     atomic.Value  // string: cached leader URL, cleared to re-discover
+	lastLeader atomic.Value  // string: last leader ever discovered (never cleared)
+	maxEpoch   atomic.Uint32 // highest epoch any response carried
+	minOffset  atomic.Int64  // commit-offset high-water of this client's writes
 }
 
 // NewClient returns a Client with production defaults against base
@@ -105,15 +121,15 @@ func retryable(resp *http.Response, err error) (retry bool, floor time.Duration)
 		return true, 0
 	}
 	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
+	case resp.StatusCode == http.StatusTooManyRequests, resp.StatusCode >= 500:
+		// 429 is backpressure; 503 may be an unconfirmed leader or a
+		// replica's bounded read-wait timing out — both set Retry-After.
 		if s := resp.Header.Get("Retry-After"); s != "" {
 			if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
 				floor = time.Duration(secs) * time.Second
 			}
 		}
 		return true, floor
-	case resp.StatusCode >= 500:
-		return true, 0
 	}
 	return false, 0
 }
@@ -126,18 +142,121 @@ func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 	return replica.Backoff(c.BaseDelay, c.MaxDelay, attempt, floor)
 }
 
-// endpoints returns the rotation set for reads: Base first, then Fallbacks
-// (each normalized like Base).
-func (c *Client) endpoints() []string {
-	eps := make([]string, 0, 1+len(c.Fallbacks))
+// members returns the read-rotation set: Base first, then Group (each
+// normalized like Base, duplicates of Base dropped).
+func (c *Client) members() []string {
+	eps := make([]string, 0, 1+len(c.Group))
 	eps = append(eps, c.Base)
-	for _, f := range c.Fallbacks {
+	for _, f := range c.Group {
 		if !strings.Contains(f, "://") {
 			f = "http://" + f
 		}
-		eps = append(eps, strings.TrimRight(f, "/"))
+		f = strings.TrimRight(f, "/")
+		if f != c.Base {
+			eps = append(eps, f)
+		}
 	}
 	return eps
+}
+
+// grouped reports whether group discovery is on.
+func (c *Client) grouped() bool { return len(c.Group) > 0 }
+
+// currentLeader returns the last discovered leader URL ("" before the
+// first discovery).
+func (c *Client) currentLeader() string {
+	s, _ := c.leader.Load().(string)
+	return s
+}
+
+// noteEpoch folds a response's epoch into the high-water mark.
+func (c *Client) noteEpoch(e uint32) {
+	for {
+		cur := c.maxEpoch.Load()
+		if e <= cur || c.maxEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// noteOffset folds a write ack's commit offset into the high-water mark
+// that subsequent reads demand back.
+func (c *Client) noteOffset(off int64) {
+	for {
+		cur := c.minOffset.Load()
+		if off <= cur || c.minOffset.CompareAndSwap(cur, off) {
+			return
+		}
+	}
+}
+
+// setLeader records a discovered leader, counting the change-overs. The
+// comparison runs against the last leader ever discovered, not the cached
+// one: a kill clears the cache before re-discovery, and that cycle is
+// exactly the failover the counter exists to report.
+func (c *Client) setLeader(url string) {
+	if prev, _ := c.lastLeader.Load().(string); prev != "" && prev != url {
+		c.Failovers.Add(1)
+	}
+	c.lastLeader.Store(url)
+	c.leader.Store(url)
+}
+
+// discoverLeader probes every member's /api/v1/replication and picks the
+// reachable, unfenced leader with the highest epoch. Members are dialed by
+// their configured URL (the one provably reachable from here), not the
+// advertised one.
+func (c *Client) discoverLeader(ctx context.Context) (string, error) {
+	var best string
+	var bestEpoch uint32
+	found := false
+	for _, m := range c.members() {
+		dto, err := c.replicationOf(ctx, m)
+		if err != nil {
+			continue
+		}
+		c.noteEpoch(dto.Epoch)
+		c.noteEpoch(dto.PromisedEpoch)
+		if dto.Fenced || dto.Role != "leader" {
+			continue
+		}
+		if !found || dto.Epoch > bestEpoch {
+			best, bestEpoch, found = m, dto.Epoch, true
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("no reachable leader among %s", strings.Join(c.members(), ", "))
+	}
+	c.setLeader(best)
+	return best, nil
+}
+
+// replicationOf reads one member's replication status (single attempt).
+func (c *Client) replicationOf(ctx context.Context, base string) (ReplicationDTO, error) {
+	timeout := c.Timeout
+	if timeout <= 0 || timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var dto ReplicationDTO
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, base+"/api/v1/replication", nil)
+	if err != nil {
+		return dto, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return dto, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return dto, fmt.Errorf("replication probe: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		return dto, err
+	}
+	return dto, nil
 }
 
 // do runs one API request with retries. body non-nil implies POST with a
@@ -149,7 +268,8 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr m
 	if len(ok) == 0 {
 		ok = []int{http.StatusOK}
 	}
-	eps := c.endpoints()
+	isWrite := method != http.MethodGet
+	eps := c.members()
 	epIdx := 0
 	var lastErr error
 	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
@@ -163,7 +283,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr m
 			if floor != nil {
 				fd = floor.floor
 			}
-			if method == http.MethodGet && len(eps) > 1 && (floor == nil || floor.status >= 500) {
+			if !isWrite && len(eps) > 1 && (floor == nil || floor.status >= 500) {
 				epIdx = (epIdx + 1) % len(eps)
 				c.ReadRetargets.Add(1)
 			}
@@ -173,8 +293,21 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr m
 				return 0, ctx.Err()
 			}
 		}
+		target := eps[epIdx]
+		if isWrite && c.grouped() {
+			// Writes chase the leader. A fenced/stale answer or a transport
+			// failure on the previous attempt cleared the cached leader, so
+			// re-discover; when discovery finds nothing reachable yet
+			// (mid-election), fall back to the rotation and let the next
+			// attempt try again.
+			if lead := c.currentLeader(); lead != "" {
+				target = lead
+			} else if lead, err := c.discoverLeader(ctx); err == nil {
+				target = lead
+			}
+		}
 		actx, cancel := context.WithTimeout(ctx, c.Timeout)
-		status, err := c.attempt(actx, eps[epIdx], method, path, body, hdr, out, ok)
+		status, err := c.attempt(actx, target, method, path, body, hdr, out, ok)
 		cancel()
 		if err == nil {
 			return status, nil
@@ -189,11 +322,33 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr m
 		if errors.Is(err, context.DeadlineExceeded) {
 			c.DeadlineExceeded.Add(1)
 		}
+		var stale *staleLeaderErr
 		var ra *retryAfterErr
-		if errors.As(err, &ra) {
-			c.Retried429.Add(1)
-		} else {
+		switch {
+		case errors.As(err, &stale):
+			// The target is fenced or behind the epochs this client has
+			// seen. If its 409 named the winner, go straight there;
+			// otherwise re-discover on the next attempt.
+			c.FencedWrites.Add(1)
+			if stale.winner != "" {
+				c.setLeader(strings.TrimRight(stale.winner, "/"))
+			} else {
+				c.leader.Store("")
+			}
+		case errors.As(err, &ra):
+			if ra.status == http.StatusTooManyRequests {
+				c.Retried429.Add(1)
+			} else {
+				c.RetriedTransport.Add(1)
+				if isWrite {
+					c.leader.Store("") // the leader answered 5xx; re-discover
+				}
+			}
+		default:
 			c.RetriedTransport.Add(1)
+			if isWrite {
+				c.leader.Store("") // the leader is unreachable; re-discover
+			}
 		}
 		lastErr = err
 	}
@@ -211,6 +366,31 @@ func (e *retryAfterErr) Error() string {
 	return fmt.Sprintf("status %d (retry-after %s)", e.status, e.floor)
 }
 
+// staleLeaderErr marks a write answered by a daemon that provably is not
+// (or is no longer) the leader: a fenced/stale-leader 409, or a success ack
+// under an epoch below the client's high-water mark. Retryable — against
+// the winner it names, when it names one.
+type staleLeaderErr struct {
+	status int
+	winner string
+	msg    string
+}
+
+func (e *staleLeaderErr) Error() string {
+	msg := fmt.Sprintf("stale leader (status %d): %s", e.status, e.msg)
+	if e.winner != "" {
+		msg += "; leadership moved to " + e.winner
+	}
+	return msg
+}
+
+// readYourWrites reports whether a GET path carries the min-offset demand.
+// Only job and state reads observe submissions; metrics/health/replication
+// probes must answer even on a lagging replica.
+func readYourWrites(path string) bool {
+	return path == "/api/v1/state" || strings.HasPrefix(path, "/api/v1/jobs")
+}
+
 // attempt is a single request/response cycle against one endpoint.
 func (c *Client) attempt(ctx context.Context, base, method, path string, body []byte, hdr map[string]string, out any, ok []int) (int, error) {
 	var rd io.Reader
@@ -224,6 +404,20 @@ func (c *Client) attempt(ctx context.Context, base, method, path string, body []
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	isWrite := method != http.MethodGet
+	if isWrite && c.grouped() {
+		// Prove the newest leadership this client has witnessed: a leader
+		// behind this epoch must reject the write instead of acking into a
+		// journal history that has already been superseded.
+		if e := c.maxEpoch.Load(); e > 0 {
+			req.Header.Set(EpochHeader, strconv.FormatUint(uint64(e), 10))
+		}
+	}
+	if !isWrite && readYourWrites(path) {
+		if off := c.minOffset.Load(); off > 0 {
+			req.Header.Set(MinOffsetHeader, strconv.FormatInt(off, 10))
+		}
+	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)
 	}
@@ -232,12 +426,30 @@ func (c *Client) attempt(ctx context.Context, base, method, path string, body []
 		return 0, err
 	}
 	defer resp.Body.Close()
+	respEpoch := uint32(0)
+	if s := resp.Header.Get(EpochHeader); s != "" {
+		if v, perr := strconv.ParseUint(s, 10, 32); perr == nil {
+			respEpoch = uint32(v)
+		}
+	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return 0, err // died mid-response: retryable transport failure
 	}
 	for _, s := range ok {
 		if resp.StatusCode == s {
+			if isWrite && c.grouped() && respEpoch > 0 && respEpoch < c.maxEpoch.Load() {
+				// An ack from a leadership term this client has already seen
+				// superseded: the acking daemon is deposed (or about to be)
+				// and its journal suffix will not survive the failover. The
+				// idempotency key makes the retry safe.
+				return resp.StatusCode, &staleLeaderErr{
+					status: resp.StatusCode,
+					msg: fmt.Sprintf("ack under epoch %d, but epoch %d exists",
+						respEpoch, c.maxEpoch.Load()),
+				}
+			}
+			c.noteEpoch(respEpoch)
 			if out != nil {
 				if err := json.Unmarshal(raw, out); err != nil {
 					return resp.StatusCode, fmt.Errorf("%s %s: corrupt body %q: %w", method, path, raw, err)
@@ -246,13 +458,22 @@ func (c *Client) attempt(ctx context.Context, base, method, path string, body []
 			return resp.StatusCode, nil
 		}
 	}
-	if retry, floor := retryable(resp, nil); retry {
-		return resp.StatusCode, &retryAfterErr{status: resp.StatusCode, floor: floor}
-	}
+	c.noteEpoch(respEpoch)
 	msg := strings.TrimSpace(string(raw))
 	var e errorDTO
 	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 		msg = e.Error
+	}
+	if isWrite && c.grouped() && resp.StatusCode == http.StatusConflict &&
+		(strings.Contains(msg, "fenced") || strings.Contains(msg, "stale leader")) {
+		return resp.StatusCode, &staleLeaderErr{
+			status: resp.StatusCode,
+			winner: resp.Header.Get(WinnerHeader),
+			msg:    msg,
+		}
+	}
+	if retry, floor := retryable(resp, nil); retry {
+		return resp.StatusCode, &retryAfterErr{status: resp.StatusCode, floor: floor}
 	}
 	return resp.StatusCode, &APIError{Status: resp.StatusCode, Message: msg}
 }
@@ -282,6 +503,9 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (SubmitResponse, er
 	if len(ack.IDs) == 0 {
 		return ack, fmt.Errorf("submit: ack carries no ids")
 	}
+	// Remember the commit offset: subsequent reads demand it back, so any
+	// member answering them must have applied this write first.
+	c.noteOffset(ack.Offset)
 	return ack, nil
 }
 
@@ -336,7 +560,15 @@ func (c *Client) Drain(ctx context.Context, wait bool) error {
 	// A drain can legitimately outlast the per-request deadline; the wait
 	// variant runs without retries under the caller's context alone.
 	if wait {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, nil)
+		target := c.Base
+		if c.grouped() {
+			if lead := c.currentLeader(); lead != "" {
+				target = lead
+			} else if lead, err := c.discoverLeader(ctx); err == nil {
+				target = lead
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+path, nil)
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,10 @@ import (
 //	step      the engine executed one working quantum boundary — the record
 //	          that turns the journal into a complete op log, so a follower's
 //	          state is a pure function of how many journal bytes it applied
+//	epoch     a leadership change: the first record a promoted leader appends,
+//	          framed under the new epoch, carrying the epoch again plus the
+//	          new leader's advertised URL — the durable fence that lets every
+//	          replica reject a resurrected stale leader's records
 //
 // Everything else the daemon does is a deterministic function of these
 // records, so nothing else is journaled.
@@ -201,6 +205,37 @@ func decodeStep(body []byte) (stepRecord, error) {
 	}
 	if rec.share < -1 {
 		return stepRecord{}, fmt.Errorf("journal step record: negative share %d", rec.share)
+	}
+	return rec, nil
+}
+
+// epochRecord marks a leadership change. The epoch duplicates the record's
+// framing epoch on purpose: the body survives decoding contexts that do not
+// see the framing, and the cross-check catches a corrupted promotion. Leader
+// is the promoted daemon's advertised URL, so replicas applying the record
+// learn where writes now live without any out-of-band discovery.
+type epochRecord struct {
+	epoch  uint32
+	leader string
+}
+
+func encodeEpoch(rec epochRecord) []byte {
+	e := persist.Enc{}
+	e.Uvarint(uint64(rec.epoch))
+	e.String(rec.leader)
+	return e.Bytes()
+}
+
+func decodeEpoch(body []byte) (epochRecord, error) {
+	d := persist.NewDec(body)
+	rec := epochRecord{epoch: uint32(d.Uvarint()), leader: d.String()}
+	if err := d.Err(); err != nil {
+		return epochRecord{}, fmt.Errorf("journal epoch record: %w", err)
+	}
+	if rec.epoch < 2 {
+		// Epoch 1 is the journal's birth term; a promotion can only ever
+		// step beyond it.
+		return epochRecord{}, fmt.Errorf("journal epoch record: implausible epoch %d", rec.epoch)
 	}
 	return rec, nil
 }

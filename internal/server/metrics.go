@@ -31,6 +31,7 @@ import (
 //	abgd_journal_lag_records                     gauge   (sampled at scrape)
 //	abgd_snapshot_age_quanta                     gauge   (sampled at scrape)
 //	abgd_snapshots_total                         counter
+//	abgd_leader_epoch                            gauge   (sampled at scrape)
 //	abgd_recovery_*                              gauges  (set once at boot)
 //
 // Counters and histograms are updated at event time on their own paths;
@@ -59,6 +60,7 @@ type serverMetrics struct {
 	lag        *obs.Gauge
 	snapAge    *obs.Gauge
 	snapshots  *obs.Counter
+	epochG     *obs.Gauge
 
 	// agg is the cross-route latency aggregate behind StateDTO's
 	// httpLatencyP* fields. It lives in a private registry: /metrics
@@ -85,6 +87,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		lag:        reg.Gauge("abgd_journal_lag_records"),
 		snapAge:    reg.Gauge("abgd_snapshot_age_quanta"),
 		snapshots:  reg.Counter("abgd_snapshots_total"),
+		epochG:     reg.Gauge("abgd_leader_epoch"),
 		agg:        obs.NewRegistry().Histogram("http_all_seconds", httpBuckets),
 	}
 }
@@ -141,6 +144,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		m.inflight.Add(1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
+		// Every response carries the serving epoch: group-aware clients use
+		// it to detect (and refuse) answers from a deposed leader.
+		w.Header().Set(EpochHeader, strconv.FormatUint(uint64(s.epoch.Load()), 10))
 		h(rec, r)
 		sec := time.Since(start).Seconds()
 		m.inflight.Add(-1)
@@ -176,7 +182,8 @@ func newJournalMetrics(reg *obs.Registry) *journalMetrics {
 		fsyncSec: reg.Histogram("abgd_journal_fsync_seconds", journalBuckets),
 	}
 	for _, kind := range []byte{persist.KindHeader, persist.KindSubmit,
-		persist.KindAdmit, persist.KindDrain, persist.KindSnapshot, persist.KindStep} {
+		persist.KindAdmit, persist.KindDrain, persist.KindSnapshot, persist.KindStep,
+		persist.KindEpoch} {
 		jm.appends[kind] = reg.Counter(
 			promexport.Name("abgd_journal_appends_total", "kind", persist.KindName(kind)))
 	}
@@ -210,6 +217,7 @@ func (s *Server) sampleMetrics() {
 	if j != nil {
 		m.lag.Set(int64(j.Lag()))
 	}
+	m.epochG.Set(int64(s.epoch.Load()))
 	m.sseSubs.Set(s.hub.n.Load())
 	m.mu.Lock()
 	if d := s.hub.dropped.Load(); d > m.droppedSeen {

@@ -199,6 +199,18 @@ func parseJournal(records []persist.Record) (*journalLog, error) {
 			lg.snap = &snap
 			lg.snapAdmits = len(lg.admitted)
 			lg.snapRecords = i + 2 // header + records[0..i]
+		case persist.KindEpoch:
+			// A leadership change. The scheduling replay ignores it (an epoch
+			// record mutates no engine state), but the cross-check against the
+			// framing epoch still catches a corrupted promotion.
+			ep, err := decodeEpoch(rec.Body)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: %w", i+1, err)
+			}
+			if ep.epoch != rec.Epoch {
+				return nil, fmt.Errorf("record %d: epoch record body says %d, framing says %d",
+					i+1, ep.epoch, rec.Epoch)
+			}
 		default:
 			return nil, fmt.Errorf("record %d: unknown kind %d", i+1, rec.Kind)
 		}

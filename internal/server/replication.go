@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"strconv"
 
+	"abg/internal/failover"
 	"abg/internal/persist"
 	"abg/internal/replica"
 )
@@ -34,10 +36,21 @@ import (
 // the promoted follower is preserved with identical ids and results; an
 // acknowledged-but-unshipped tail is lost, and idempotent client
 // re-submission heals it (the same key regenerates the same jobs under
-// fresh ids). Operators must promote the follower with the LONGEST applied
-// journal: every follower's journal is a byte prefix of the dead leader's,
+// fresh ids). The follower with the LONGEST applied journal must be the one
+// promoted: every follower's journal is a byte prefix of the dead leader's,
 // hence of each other's, so the longest one subsumes the rest and the
-// shorter followers can be retargeted at it.
+// shorter followers retarget at it.
+//
+// Promotion is fenced by leader epochs (see failover.go and
+// internal/failover). Every journal record is framed under the epoch of the
+// leader that wrote it; a promotion appends a KindEpoch record under the
+// next epoch before the new leader resumes the clock. A replica applying
+// shipped bytes rejects any record whose epoch is below its own — the
+// durable, journal-level guarantee that a resurrected stale leader can
+// never fork a survivor's history. With -group configured, promotion is
+// automated: a per-node supervisor probes the group, detects leader death
+// by quorum, elects the longest-prefix follower under a new epoch, and
+// retargets the survivors — zero operator action.
 
 // Role is a daemon's replication role.
 type Role int32
@@ -91,7 +104,26 @@ func (s *Server) applyShipped(rec persist.Record) error {
 	if s.fatal != nil {
 		return s.fatal
 	}
-	if err := s.journal.Append(rec.Kind, rec.Body); err != nil {
+	// Epoch fencing: shipped records never step backwards, and step forwards
+	// only through an explicit epoch record. A lower epoch means the upstream
+	// is a resurrected stale leader trying to fork history — nothing it ships
+	// may ever reach this journal.
+	cur := s.journal.Epoch()
+	switch {
+	case rec.Epoch < cur:
+		err := fmt.Errorf("fenced: shipped %s record carries stale epoch %d, local epoch is %d",
+			persist.KindName(rec.Kind), rec.Epoch, cur)
+		s.failLocked(err)
+		return err
+	case rec.Epoch > cur && rec.Kind != persist.KindEpoch:
+		err := fmt.Errorf("shipped %s record jumps to epoch %d without an epoch record (local epoch %d)",
+			persist.KindName(rec.Kind), rec.Epoch, cur)
+		s.failLocked(err)
+		return err
+	}
+	// AppendRecord preserves the shipped framing epoch verbatim, keeping the
+	// file a byte copy of the upstream journal.
+	if err := s.journal.AppendRecord(rec); err != nil {
 		s.failLocked(fmt.Errorf("replica journal append: %w", err))
 		return err
 	}
@@ -109,6 +141,8 @@ func (s *Server) applyShipped(rec persist.Record) error {
 		err = s.applySnapshotLocked(rec.Body)
 	case persist.KindDrain:
 		s.draining.Store(true)
+	case persist.KindEpoch:
+		err = s.applyEpochLocked(rec)
 	default:
 		err = fmt.Errorf("unknown record kind %d", rec.Kind)
 	}
@@ -117,6 +151,22 @@ func (s *Server) applyShipped(rec persist.Record) error {
 		return err
 	}
 	s.repl.applied++
+	return nil
+}
+
+// applyEpochLocked applies a shipped leadership change: the journal epoch
+// was already raised by AppendRecord; mirror it into the served epoch so
+// this replica's API answers under the new term immediately.
+func (s *Server) applyEpochLocked(rec persist.Record) error {
+	ep, err := decodeEpoch(rec.Body)
+	if err != nil {
+		return err
+	}
+	if ep.epoch != rec.Epoch {
+		return fmt.Errorf("epoch record body says %d, framing says %d", ep.epoch, rec.Epoch)
+	}
+	s.epoch.Store(ep.epoch)
+	s.log.Info("applied leadership change", "epoch", ep.epoch, "leader", ep.leader)
 	return nil
 }
 
@@ -276,18 +326,19 @@ func (s *Server) follow(ctx context.Context) {
 		s.closeStopped()
 		return
 	}
-	if err == nil && ctx.Err() == nil && !s.isFollower() && !s.draining.Load() {
-		// Promoted: continue the leader's run on the applied state — the
-		// same resume crash recovery performs. This goroutine is now the
-		// quantum clock.
-		s.log.Info("follower promoted, starting quantum clock",
-			"boundary", s.boundaryNow(), "journalBytes", s.journal.Size())
-		s.drive(ctx)
-		return
-	}
 	if err == nil && ctx.Err() == nil && !s.isFollower() {
-		// Promoted into an already-draining run (the leader drained before
-		// dying): just finish the drain.
+		// Promoted: continue the leader's run on the applied state — the
+		// same resume crash recovery performs. The epoch record is appended
+		// here, after the tailer has fully stopped, so it can never
+		// interleave with an in-flight shipped append; then this goroutine
+		// becomes the quantum clock (or, if the dead leader had already
+		// drained, just finishes the drain).
+		s.sealPromotion()
+		if !s.draining.Load() {
+			s.log.Info("follower promoted, starting quantum clock",
+				"epoch", s.epoch.Load(), "boundary", s.boundaryNow(),
+				"journalBytes", s.journal.Size())
+		}
 		s.drive(ctx)
 		return
 	}
@@ -313,25 +364,65 @@ func (s *Server) boundaryNow() int {
 func (s *Server) closeDrained() { s.drainedOnce.Do(func() { close(s.drained) }) }
 func (s *Server) closeStopped() { s.stoppedOnce.Do(func() { close(s.stopped) }) }
 
-// Promote switches a follower to leader: the tailer stops, and the follow
-// goroutine starts the quantum clock on the applied state. The promoted
-// daemon resumes the leader's run exactly where its applied journal prefix
-// ends — same job ids, same results, same SSE event ids (the PR 4 recovery
+// Promote switches a follower to leader under the next epoch: the tailer
+// stops, and the follow goroutine seals the new term (KindEpoch record) and
+// starts the quantum clock on the applied state. The promoted daemon
+// resumes the leader's run exactly where its applied journal prefix ends —
+// same job ids, same results, same SSE event ids (the PR 4 recovery
 // guarantee, reached over the network instead of a reboot).
 func (s *Server) Promote(reason string) error {
+	return s.PromoteTo(s.epoch.Load()+1, reason)
+}
+
+// PromoteTo promotes under an explicit epoch — the term the election (or
+// manual claim) won. In group mode the epoch must be promised to this node
+// (see Promise): the re-check under s.mu closes the race where this node
+// self-promised and then deferred to a strictly longer candidate while its
+// own claim was still collecting grants.
+func (s *Server) PromoteTo(epoch uint32, reason string) error {
 	s.mu.Lock()
 	ready := s.repl.headerSeen
+	promised := s.promiseEpoch == epoch && s.promiseHolder == s.advertise()
 	s.mu.Unlock()
 	if !ready {
 		return fmt.Errorf("server: follower has no replicated state to promote")
 	}
+	if cur := s.epoch.Load(); epoch <= cur {
+		return fmt.Errorf("server: promotion epoch %d is not beyond current epoch %d", epoch, cur)
+	}
+	if len(s.cfg.Group) > 0 && !promised {
+		return fmt.Errorf("server: epoch %d is not promised to this node", epoch)
+	}
 	if !s.role.CompareAndSwap(int32(RoleFollower), int32(RoleLeader)) {
 		return fmt.Errorf("server: not a follower")
 	}
+	s.mu.Lock()
+	s.pendingEpoch = epoch
+	s.mu.Unlock()
+	s.confirmed.Store(true) // the quorum (or the operator) just confirmed us
 	s.promotions.Add(1)
-	s.log.Info("promoting to leader", "reason", reason, "journalBytes", s.journal.Size())
+	s.log.Info("promoting to leader",
+		"reason", reason, "epoch", epoch, "journalBytes", s.journal.Size())
 	s.tailer.Stop()
 	return nil
+}
+
+// sealPromotion makes a just-promoted leader's term durable: raise the
+// journal epoch and append the KindEpoch record as the first record of the
+// new term, before any submit or step is written under it. Runs on the
+// follow goroutine after the tailer has stopped; no shipped append can race.
+func (s *Server) sealPromotion() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.pendingEpoch
+	s.pendingEpoch = 0
+	if epoch == 0 || s.journal == nil || s.fatal != nil {
+		return
+	}
+	s.journal.SetEpoch(epoch)
+	s.epoch.Store(epoch)
+	_ = s.appendJournal(persist.KindEpoch,
+		encodeEpoch(epochRecord{epoch: epoch, leader: s.advertise()}))
 }
 
 // --- HTTP surface ---------------------------------------------------------
@@ -445,6 +536,25 @@ type ReplicationDTO struct {
 	LagBytes int64 `json:"lagBytes"`
 	// Promotions counts role transitions to leader since boot (0 or 1).
 	Promotions int64 `json:"promotions"`
+	// Epoch is the leadership term this daemon serves under: the highest
+	// epoch in its journal. Stale leaders are exactly those whose epoch is
+	// below the group maximum.
+	Epoch uint32 `json:"epoch"`
+	// Addr is the daemon's advertised base URL (-advertise, else the bound
+	// listen address) — what group peers and clients should dial.
+	Addr string `json:"addr,omitempty"`
+	// Fenced reports that this daemon observed a successor's higher epoch
+	// and has permanently stopped taking writes (it is shutting down).
+	Fenced bool `json:"fenced,omitempty"`
+	// Confirmed reports that a grouped leader has completed a probe round
+	// without seeing a higher epoch and accepts writes. Followers and
+	// groupless leaders are always confirmed.
+	Confirmed bool `json:"confirmed"`
+	// PromisedEpoch is the highest epoch this member has promised to a
+	// failover candidate (zero if none). Probing supervisors treat an
+	// outstanding promise beyond their own epoch as "a succession is in
+	// flight" — a rebooted stale leader must not confirm through it.
+	PromisedEpoch uint32 `json:"promisedEpoch,omitempty"`
 	// Tail is the transport status; follower only.
 	Tail *replica.Status `json:"tail,omitempty"`
 }
@@ -453,7 +563,14 @@ func (s *Server) replication() ReplicationDTO {
 	dto := ReplicationDTO{
 		Role:       Role(s.role.Load()).String(),
 		Promotions: s.promotions.Load(),
+		Epoch:      s.epoch.Load(),
+		Addr:       s.advertise(),
+		Fenced:     s.fenced.Load(),
+		Confirmed:  s.confirmed.Load(),
 	}
+	s.mu.Lock()
+	dto.PromisedEpoch = s.promiseEpoch
+	s.mu.Unlock()
 	if s.journal != nil {
 		dto.JournalBytes = s.journal.Size()
 	}
@@ -474,9 +591,25 @@ func (s *Server) handleReplication(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.replication())
 }
 
-func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	if !s.isFollower() {
 		writeJSON(w, http.StatusConflict, errorDTO{"not a follower"})
+		return
+	}
+	if s.super != nil {
+		// Group mode: a manual promote runs the same quorum claim an
+		// automated election runs, so two operators promoting two followers
+		// of the same dead leader serialize — exactly one (the longer
+		// prefix) wins, and the loser's 409 names the winner.
+		if err := s.super.ManualPromote(r.Context()); err != nil {
+			var lost *failover.ElectionLost
+			if errors.As(err, &lost) && lost.Winner != "" {
+				w.Header().Set(WinnerHeader, lost.Winner)
+			}
+			writeJSON(w, http.StatusConflict, errorDTO{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.replication())
 		return
 	}
 	if err := s.Promote("api"); err != nil {

@@ -534,7 +534,7 @@ func TestClientReadFailover(t *testing.T) {
 
 	// Reads with a dead primary: the client fails over to the follower.
 	rc := NewClient("http://127.0.0.1:1") // reserved port: refused instantly
-	rc.Fallbacks = []string{fBase}
+	rc.Group = []string{fBase}
 	rc.MaxAttempts = 4
 	rc.BaseDelay = time.Millisecond
 	st, err := rc.State(context.Background())

@@ -39,6 +39,7 @@ import (
 	"abg/internal/alloc"
 	"abg/internal/cli"
 	"abg/internal/core"
+	"abg/internal/failover"
 	"abg/internal/fault"
 	"abg/internal/job"
 	"abg/internal/obs"
@@ -145,8 +146,33 @@ type Config struct {
 	FollowURL string
 	// PromoteAfter arms the follower's promotion watchdog: if the leader
 	// stays unreachable for this long, the follower promotes itself. Zero
-	// means manual promotion only (POST /api/v1/promote).
+	// means manual promotion only (POST /api/v1/promote). Mutually exclusive
+	// with Group — quorum elections replace the lone watchdog.
 	PromoteAfter time.Duration
+	// Group enables automated failover (internal/failover): the advertised
+	// URLs of every replication-group member, this daemon included. Each
+	// member runs a supervisor that probes the group, fences stale leaders
+	// by epoch, and elects the longest-prefix follower when the leader dies.
+	// Requires JournalDir and Advertise.
+	Group []string
+	// Advertise is the base URL peers and clients reach this daemon at.
+	// Required with Group (the bound address of ":7133" is not something a
+	// peer can dial); defaults to the bound listen address otherwise.
+	Advertise string
+	// ProbeEvery and FailAfter tune the failover supervisor: probe-round
+	// period and how long the leader must stay unreachable before an
+	// election starts. Defaults failover.DefaultProbeEvery/DefaultFailAfter.
+	ProbeEvery, FailAfter time.Duration
+	// FailoverSeed makes election holdoff jitter deterministic in tests.
+	FailoverSeed uint64
+	// ReadWaitMax bounds the read-your-writes wait: how long a read carrying
+	// X-Abg-Min-Offset may block for the journal to catch up before the
+	// daemon answers 503 + Retry-After (default 2s).
+	ReadWaitMax time.Duration
+	// EventRingBytes caps the SSE replay ring's payload footprint in bytes,
+	// on top of the EventRing entry cap (default 4 MiB). Whichever cap is
+	// hit first evicts the oldest events.
+	EventRingBytes int
 }
 
 // normalize fills defaults and validates the configuration.
@@ -221,6 +247,40 @@ func (c *Config) normalize() error {
 	if c.PromoteAfter > 0 && c.FollowURL == "" {
 		return fmt.Errorf("server: -promote-after only applies to followers (-follow)")
 	}
+	if c.ReadWaitMax <= 0 {
+		c.ReadWaitMax = 2 * time.Second
+	}
+	if c.EventRingBytes <= 0 {
+		c.EventRingBytes = 4 << 20
+	}
+	c.Advertise = failover.NormalizeURL(c.Advertise)
+	if len(c.Group) > 0 {
+		if c.JournalDir == "" {
+			return fmt.Errorf("server: group mode requires a journal (-group needs -journal)")
+		}
+		if c.PromoteAfter > 0 {
+			return fmt.Errorf("server: -promote-after conflicts with -group (quorum elections replace the watchdog)")
+		}
+		if c.Advertise == "" {
+			return fmt.Errorf("server: group mode requires -advertise (peers must know this member's URL)")
+		}
+		if len(c.Group) < 2 {
+			return fmt.Errorf("server: a replication group needs at least 2 members, got %d", len(c.Group))
+		}
+		self := false
+		for i, m := range c.Group {
+			c.Group[i] = failover.NormalizeURL(m)
+			if c.Group[i] == "" {
+				return fmt.Errorf("server: empty group member URL")
+			}
+			if c.Group[i] == c.Advertise {
+				self = true
+			}
+		}
+		if !self {
+			return fmt.Errorf("server: advertised URL %s is not a group member", c.Advertise)
+		}
+	}
 	if c.Bus == nil {
 		c.Bus = obs.NewBus()
 	}
@@ -271,6 +331,21 @@ type Server struct {
 	promotions atomic.Int64
 	tailer     *replica.Tailer
 	repl       replState
+
+	// Failover (see failover.go, internal/failover). epoch is the leadership
+	// term served under; fenced flips once, permanently, when a successor's
+	// higher epoch is observed; confirmed gates a grouped leader's writes
+	// until its first clean probe round. promiseEpoch/promiseHolder (under
+	// mu) record the one fencing promise outstanding; pendingEpoch (under
+	// mu) carries a won epoch from PromoteTo to sealPromotion.
+	epoch         atomic.Uint32
+	fenced        atomic.Bool
+	confirmed     atomic.Bool
+	fencedBy      string
+	promiseEpoch  uint32
+	promiseHolder string
+	pendingEpoch  uint32
+	super         *failover.Supervisor
 
 	draining    atomic.Bool
 	killed      atomic.Bool // test hook: crash the driver without draining
@@ -323,7 +398,7 @@ func New(cfg Config) (*Server, error) {
 		plan:     plan,
 		capacity: capacity,
 		bus:      cfg.Bus,
-		hub:      newSSEHub(cfg.EventRing),
+		hub:      newSSEHub(cfg.EventRing, cfg.EventRingBytes),
 		hist:     newHistory(256),
 		traces:   newTraceStore(),
 		log:      obs.Component("server"),
@@ -374,6 +449,20 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.tailer = t
 	}
+	// The served epoch resumes from the journal (the highest epoch any
+	// record was framed under; 1 for a fresh journal) so a restarted daemon
+	// answers under the term it actually holds. A grouped leader boots
+	// unconfirmed: it may not ack a write until its supervisor completes a
+	// probe round without discovering a successor — the gate that keeps a
+	// rebooted stale leader from forking history before it learns it was
+	// deposed. Followers redirect writes, so they are always "confirmed".
+	s.epoch.Store(1)
+	if s.journal != nil {
+		s.epoch.Store(s.journal.Epoch())
+	}
+	if len(cfg.Group) == 0 || s.isFollower() {
+		s.confirmed.Store(true)
+	}
 	s.metrics.recordRecovery(s.recovery)
 	return s, nil
 }
@@ -388,6 +477,19 @@ func (s *Server) Start(ctx context.Context) error {
 	s.ln = ln
 	s.started = time.Now()
 	s.hsrv = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
+	if len(s.cfg.Group) > 0 {
+		s.super = &failover.Supervisor{
+			Node:       s,
+			Self:       s.advertise(),
+			Group:      s.cfg.Group,
+			ProbeEvery: s.cfg.ProbeEvery,
+			FailAfter:  s.cfg.FailAfter,
+			Seed:       s.cfg.FailoverSeed,
+			HTTP:       &http.Client{},
+			Log:        obs.Component("failover"),
+		}
+		go s.super.Run(ctx)
+	}
 	if s.isFollower() {
 		go s.follow(ctx)
 	} else {
@@ -479,6 +581,7 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/replication", s.instrument("/api/v1/replication", s.handleReplication))
 	mux.HandleFunc("POST /api/v1/promote", s.instrument("/api/v1/promote", s.handlePromote))
 	mux.HandleFunc("POST /api/v1/retarget", s.instrument("/api/v1/retarget", s.handleRetarget))
+	mux.HandleFunc("POST /api/v1/fence", s.instrument("/api/v1/fence", s.handleFence))
 	mux.HandleFunc("GET /api/v1/version", s.instrument("/api/v1/version", s.handleVersion))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -507,9 +610,17 @@ type SubmitResponse struct {
 	// TraceID echoes the request's X-Abg-Trace-Id header; the submission's
 	// end-to-end trace is then readable at /api/v1/traces/{traceId}.
 	TraceID string `json:"traceId,omitempty"`
+	// Offset is the commit offset: the journal length, in bytes, that
+	// includes this submission's record. A read against any replica carrying
+	// X-Abg-Min-Offset: <Offset> is guaranteed to observe the submission
+	// (read-your-writes). Zero without a journal.
+	Offset int64 `json:"offset,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWrite(w, r) {
+		return
+	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorDTO{"draining: admission closed"})
 		return
@@ -534,6 +645,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, status, errorDTO{err.Error()})
 		return
+	}
+	if resp.Offset > 0 {
+		w.Header().Set(OffsetHeader, strconv.FormatInt(resp.Offset, 10))
 	}
 	writeJSON(w, status, resp)
 }
@@ -565,11 +679,16 @@ func (s *Server) SubmitLocal(req JobRequest, traceID string) (SubmitResponse, in
 			// Seen before — possibly acked into a journal whose ack the
 			// client never received. Same key, same jobs, no double admit.
 			// The original submission's trace (if any) keeps following the
-			// jobs; the duplicate only echoes the id.
+			// jobs; the duplicate only echoes the id. The commit offset is
+			// the current journal size — it covers the original record.
 			depth := len(s.queue)
+			var off int64
+			if s.journal != nil {
+				off = s.journal.Size()
+			}
 			s.mu.Unlock()
 			return SubmitResponse{
-				IDs: ids, State: "duplicate", Queued: depth, TraceID: traceID,
+				IDs: ids, State: "duplicate", Queued: depth, TraceID: traceID, Offset: off,
 			}, http.StatusOK, nil
 		}
 	}
@@ -584,6 +703,7 @@ func (s *Server) SubmitLocal(req JobRequest, traceID string) (SubmitResponse, in
 	// The journal record precedes the ack: once the client hears 202, the
 	// submission is recoverable. The reverse order would let a crash forget
 	// an acked job.
+	var off int64
 	if s.journal != nil {
 		body, err := encodeSubmit(submitRecord{firstID: firstID, count: req.Count, key: req.Key, req: req})
 		if err == nil {
@@ -594,6 +714,7 @@ func (s *Server) SubmitLocal(req JobRequest, traceID string) (SubmitResponse, in
 			return SubmitResponse{}, http.StatusServiceUnavailable,
 				fmt.Errorf("journal write failed: %w", err)
 		}
+		off = s.journal.Size()
 	}
 	ids := make([]int, req.Count)
 	for i := range profiles {
@@ -615,7 +736,7 @@ func (s *Server) SubmitLocal(req JobRequest, traceID string) (SubmitResponse, in
 	}
 	s.notify()
 	return SubmitResponse{
-		IDs: ids, State: "queued", Queued: depth, TraceID: traceID,
+		IDs: ids, State: "queued", Queued: depth, TraceID: traceID, Offset: off,
 	}, http.StatusAccepted, nil
 }
 
@@ -677,6 +798,9 @@ func (s *Server) lookupJob(id int) (JobStatusDTO, bool) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.waitMinOffset(w, r) {
+		return
+	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorDTO{"bad job id"})
@@ -691,7 +815,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, dto)
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.waitMinOffset(w, r) {
+		return
+	}
 	s.mu.Lock()
 	// The engine owns the Statuses buffer and reuses it across calls, so
 	// the DTO conversion must happen before the lock is released — another
@@ -809,7 +936,10 @@ func (s *Server) snapshot() StateDTO {
 	return st
 }
 
-func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if s.waitMinOffset(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, s.snapshot())
 }
 
@@ -840,9 +970,10 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 
 // HealthDTO is the /healthz body. Status is "ok", "degraded" (durability
 // debt or snapshot age over its configured ceiling — the daemon still
-// serves, but an operator should look), or "failing" (fatal engine error or
-// invariant violation). Degraded and failing both answer 503 so probes and
-// load balancers eject the instance; the body says why.
+// serves, but an operator should look), "failing" (fatal engine error or
+// invariant violation), or "fenced" (this leader was deposed by a
+// successor epoch and is shutting down). Everything but "ok" answers 503
+// so probes and load balancers eject the instance; the body says why.
 type HealthDTO struct {
 	Status   string `json:"status"`
 	Draining bool   `json:"draining,omitempty"`
@@ -905,6 +1036,9 @@ func (s *Server) health() (HealthDTO, int) {
 	}
 	if fatal != nil || dto.Invariants == "violated" {
 		dto.Status = "failing"
+	}
+	if s.fenced.Load() {
+		dto.Status = "fenced"
 	}
 	if j != nil {
 		dto.JournalLag = j.Lag()

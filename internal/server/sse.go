@@ -70,14 +70,21 @@ type sseHub struct {
 	seq     uint64   // id of the most recently published event
 	ring    []sseMsg // newest ringCap events, oldest first
 	ringCap int
-	n       atomic.Int64 // len(clients), readable without the lock
-	dropped atomic.Int64
-	evicted atomic.Int64 // events pushed out of the replay ring
-	closed  bool
+	// byteCap bounds the summed payload bytes the ring may hold (0 = entry
+	// cap only). Event payloads vary by an order of magnitude across kinds,
+	// so an entry cap alone leaves the ring's memory footprint workload-
+	// dependent; whichever cap is hit first evicts the oldest events. At
+	// least one event is always retained so replay ids stay anchored.
+	byteCap   int
+	ringBytes int          // summed len(data) currently in the ring
+	n         atomic.Int64 // len(clients), readable without the lock
+	dropped   atomic.Int64
+	evicted   atomic.Int64 // events pushed out of the replay ring
+	closed    bool
 }
 
-func newSSEHub(ringCap int) *sseHub {
-	return &sseHub{clients: make(map[chan sseMsg]struct{}), ringCap: ringCap}
+func newSSEHub(ringCap, byteCap int) *sseHub {
+	return &sseHub{clients: make(map[chan sseMsg]struct{}), ringCap: ringCap, byteCap: byteCap}
 }
 
 // OnEvent implements obs.Subscriber.
@@ -85,11 +92,15 @@ func (h *sseHub) OnEvent(e obs.Event) {
 	h.mu.Lock()
 	h.seq++
 	m := sseMsg{id: h.seq, data: marshalEvent(e)}
-	if len(h.ring) == h.ringCap {
+	for len(h.ring) > 0 &&
+		(len(h.ring) >= h.ringCap ||
+			(h.byteCap > 0 && h.ringBytes+len(m.data) > h.byteCap)) {
+		h.ringBytes -= len(h.ring[0].data)
 		copy(h.ring, h.ring[1:])
 		h.ring = h.ring[:len(h.ring)-1]
 		h.evicted.Add(1)
 	}
+	h.ringBytes += len(m.data)
 	h.ring = append(h.ring, m)
 	for ch := range h.clients {
 		select {

@@ -14,11 +14,11 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli, parallel, replica, cluster)"
+echo "== go test -race (obs, sim, fault, feedback, alloc, server, persist, cli, parallel, replica, cluster, failover)"
 go test -race ./internal/obs/... ./internal/sim/... ./internal/fault/... \
     ./internal/feedback/... ./internal/alloc/... ./internal/server/... \
     ./internal/persist/... ./internal/cli/... ./internal/parallel/... \
-    ./internal/replica/... ./internal/cluster/...
+    ./internal/replica/... ./internal/cluster/... ./internal/failover/...
 
 echo "== parallel-step determinism guard (serial vs workers {1,2,8}, faults + snapshot/restore)"
 # Bit-identical results, event streams, and statuses at every StepWorkers
@@ -83,12 +83,16 @@ go build -o "$bindir/abgload" ./cmd/abgload
 "$bindir/abgload" -crash -abgd "$bindir/abgd" -jobs 30 -crashes 3 -timeout 3m \
     -fault "drop=0.15,delay=2:0.1,dup=0.1,noise=0.3,restart=0.1,restartat=2,maxrestarts=2,cap=churn:0.5:4,seed=11"
 
-echo "== failover smoke (SIGKILL the leader, promote a follower, compare to reference)"
-# Leader plus two followers; reads ride the kill on client fallbacks, the
-# most-caught-up follower is promoted, and the promoted run's results must
-# DeepEqual an uninterrupted replay of its journal — clean and faulted.
-"$bindir/abgload" -failover -abgd "$bindir/abgd" -jobs 24 -timeout 2m
-"$bindir/abgload" -failover -abgd "$bindir/abgd" -jobs 24 -timeout 2m \
+echo "== failover chaos soak (3 leader SIGKILLs, self-healing elections, compare to reference)"
+# Three-member group, every member running the election supervisor. The soak
+# SIGKILLs whichever daemon leads, three times, with zero manual promotes:
+# the survivors must elect the most-caught-up follower under a new fencing
+# epoch while one group-aware client rides every outage (reads rotate,
+# writes re-discover the leader). Final results must DeepEqual an
+# uninterrupted replay of the last leader's journal, and every member's
+# journal must be a byte copy of it — clean and faulted.
+"$bindir/abgload" -failover -abgd "$bindir/abgd" -jobs 24 -kills 3 -timeout 3m
+"$bindir/abgload" -failover -abgd "$bindir/abgd" -jobs 24 -kills 3 -timeout 3m \
     -fault "drop=0.3,cap=churn:0.5:4,seed=5"
 
 echo "== all checks passed"
